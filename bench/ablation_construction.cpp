@@ -1,0 +1,65 @@
+// Ablation A2: when to approximate during model construction.
+//
+// Fig. 6 applies node collapsing *while* summing gate contributions, which
+// bounds the peak ADD size. The alternative is building the exact sum and
+// collapsing once at the end: same final budget, but a much larger peak
+// working set (and build time) -- exactly the trade this driver measures.
+// It also reports the effect of capping the per-gate deltaC contribution.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "eval/table.hpp"
+
+int main() {
+  using namespace cfpm;
+
+  const netlist::GateLibrary lib = bench::experiment_library();
+  const std::size_t vectors = bench::env_vectors(4000);
+  eval::RunConfig config;
+  config.vectors_per_run = vectors;
+  const auto grid = stats::evaluation_grid();
+
+  std::cout << "Ablation: approximation placement during Fig. 6 "
+            << "construction (budget per circuit as in Table 1)\n\n";
+
+  eval::TextTable table({"circuit", "variant", "final", "peak nodes",
+                         "build(s)", "ARE(%)"});
+
+  struct Variant {
+    const char* label;
+    bool during;
+    std::size_t delta_cap;
+  };
+  const Variant variants[] = {
+      {"during (Fig.6)", true, 0},
+      {"post-hoc", false, 0},
+      {"during+deltaCap", true, 256},
+  };
+
+  for (const char* name : {"cm85", "mux", "comp", "parity"}) {
+    const netlist::Netlist n = netlist::gen::mcnc_like(name);
+    const sim::GateLevelSimulator golden(n, lib);
+    std::size_t budget = 500;
+    for (const auto& b : bench::table1_budgets()) {
+      if (std::string(b.name) == name) budget = b.avg_max;
+    }
+
+    for (const Variant& v : variants) {
+      power::AddModelOptions opt;
+      opt.max_nodes = budget;
+      opt.approximate_during_construction = v.during;
+      opt.delta_max_nodes = v.delta_cap;
+      Timer timer;
+      const auto model = power::AddPowerModel::build(n, lib, opt);
+      const double secs = timer.seconds();
+      const auto report =
+          eval::evaluate_average_accuracy(model, golden, grid, config);
+      table.add_row({name, v.label, std::to_string(model.size()),
+                     std::to_string(model.build_info().peak_live_nodes),
+                     eval::TextTable::num(secs, 3),
+                     eval::TextTable::num(100.0 * report.are, 1)});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

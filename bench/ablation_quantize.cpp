@@ -1,0 +1,84 @@
+// Ablation A4: leaf quantization vs node collapsing.
+//
+// Switching-capacitance ADDs owe much of their size to the diversity of
+// partial-sum values rather than to Boolean structure. quantize_leaves()
+// attacks exactly that axis: merging the closest terminal values also
+// merges the structure above them. This driver compares, on the same
+// circuit, the accuracy-per-node of pure quantization, pure collapsing,
+// and quantize-then-collapse.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "dd/approx.hpp"
+#include "eval/table.hpp"
+
+namespace {
+
+/// Adapter evaluating a derived ADD with the model's variable mapping.
+struct DerivedModel final : cfpm::power::PowerModel {
+  DerivedModel(const cfpm::power::AddPowerModel* b, cfpm::dd::Add fn)
+      : base(b), f(std::move(fn)) {}
+  const cfpm::power::AddPowerModel* base;
+  cfpm::dd::Add f;
+  std::string name() const override { return "derived"; }
+  std::size_t num_inputs() const override { return base->num_inputs(); }
+  double worst_case_ff() const override { return f.max_value(); }
+  double estimate_ff(std::span<const std::uint8_t> xi,
+                     std::span<const std::uint8_t> xf) const override {
+    std::vector<std::uint8_t> assignment(2 * xi.size(), 0);
+    for (std::uint32_t k = 0; k < xi.size(); ++k) {
+      assignment[base->var_of_xi(k)] = xi[k];
+      assignment[base->var_of_xf(k)] = xf[k];
+    }
+    return f.eval(assignment);
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace cfpm;
+
+  const netlist::GateLibrary lib = bench::experiment_library();
+  const std::size_t vectors = bench::env_vectors(4000);
+  eval::RunConfig config;
+  config.vectors_per_run = vectors;
+  const auto grid = stats::evaluation_grid();
+
+  std::cout << "Ablation: leaf quantization vs node collapsing "
+            << "(avg strategy)\n\n";
+
+  eval::TextTable table(
+      {"circuit", "variant", "nodes", "leaves", "ARE(%)"});
+
+  for (const char* name : {"cm85", "cmb", "alu2"}) {
+    const netlist::Netlist n = netlist::gen::mcnc_like(name);
+    const sim::GateLevelSimulator golden(n, lib);
+    power::AddModelOptions opt;
+    opt.max_nodes = 0;
+    const auto exact = power::AddPowerModel::build(n, lib, opt);
+    exact.function().manager()->sift();
+
+    auto report = [&](const char* label, const dd::Add& f) {
+      DerivedModel model(&exact, f);
+      const double are =
+          eval::evaluate_average_accuracy(model, golden, grid, config).are;
+      table.add_row({name, label, std::to_string(f.size()),
+                     std::to_string(f.leaf_values().size()),
+                     eval::TextTable::num(100.0 * are, 1)});
+    };
+
+    report("exact", exact.function());
+    report("quantize 8 leaves",
+           dd::quantize_leaves(exact.function(), 8, dd::ApproxMode::kAverage));
+    const std::size_t half = std::max<std::size_t>(2, exact.size() / 2);
+    report("collapse size/2",
+           dd::approximate_to(exact.function(), half, dd::ApproxMode::kAverage));
+    report("quantize8 + collapse",
+           dd::approximate_to(
+               dd::quantize_leaves(exact.function(), 8, dd::ApproxMode::kAverage),
+               half, dd::ApproxMode::kAverage));
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Shared helpers for the experiment drivers in bench/.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.hpp"
+#include "netlist/generators.hpp"
+#include "netlist/library.hpp"
+#include "power/add_model.hpp"
+#include "power/baselines.hpp"
+#include "sim/simulator.hpp"
+#include "stats/markov.hpp"
+#include "support/timer.hpp"
+
+namespace cfpm::bench {
+
+/// The experiments' "test gate library": uniform 5 fF input pins and a
+/// 10 fF external load. Commensurate pin capacitances keep the
+/// switching-capacitance ADDs' value diversity (distinct partial sums of
+/// loads) bounded, as a small characterized test library would; the
+/// heterogeneous GateLibrary::standard() remains available for API use.
+inline netlist::GateLibrary experiment_library() {
+  return netlist::GateLibrary::uniform(5.0, 10.0);
+}
+
+/// Per-circuit ADD node budgets from Table 1 of the paper.
+struct CircuitBudget {
+  const char* name;
+  std::size_t avg_max;    ///< "Model MAX" column (average estimators)
+  std::size_t bound_max;  ///< "Model MAX" column (upper bounds)
+};
+
+inline const std::vector<CircuitBudget>& table1_budgets() {
+  static const std::vector<CircuitBudget> budgets = {
+      {"alu2", 1000, 5000},  {"alu4", 2000, 15000}, {"cmb", 200, 1000},
+      {"cm150", 1000, 2000}, {"cm85", 500, 500},    {"comp", 5000, 10000},
+      {"decod", 200, 200},   {"k2", 10000, 10000},  {"mux", 1000, 5000},
+      {"parity", 3000, 500}, {"pcle", 5000, 10000}, {"x1", 1000, 50000},
+      {"x2", 200, 2500},
+  };
+  return budgets;
+}
+
+/// Characterizes Con and Lin at sp = st = 0.5 (the paper's setup).
+struct Baselines {
+  power::ConstantModel con;
+  power::LinearModel lin;
+};
+
+inline Baselines characterize_baselines(const netlist::Netlist& n,
+                                        const sim::GateLevelSimulator& golden,
+                                        std::size_t vectors,
+                                        std::uint64_t seed = 0xc0ffee) {
+  stats::MarkovSequenceGenerator gen({0.5, 0.5}, seed);
+  const sim::InputSequence train = gen.generate(n.num_inputs(), vectors);
+  power::Characterizer chr(golden, train);
+  return Baselines{chr.fit_constant(), chr.fit_linear()};
+}
+
+inline std::size_t env_vectors(std::size_t fallback = 10000) {
+  if (const char* v = std::getenv("CFPM_VECTORS")) {
+    const long parsed = std::strtol(v, nullptr, 10);
+    if (parsed >= 2) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+inline bool env_skip_slow() {
+  const char* v = std::getenv("CFPM_SKIP_SLOW");
+  return v != nullptr && v[0] != '0';
+}
+
+}  // namespace cfpm::bench

@@ -1,0 +1,57 @@
+// Experiment E1 - Fig. 7a of the paper.
+//
+// Relative error of the RTL power estimators Con, Lin and ADD on benchmark
+// circuit cm85 as a function of the input transition probability st (at
+// sp = 0.5). Con and Lin are characterized in-sample at sp = st = 0.5;
+// their out-of-sample error explodes at low st while the ADD model
+// (MAX = 500 nodes, as in the paper) stays flat.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "eval/table.hpp"
+
+int main() {
+  using namespace cfpm;
+
+  const netlist::Netlist n = netlist::gen::mcnc_like("cm85");
+  const netlist::GateLibrary lib = bench::experiment_library();
+  const sim::GateLevelSimulator golden(n, lib);
+
+  const std::size_t vectors = bench::env_vectors();
+  const auto base = bench::characterize_baselines(n, golden, vectors);
+
+  power::AddModelOptions opt;
+  opt.max_nodes = 500;  // paper: "an upper bound of 500 ADD nodes"
+  Timer build_timer;
+  const auto add = power::AddPowerModel::build(n, lib, opt);
+  const double build_s = build_timer.seconds();
+
+  eval::RunConfig config;
+  config.vectors_per_run = vectors;
+  const auto sweep = stats::fig7a_sweep();
+  const power::PowerModel* models[] = {&base.con, &base.lin, &add};
+  const auto reports =
+      eval::evaluate_average_accuracy(models, golden, sweep, config);
+
+  std::cout << "Fig. 7a reproduction: RE(sp=0.5, st) on cm85 ("
+            << n.num_inputs() << " inputs, " << n.num_gates() << " gates; "
+            << vectors << " vectors/run; ADD size " << add.size()
+            << " nodes, built in " << eval::TextTable::num(build_s, 3)
+            << " s)\n\n";
+
+  eval::TextTable table({"st", "RE_Con(%)", "RE_Lin(%)", "RE_ADD(%)"});
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    table.add_row({eval::TextTable::num(sweep[i].st, 2),
+                   eval::TextTable::num(100.0 * reports[0].points[i].re, 1),
+                   eval::TextTable::num(100.0 * reports[1].points[i].re, 1),
+                   eval::TextTable::num(100.0 * reports[2].points[i].re, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nARE over the sweep: Con "
+            << eval::TextTable::num(100.0 * reports[0].are, 1) << "%  Lin "
+            << eval::TextTable::num(100.0 * reports[1].are, 1) << "%  ADD "
+            << eval::TextTable::num(100.0 * reports[2].are, 1) << "%\n";
+  std::cout << "(paper, full grid: Con 518.7%  Lin 195.2%  ADD 5.7%)\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Experiment E2 - Fig. 7b of the paper.
+//
+// Accuracy/size trade-off of the ADD power model on cm85: the exact model
+// is compressed by node collapsing to a range of sizes; the ARE over the
+// (sp, st) grid is reported per size. The paper's observation: ADDs with
+// 5-10 nodes still achieve ARE below ~20%, an order of magnitude better
+// than a 12-coefficient linear model.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "eval/table.hpp"
+
+int main() {
+  using namespace cfpm;
+
+  const netlist::Netlist n = netlist::gen::mcnc_like("cm85");
+  const netlist::GateLibrary lib = bench::experiment_library();
+  const sim::GateLevelSimulator golden(n, lib);
+
+  const std::size_t vectors = bench::env_vectors();
+  // Lin reference for the "order of magnitude" comparison.
+  const auto base = bench::characterize_baselines(n, golden, vectors);
+
+  power::AddModelOptions opt;
+  opt.max_nodes = 0;  // exact
+  const auto exact = power::AddPowerModel::build(n, lib, opt);
+  exact.function().manager()->sift();  // best order before the sweep
+
+  eval::RunConfig config;
+  config.vectors_per_run = vectors;
+  const auto grid = stats::evaluation_grid();
+
+  std::cout << "Fig. 7b reproduction: ARE vs ADD model size on cm85 (exact "
+            << "model: " << exact.size() << " nodes; " << vectors
+            << " vectors/run; " << grid.size() << " (sp,st) points)\n\n";
+
+  eval::TextTable table({"ADD nodes", "ARE(%)"});
+  for (std::size_t size : {500u, 200u, 100u, 50u, 20u, 10u, 5u, 2u, 1u}) {
+    const auto model = exact.compress(size);
+    const auto report =
+        eval::evaluate_average_accuracy(model, golden, grid, config);
+    table.add_row({std::to_string(model.size()),
+                   eval::TextTable::num(100.0 * report.are, 1)});
+  }
+  table.print(std::cout);
+
+  const auto lin_report =
+      eval::evaluate_average_accuracy(base.lin, golden, grid, config);
+  const auto con_report =
+      eval::evaluate_average_accuracy(base.con, golden, grid, config);
+  std::cout << "\nReference (characterized baselines on the same grid): Lin "
+            << eval::TextTable::num(100.0 * lin_report.are, 1) << "%  Con "
+            << eval::TextTable::num(100.0 * con_report.are, 1) << "%\n";
+  return 0;
+}

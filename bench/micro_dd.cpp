@@ -1,0 +1,119 @@
+// Micro-benchmarks of the decision-diagram kernel.
+#include <benchmark/benchmark.h>
+
+#include "dd/approx.hpp"
+#include "dd/manager.hpp"
+#include "dd/stats.hpp"
+
+namespace {
+
+using namespace cfpm::dd;
+
+/// n-variable parity: the classic linear-size BDD stress case.
+Bdd parity(DdManager& mgr, std::uint32_t n) {
+  Bdd f = mgr.bdd_zero();
+  for (std::uint32_t v = 0; v < n; ++v) f = f ^ mgr.bdd_var(v);
+  return f;
+}
+
+void BM_BddAndChain(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    DdManager mgr(n);
+    Bdd f = mgr.bdd_one();
+    for (std::uint32_t v = 0; v < n; ++v) f = f & mgr.bdd_var(v);
+    benchmark::DoNotOptimize(f.size());
+  }
+}
+BENCHMARK(BM_BddAndChain)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BddParity(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    DdManager mgr(n);
+    Bdd f = parity(mgr, n);
+    benchmark::DoNotOptimize(f.size());
+  }
+}
+BENCHMARK(BM_BddParity)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_AddWeightedSum(benchmark::State& state) {
+  // Mimics the Fig. 6 inner loop: sum of weighted 0/1 functions.
+  const auto terms = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    DdManager mgr(16);
+    Add total = mgr.constant(0.0);
+    for (std::uint32_t i = 0; i < terms; ++i) {
+      Bdd prod = mgr.bdd_var(i % 16) & !mgr.bdd_var((i + 5) % 16);
+      total = total + Add(prod).times(1.0 + i);
+    }
+    benchmark::DoNotOptimize(total.size());
+  }
+}
+BENCHMARK(BM_AddWeightedSum)->Arg(32)->Arg(128);
+
+void BM_AddEval(benchmark::State& state) {
+  DdManager mgr(32);
+  Add f = mgr.constant(0.0);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    Bdd prod = mgr.bdd_var(i % 32) & mgr.bdd_var((i * 7 + 3) % 32);
+    f = f + Add(prod).times(1.0 + i);
+  }
+  std::vector<std::uint8_t> assignment(32);
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    for (std::size_t v = 0; v < 32; ++v) {
+      assignment[v] = static_cast<std::uint8_t>((counter >> v) & 1u);
+    }
+    ++counter;
+    benchmark::DoNotOptimize(f.eval(assignment));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AddEval);
+
+void BM_NodeStatsTraversal(benchmark::State& state) {
+  DdManager mgr(24);
+  Add f = mgr.constant(0.0);
+  for (std::uint32_t i = 0; i < 96; ++i) {
+    Bdd prod = mgr.bdd_var(i % 24) & !mgr.bdd_var((i * 5 + 1) % 24);
+    f = f + Add(prod).times(1.0 + (i % 7));
+  }
+  for (auto _ : state) {
+    NodeStats stats(f);
+    benchmark::DoNotOptimize(stats.root().var);
+  }
+  state.counters["nodes"] = static_cast<double>(f.size());
+}
+BENCHMARK(BM_NodeStatsTraversal);
+
+void BM_Approximate(benchmark::State& state) {
+  const auto budget = static_cast<std::size_t>(state.range(0));
+  DdManager mgr(24);
+  Add f = mgr.constant(0.0);
+  for (std::uint32_t i = 0; i < 96; ++i) {
+    Bdd prod = mgr.bdd_var(i % 24) & !mgr.bdd_var((i * 5 + 1) % 24);
+    f = f + Add(prod).times(1.0 + (i % 7));
+  }
+  for (auto _ : state) {
+    Add g = approximate_to(f, budget, ApproxMode::kAverage);
+    benchmark::DoNotOptimize(g.size());
+  }
+}
+BENCHMARK(BM_Approximate)->Arg(100)->Arg(10)->Arg(1);
+
+void BM_GarbageCollection(benchmark::State& state) {
+  for (auto _ : state) {
+    DdManager mgr(20);
+    for (int round = 0; round < 10; ++round) {
+      Bdd f = parity(mgr, 20);  // becomes garbage each round
+      benchmark::DoNotOptimize(f.size());
+    }
+    benchmark::DoNotOptimize(mgr.collect_garbage());
+  }
+}
+BENCHMARK(BM_GarbageCollection);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Micro-benchmarks of model construction and evaluation.
+//
+// Backs the paper's claims that (i) models are built once per library
+// macro in seconds and (ii) run-time evaluation is "negligible" (linear in
+// the number of inputs).
+#include <benchmark/benchmark.h>
+
+#include "netlist/generators.hpp"
+#include "power/add_model.hpp"
+#include "power/baselines.hpp"
+#include "sim/simulator.hpp"
+#include "stats/markov.hpp"
+
+namespace {
+
+using namespace cfpm;
+
+void BM_BuildModel(benchmark::State& state, const char* name,
+                   std::size_t max_nodes) {
+  const netlist::Netlist n = netlist::gen::mcnc_like(name);
+  const netlist::GateLibrary lib = netlist::GateLibrary::standard();
+  power::AddModelOptions opt;
+  opt.max_nodes = max_nodes;
+  for (auto _ : state) {
+    const auto model = power::AddPowerModel::build(n, lib, opt);
+    benchmark::DoNotOptimize(model.size());
+  }
+  state.counters["gates"] = static_cast<double>(n.num_gates());
+}
+
+void BM_BuildCm85(benchmark::State& state) { BM_BuildModel(state, "cm85", 500); }
+BENCHMARK(BM_BuildCm85);
+
+void BM_BuildMux(benchmark::State& state) { BM_BuildModel(state, "mux", 1000); }
+BENCHMARK(BM_BuildMux);
+
+void BM_BuildDecod(benchmark::State& state) { BM_BuildModel(state, "decod", 200); }
+BENCHMARK(BM_BuildDecod);
+
+void BM_EvalModel(benchmark::State& state, const char* name,
+                  std::size_t max_nodes) {
+  const netlist::Netlist n = netlist::gen::mcnc_like(name);
+  const netlist::GateLibrary lib = netlist::GateLibrary::standard();
+  power::AddModelOptions opt;
+  opt.max_nodes = max_nodes;
+  const auto model = power::AddPowerModel::build(n, lib, opt);
+  std::vector<std::uint8_t> xi(n.num_inputs()), xf(n.num_inputs());
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < xi.size(); ++i) {
+      xi[i] = static_cast<std::uint8_t>((counter >> i) & 1u);
+      xf[i] = static_cast<std::uint8_t>((counter >> (i + 1)) & 1u);
+    }
+    ++counter;
+    benchmark::DoNotOptimize(model.estimate_ff(xi, xf));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["nodes"] = static_cast<double>(model.size());
+}
+
+void BM_EvalCm85(benchmark::State& state) { BM_EvalModel(state, "cm85", 500); }
+BENCHMARK(BM_EvalCm85);
+
+void BM_EvalComp(benchmark::State& state) { BM_EvalModel(state, "comp", 5000); }
+BENCHMARK(BM_EvalComp);
+
+void BM_EvalVsGateLevelSim(benchmark::State& state) {
+  // RTL-model evaluation vs re-simulating the netlist per pattern pair:
+  // the speed argument for macro models.
+  const netlist::Netlist n = netlist::gen::mcnc_like("comp");
+  const netlist::GateLibrary lib = netlist::GateLibrary::standard();
+  const sim::GateLevelSimulator simulator(n, lib);
+  std::vector<std::uint8_t> xi(n.num_inputs(), 0), xf(n.num_inputs(), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.switching_capacitance_ff(xi, xf));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EvalVsGateLevelSim);
+
+void BM_CharacterizeLin(benchmark::State& state) {
+  // Cost of the simulation-based characterization our approach avoids.
+  const netlist::Netlist n = netlist::gen::mcnc_like("cm85");
+  const netlist::GateLibrary lib = netlist::GateLibrary::standard();
+  const sim::GateLevelSimulator simulator(n, lib);
+  stats::MarkovSequenceGenerator gen({0.5, 0.5}, 2);
+  const sim::InputSequence train = gen.generate(n.num_inputs(), 10000);
+  for (auto _ : state) {
+    power::Characterizer chr(simulator, train);
+    const auto lin = chr.fit_linear();
+    benchmark::DoNotOptimize(lin.coefficients().data());
+  }
+}
+BENCHMARK(BM_CharacterizeLin);
+
+}  // namespace
+
+BENCHMARK_MAIN();

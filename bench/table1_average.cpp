@@ -1,0 +1,59 @@
+// Experiment E3 - Table 1, columns 1-8 (average estimators).
+//
+// For every Table-1 circuit: ARE of the characterized Con and Lin models
+// and of the analytical ADD model (built with the paper's per-circuit MAX),
+// plus the MAX used and the model construction CPU seconds.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "eval/table.hpp"
+
+int main() {
+  using namespace cfpm;
+
+  const std::size_t vectors = bench::env_vectors();
+  eval::RunConfig config;
+  config.vectors_per_run = vectors;
+  const auto grid = stats::evaluation_grid();
+  const netlist::GateLibrary lib = bench::experiment_library();
+
+  std::cout << "Table 1 reproduction (average estimators): ARE over "
+            << grid.size() << " (sp,st) points, " << vectors
+            << " vectors/run\n"
+            << "Circuits are structural stand-ins for the MCNC netlists "
+            << "(see DESIGN.md); compare shapes, not absolute numbers.\n\n";
+
+  eval::TextTable table({"name", "n", "N", "ARE Con(%)", "ARE Lin(%)",
+                         "ARE ADD(%)", "MAX", "CPU(s)"});
+
+  for (const auto& budget : bench::table1_budgets()) {
+    if (bench::env_skip_slow() &&
+        (std::string(budget.name) == "k2" || std::string(budget.name) == "x1")) {
+      continue;
+    }
+    const netlist::Netlist n = netlist::gen::mcnc_like(budget.name);
+    const sim::GateLevelSimulator golden(n, lib);
+    const auto base = bench::characterize_baselines(n, golden, vectors);
+
+    power::AddModelOptions opt;
+    opt.max_nodes = budget.avg_max;
+    Timer timer;
+    const auto add = power::AddPowerModel::build(n, lib, opt);
+    const double cpu = timer.seconds();
+
+    const power::PowerModel* models[] = {&base.con, &base.lin, &add};
+    const auto reports =
+        eval::evaluate_average_accuracy(models, golden, grid, config);
+
+    table.add_row({budget.name, std::to_string(n.num_inputs()),
+                   std::to_string(n.num_gates()),
+                   eval::TextTable::num(100.0 * reports[0].are, 1),
+                   eval::TextTable::num(100.0 * reports[1].are, 1),
+                   eval::TextTable::num(100.0 * reports[2].are, 1),
+                   std::to_string(budget.avg_max),
+                   eval::TextTable::num(cpu, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(paper's ADD column: ~3-19%; Lin ~80-270%; Con ~316-813%)\n";
+  return 0;
+}

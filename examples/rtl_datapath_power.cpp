@@ -1,0 +1,85 @@
+// RT-level power analysis of a small datapath composed of library macros.
+//
+// The design: two 4-bit ALUs and a 16:1 result multiplexer share a global
+// bus. Each macro instance is backed by one shared library model (built
+// once, reused per instance), and per-cycle estimates compose additively
+// -- the library-based RTL flow the paper targets.
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "netlist/generators.hpp"
+#include "power/add_model.hpp"
+#include "power/rtl.hpp"
+#include "stats/markov.hpp"
+
+int main() {
+  using namespace cfpm;
+
+  // --- Library models (one per macro *type*).
+  const netlist::GateLibrary lib = netlist::GateLibrary::standard();
+  power::AddModelOptions opt;
+  opt.max_nodes = 1000;
+
+  const netlist::Netlist alu = netlist::gen::mcnc_like("alu2");   // 10 inputs
+  const netlist::Netlist mux = netlist::gen::mcnc_like("mux");    // 21 inputs
+  auto alu_model = std::make_shared<power::AddPowerModel>(
+      power::AddPowerModel::build(alu, lib, opt));
+  auto mux_model = std::make_shared<power::AddPowerModel>(
+      power::AddPowerModel::build(mux, lib, opt));
+  std::cout << "library models: alu2 " << alu_model->size() << " nodes, mux "
+            << mux_model->size() << " nodes\n";
+
+  // --- Instantiate: alu0 on bus[0..9], alu1 on bus[10..19],
+  //     mux on a mix of both ALUs' input buses + control bus[20].
+  power::RtlDesign design;
+  auto range = [](std::size_t lo, std::size_t count) {
+    std::vector<std::size_t> v(count);
+    for (std::size_t i = 0; i < count; ++i) v[i] = lo + i;
+    return v;
+  };
+  design.add_instance("alu0", alu_model, range(0, 10));
+  design.add_instance("alu1", alu_model, range(10, 10));
+  std::vector<std::size_t> mux_map = range(0, 20);
+  mux_map.push_back(20);
+  design.add_instance("rmux", mux_model, std::move(mux_map));
+
+  std::cout << "datapath: " << design.num_instances()
+            << " instances over a " << design.bus_width() << "-bit bus\n\n";
+
+  // --- Per-cycle RTL power trace under a bursty workload.
+  stats::MarkovSequenceGenerator gen({0.5, 0.3}, 7);
+  const auto trace = gen.generate(design.bus_width(), 2000);
+  const power::SupplyConfig supply{3.3};
+
+  std::vector<std::uint8_t> xi(design.bus_width()), xf(design.bus_width());
+  double total = 0.0, peak = 0.0;
+  std::vector<double> per_instance(design.num_instances(), 0.0);
+  for (std::size_t t = 0; t + 1 < trace.length(); ++t) {
+    trace.vector_at(t, xi);
+    trace.vector_at(t + 1, xf);
+    const auto breakdown = design.estimate_breakdown_ff(xi, xf);
+    double cycle = 0.0;
+    for (std::size_t i = 0; i < breakdown.size(); ++i) {
+      per_instance[i] += breakdown[i];
+      cycle += breakdown[i];
+    }
+    total += cycle;
+    peak = std::max(peak, cycle);
+  }
+  const double cycles = static_cast<double>(trace.num_transitions());
+
+  std::cout << std::fixed << std::setprecision(1);
+  std::cout << "average switched capacitance: " << total / cycles
+            << " fF/cycle (" << supply.power_uw(total / cycles, 10.0)
+            << " uW @ 100 MHz, 3.3 V)\n";
+  std::cout << "observed peak cycle:          " << peak << " fF\n\n";
+  std::cout << "per-instance breakdown:\n";
+  for (std::size_t i = 0; i < per_instance.size(); ++i) {
+    std::cout << "  " << design.instance_name(i) << ": "
+              << per_instance[i] / cycles << " fF/cycle ("
+              << 100.0 * per_instance[i] / total << "% of total)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,327 @@
+// Binary apply operators, ITE, cofactors and evaluation.
+#include <algorithm>
+#include <cmath>
+
+#include "dd/manager.hpp"
+#include "support/assert.hpp"
+#include "support/error.hpp"
+
+namespace cfpm::dd {
+
+namespace {
+
+bool is_commutative(Op op) noexcept {
+  switch (op) {
+    case Op::kPlus:
+    case Op::kTimes:
+    case Op::kMax:
+    case Op::kMin:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+      return true;
+    case Op::kMinus:
+      return false;
+  }
+  return false;
+}
+
+[[maybe_unused]] bool is_logical(Op op) noexcept {
+  return op == Op::kAnd || op == Op::kOr || op == Op::kXor;
+}
+
+[[maybe_unused]] bool is_binary_terminal(const DdNode* n) noexcept {
+  return n->is_terminal() && (n->value == 0.0 || n->value == 1.0);
+}
+
+}  // namespace
+
+double DdManager::apply_terminal(Op op, double a, double b) {
+  switch (op) {
+    case Op::kPlus:
+      return a + b;
+    case Op::kMinus:
+      return a - b;
+    case Op::kTimes:
+      return a * b;
+    case Op::kMax:
+      return std::max(a, b);
+    case Op::kMin:
+      return std::min(a, b);
+    case Op::kAnd:
+      return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+    case Op::kOr:
+      return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+    case Op::kXor:
+      return ((a != 0.0) != (b != 0.0)) ? 1.0 : 0.0;
+  }
+  CFPM_UNREACHABLE("bad Op");
+}
+
+// Operand-level simplifications that avoid recursion entirely.
+// Returns nullptr when no shortcut applies; otherwise the (unreferenced)
+// result node.
+DdNode* DdManager::apply_shortcut(Op op, DdNode* f, DdNode* g, DdNode* zero,
+                                  DdNode* one) {
+  switch (op) {
+    case Op::kPlus:
+      if (f == zero) return g;
+      if (g == zero) return f;
+      break;
+    case Op::kMinus:
+      if (g == zero) return f;
+      break;
+    case Op::kTimes:
+      if (f == zero || g == zero) return zero;
+      if (f == one) return g;
+      if (g == one) return f;
+      break;
+    case Op::kMax:
+    case Op::kMin:
+      if (f == g) return f;
+      break;
+    case Op::kAnd:
+      if (f == zero || g == zero) return zero;
+      if (f == one) return g;
+      if (g == one) return f;
+      if (f == g) return f;
+      break;
+    case Op::kOr:
+      if (f == one || g == one) return one;
+      if (f == zero) return g;
+      if (g == zero) return f;
+      if (f == g) return f;
+      break;
+    case Op::kXor:
+      if (f == zero) return g;
+      if (g == zero) return f;
+      if (f == g) return zero;
+      break;
+  }
+  return nullptr;
+}
+
+DdNode* DdManager::apply(Op op, DdNode* f, DdNode* g) {
+  CFPM_ASSERT(f != nullptr && g != nullptr);
+  maybe_gc();
+  return apply_rec(op, f, g);
+}
+
+DdNode* DdManager::apply_rec(Op op, DdNode* f, DdNode* g) {
+  if (is_commutative(op) && f->id > g->id) std::swap(f, g);  // cache canonicity
+
+  if (DdNode* s = apply_shortcut(op, f, g, zero_, one_)) {
+    ref_node(s);
+    return s;
+  }
+  if (f->is_terminal() && g->is_terminal()) {
+    CFPM_ASSERT(!is_logical(op) ||
+                (is_binary_terminal(f) && is_binary_terminal(g)));
+    return terminal(apply_terminal(op, f->value, g->value));
+  }
+  if (DdNode* hit = cache_lookup(op, f, g)) {
+    ref_node(hit);
+    return hit;
+  }
+
+  const std::uint32_t lf = level_of(f);
+  const std::uint32_t lg = level_of(g);
+  const std::uint32_t level = std::min(lf, lg);
+  const std::uint32_t var = var_at_level_[level];
+
+  DdNode* ft = (lf == level) ? f->then_child : f;
+  DdNode* fe = (lf == level) ? f->else_child : f;
+  DdNode* gt = (lg == level) ? g->then_child : g;
+  DdNode* ge = (lg == level) ? g->else_child : g;
+
+  DdNode* t = apply_rec(op, ft, gt);
+  DdNode* e = apply_rec(op, fe, ge);
+  DdNode* r = make_node(var, t, e);  // consumes t, e
+  cache_insert(op, f, g, r);
+  return r;
+}
+
+DdNode* DdManager::bdd_not(DdNode* f) {
+  maybe_gc();
+  return apply_rec(Op::kXor, f, one_);
+}
+
+// Standard ITE by Shannon expansion, memoized in a dedicated ternary
+// computed cache (the binary apply cache cannot key three operands).
+DdNode* DdManager::ite_rec(DdNode* f, DdNode* g, DdNode* h) {
+  // Terminal cases.
+  if (f == one_) {
+    ref_node(g);
+    return g;
+  }
+  if (f == zero_) {
+    ref_node(h);
+    return h;
+  }
+  if (g == h) {
+    ref_node(g);
+    return g;
+  }
+  if (g == one_ && h == zero_) {
+    ref_node(f);
+    return f;
+  }
+  if (DdNode* hit = ite_cache_lookup(f, g, h)) {
+    ref_node(hit);
+    return hit;
+  }
+  // Decompose on the top variable of the three operands.
+  const std::uint32_t level =
+      std::min({level_of(f), level_of(g), level_of(h)});
+  const std::uint32_t var = var_at_level_[level];
+  auto split = [&](DdNode* n, bool then_side) {
+    if (level_of(n) != level) return n;
+    return then_side ? n->then_child : n->else_child;
+  };
+  DdNode* t = ite_rec(split(f, true), split(g, true), split(h, true));
+  DdNode* e = ite_rec(split(f, false), split(g, false), split(h, false));
+  DdNode* r = make_node(var, t, e);
+  ite_cache_insert(f, g, h, r);
+  return r;
+}
+
+DdNode* DdManager::cofactor_rec(DdNode* f, std::uint32_t var, bool phase) {
+  const std::uint32_t target_level = level_of_var_[var];
+  if (level_of(f) > target_level) {
+    ref_node(f);
+    return f;
+  }
+  if (f->var == var) {
+    DdNode* r = phase ? f->then_child : f->else_child;
+    ref_node(r);
+    return r;
+  }
+  DdNode* t = cofactor_rec(f->then_child, var, phase);
+  DdNode* e = cofactor_rec(f->else_child, var, phase);
+  return make_node(f->var, t, e);
+}
+
+// ---------------------------------------------------------------------------
+// Bdd operators.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+DdManager* common_manager(const DdHandle& a, const DdHandle& b) {
+  CFPM_REQUIRE(!a.is_null() && !b.is_null());
+  CFPM_REQUIRE(a.manager() == b.manager());
+  return a.manager();
+}
+
+}  // namespace
+
+Bdd Bdd::operator&(const Bdd& other) const {
+  DdManager* m = common_manager(*this, other);
+  return Bdd(m, m->apply(Op::kAnd, node_, other.node_));
+}
+
+Bdd Bdd::operator|(const Bdd& other) const {
+  DdManager* m = common_manager(*this, other);
+  return Bdd(m, m->apply(Op::kOr, node_, other.node_));
+}
+
+Bdd Bdd::operator^(const Bdd& other) const {
+  DdManager* m = common_manager(*this, other);
+  return Bdd(m, m->apply(Op::kXor, node_, other.node_));
+}
+
+Bdd Bdd::operator!() const {
+  CFPM_REQUIRE(!is_null());
+  return Bdd(mgr_, mgr_->bdd_not(node_));
+}
+
+Bdd Bdd::ite(const Bdd& t, const Bdd& e) const {
+  DdManager* m = common_manager(*this, t);
+  CFPM_REQUIRE(e.manager() == m);
+  m->maybe_gc();
+  return Bdd(m, m->ite_rec(node_, t.node_, e.node_));
+}
+
+Bdd Bdd::cofactor(std::uint32_t var, bool phase) const {
+  CFPM_REQUIRE(!is_null());
+  CFPM_REQUIRE(var < mgr_->num_vars());
+  return Bdd(mgr_, mgr_->cofactor_rec(node_, var, phase));
+}
+
+bool Bdd::is_zero() const noexcept {
+  return node_ != nullptr && node_->is_terminal() && node_->value == 0.0;
+}
+
+bool Bdd::is_one() const noexcept {
+  return node_ != nullptr && node_->is_terminal() && node_->value == 1.0;
+}
+
+bool Bdd::eval(std::span<const std::uint8_t> assignment) const {
+  CFPM_REQUIRE(!is_null());
+  const DdNode* n = node_;
+  while (!n->is_terminal()) {
+    CFPM_REQUIRE(n->var < assignment.size());
+    n = assignment[n->var] ? n->then_child : n->else_child;
+  }
+  return n->value != 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// Add operators.
+// ---------------------------------------------------------------------------
+
+Add::Add(const Bdd& b) : DdHandle(b) {}
+
+Add Add::operator+(const Add& other) const {
+  DdManager* m = common_manager(*this, other);
+  return Add(m, m->apply(Op::kPlus, node_, other.node_));
+}
+
+Add Add::operator-(const Add& other) const {
+  DdManager* m = common_manager(*this, other);
+  return Add(m, m->apply(Op::kMinus, node_, other.node_));
+}
+
+Add Add::operator*(const Add& other) const {
+  DdManager* m = common_manager(*this, other);
+  return Add(m, m->apply(Op::kTimes, node_, other.node_));
+}
+
+Add Add::times(double constant) const {
+  CFPM_REQUIRE(!is_null());
+  Add c = mgr_->constant(constant);
+  return *this * c;
+}
+
+Add Add::max(const Add& other) const {
+  DdManager* m = common_manager(*this, other);
+  return Add(m, m->apply(Op::kMax, node_, other.node_));
+}
+
+Add Add::min(const Add& other) const {
+  DdManager* m = common_manager(*this, other);
+  return Add(m, m->apply(Op::kMin, node_, other.node_));
+}
+
+double Add::eval(std::span<const std::uint8_t> assignment) const {
+  CFPM_REQUIRE(!is_null());
+  const DdNode* n = node_;
+  while (!n->is_terminal()) {
+    CFPM_REQUIRE(n->var < assignment.size());
+    n = assignment[n->var] ? n->then_child : n->else_child;
+  }
+  return n->value;
+}
+
+Add Add::cofactor(std::uint32_t var, bool phase) const {
+  CFPM_REQUIRE(!is_null());
+  CFPM_REQUIRE(var < mgr_->num_vars());
+  return Add(mgr_, mgr_->cofactor_rec(node_, var, phase));
+}
+
+double Add::terminal_value() const {
+  CFPM_REQUIRE(is_terminal_node());
+  return node_->value;
+}
+
+}  // namespace cfpm::dd

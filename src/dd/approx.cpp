@@ -1,0 +1,373 @@
+#include "dd/approx.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dd/dd_internal.hpp"
+#include "dd/stats.hpp"
+#include "support/assert.hpp"
+
+namespace cfpm::dd {
+
+namespace {
+
+/// Rebuilds `root` with every node in `marked` replaced by the constant
+/// given for it. Returns a referenced node.
+class Rebuilder {
+ public:
+  Rebuilder(DdManager* mgr,
+            const std::unordered_map<const DdNode*, double>& marked)
+      : mgr_(mgr), marked_(marked) {}
+
+  DdNode* rebuild(DdNode* n) {
+    if (auto it = marked_.find(n); it != marked_.end()) {
+      return DdInternal::terminal(*mgr_, it->second);
+    }
+    if (n->is_terminal()) {
+      DdInternal::ref(*mgr_, n);
+      return n;
+    }
+    if (auto it = memo_.find(n); it != memo_.end()) {
+      DdInternal::ref(*mgr_, it->second);
+      return it->second;
+    }
+    DdNode* t = rebuild(n->then_child);
+    DdNode* e = rebuild(n->else_child);
+    DdNode* r = DdInternal::make_node(*mgr_, n->var, t, e);
+    memo_.emplace(n, r);
+    return r;
+  }
+
+ private:
+  DdManager* mgr_;
+  const std::unordered_map<const DdNode*, double>& marked_;
+  std::unordered_map<const DdNode*, DdNode*> memo_;
+};
+
+/// All internal nodes reachable from root.
+std::vector<const DdNode*> internal_nodes(const DdNode* root) {
+  std::unordered_set<const DdNode*> seen;
+  std::vector<const DdNode*> result;
+  std::vector<const DdNode*> stack{root};
+  while (!stack.empty()) {
+    const DdNode* n = stack.back();
+    stack.pop_back();
+    if (n->is_terminal() || !seen.insert(n).second) continue;
+    result.push_back(n);
+    stack.push_back(n->then_child);
+    stack.push_back(n->else_child);
+  }
+  return result;
+}
+
+}  // namespace
+
+ApproxResult approximate(const Add& f, std::size_t max_size, ApproxMode mode,
+                         CollapseMetric metric_kind) {
+  CFPM_REQUIRE(!f.is_null());
+  CFPM_REQUIRE(max_size >= 1);
+  DdManager* mgr = f.manager();
+
+  Add current = f;
+  std::size_t size = f.size();
+  if (size <= max_size) {
+    return ApproxResult{std::move(current), size, 0, 0};
+  }
+
+  std::size_t total_marks = 0;
+  std::size_t rounds = 0;
+  std::size_t stagnant = 0;  // rounds without progress (forces extra marks)
+
+  // Each round: order internal nodes by the strategy's error metric
+  // (variance for avg-collapse, Eq. 8 mse for max-collapse) and greedily
+  // mark them for collapsing. The number of nodes a mark actually removes
+  // is tracked exactly with parent-count cascades over the reachability
+  // DAG: a node disappears when its last live parent is marked or removed.
+  // A mark whose cascade would overshoot the remaining deficit is rolled
+  // back and skipped, so the final size lands on the budget instead of
+  // falling off a "sharing cliff". Each round ends with a single rebuild;
+  // isomorphic merging after replacement can only shrink the result
+  // further, so a couple of rounds usually suffice.
+  while (size > max_size) {
+    ++rounds;
+    NodeStats stats(current);
+    DdNode* root = DdInternal::node(current);
+    std::vector<const DdNode*> candidates = internal_nodes(root);
+    CFPM_ASSERT(!candidates.empty());
+
+    // Reach probabilities are only needed for the reach-weighted metric.
+    std::unordered_map<const DdNode*, double> reach;
+    if (metric_kind == CollapseMetric::kReachWeightedVariance) {
+      std::vector<const DdNode*> by_level = candidates;
+      const DdManager& cmgr = *mgr;
+      std::sort(by_level.begin(), by_level.end(),
+                [&](const DdNode* a, const DdNode* b) {
+                  return cmgr.level_of_var(a->var) < cmgr.level_of_var(b->var);
+                });
+      reach.reserve(candidates.size());
+      reach[root] = 1.0;
+      for (const DdNode* n : by_level) {
+        const double p = reach[n];  // parents processed first (lower level)
+        reach[n->then_child] += 0.5 * p;
+        reach[n->else_child] += 0.5 * p;
+      }
+    }
+
+    // Default selection metric: the *relative* spread of the sub-function,
+    // var(n)/avg(n)^2 (Eq. 7 statistics). Collapsing such a node merely
+    // quantizes a cluster of similar values, so the induced error stays
+    // proportional to the predicted magnitude -- which keeps the *relative*
+    // error bounded under every input statistic, including the low-activity
+    // corner where absolute-MSE criteria (plain or reach-weighted variance)
+    // destroy the model's near-zero diagonal. Switching-capacitance
+    // functions are non-negative, so avg(n) > 0 for every internal node.
+    // The alternatives exist for the DESIGN.md ablation.
+    auto metric = [&](const DdNode* n) {
+      const NodeStats::Entry& e = stats.at(n);
+      const double local =
+          mode == ApproxMode::kAverage ? e.var : e.mse_of_max();
+      switch (metric_kind) {
+        case CollapseMetric::kVariance:
+          return local;
+        case CollapseMetric::kReachWeightedVariance:
+          return reach.at(n) * local;
+        case CollapseMetric::kRelativeSpread:
+          break;
+      }
+      return local / (e.avg * e.avg + 1e-12);
+    };
+    std::sort(candidates.begin(), candidates.end(),
+              [&](const DdNode* a, const DdNode* b) {
+                const double ma = metric(a);
+                const double mb = metric(b);
+                if (ma != mb) return ma < mb;
+                return a->id < b->id;  // deterministic
+              });
+
+    // Live-parent counts over the reachable DAG (the root is pinned).
+    std::unordered_map<const DdNode*, std::size_t> parents;
+    parents.reserve(size);
+    for (const DdNode* n : candidates) {
+      ++parents[n->then_child];
+      ++parents[n->else_child];
+    }
+
+    std::unordered_set<const DdNode*> gone;
+    std::unordered_map<const DdNode*, double> marked;
+    std::size_t removed = 0;
+    const std::size_t deficit = size - max_size;
+
+    std::vector<const DdNode*> undo;        // nodes decremented this mark
+    std::vector<const DdNode*> undo_gone;   // nodes marked gone this mark
+    std::vector<const DdNode*> cascade;
+    // Accept a small relative overshoot so the loop terminates crisply.
+    const std::size_t grace = std::max<std::size_t>(2, max_size / 8);
+    const DdNode* fallback = nullptr;       // smallest rejected cascade
+    std::size_t fallback_delta = 0;
+
+    auto run_cascade = [&](const DdNode* n) {
+      undo.clear();
+      undo_gone.clear();
+      cascade.clear();
+      std::size_t delta = 1;  // n itself is replaced by a leaf
+      gone.insert(n);
+      undo_gone.push_back(n);
+      cascade.push_back(n);
+      while (!cascade.empty()) {
+        const DdNode* dead = cascade.back();
+        cascade.pop_back();
+        if (dead->is_terminal()) continue;
+        for (const DdNode* child : {dead->then_child, dead->else_child}) {
+          auto it = parents.find(child);
+          CFPM_ASSERT(it != parents.end() && it->second > 0);
+          --it->second;
+          undo.push_back(child);
+          if (it->second == 0 && !gone.contains(child)) {
+            gone.insert(child);
+            undo_gone.push_back(child);
+            ++delta;
+            cascade.push_back(child);
+          }
+        }
+      }
+      return delta;
+    };
+    auto roll_back = [&]() {
+      for (const DdNode* c : undo) ++parents[c];
+      for (const DdNode* g : undo_gone) gone.erase(g);
+    };
+
+    for (const DdNode* n : candidates) {
+      if (removed >= deficit) break;
+      if (gone.contains(n)) continue;  // already unreachable
+      const std::size_t delta = run_cascade(n);
+      if (removed + delta > deficit + grace) {
+        roll_back();
+        if (fallback == nullptr || delta < fallback_delta) {
+          fallback = n;
+          fallback_delta = delta;
+        }
+        continue;
+      }
+      const NodeStats::Entry& e = stats.at(n);
+      marked.emplace(n, mode == ApproxMode::kAverage ? e.avg : e.max);
+      removed += delta;
+    }
+    if (marked.empty() || stagnant > 0) {
+      // Either every candidate overshoots on its own, or the previous
+      // round made no net progress (a mark's removal can be offset by a
+      // freshly created leaf). Force the least damaging unmarked candidate
+      // in regardless of the overshoot bound; repeat-stagnation forces one
+      // more each round, so the loop always converges (in the limit to a
+      // single leaf).
+      std::size_t forced = std::max<std::size_t>(1, stagnant);
+      if (fallback != nullptr && !marked.contains(fallback)) {
+        run_cascade(fallback);
+        const NodeStats::Entry& e = stats.at(fallback);
+        marked.emplace(fallback,
+                       mode == ApproxMode::kAverage ? e.avg : e.max);
+        --forced;
+      }
+      for (const DdNode* n : candidates) {
+        if (forced == 0) break;
+        if (marked.contains(n) || gone.contains(n)) continue;
+        run_cascade(n);
+        const NodeStats::Entry& e = stats.at(n);
+        marked.emplace(n, mode == ApproxMode::kAverage ? e.avg : e.max);
+        --forced;
+      }
+    }
+    CFPM_ASSERT(!marked.empty());
+
+    Rebuilder rb(mgr, marked);
+    Add next = DdInternal::make_add(mgr, rb.rebuild(root));
+    const std::size_t next_size = next.size();
+    total_marks += marked.size();
+    stagnant = next_size < size ? 0 : stagnant + 1;
+    current = std::move(next);
+    size = next_size;
+    if ((rounds & 7u) == 0) mgr->collect_garbage();
+  }
+
+  CFPM_ASSERT(size <= max_size);
+  mgr->collect_garbage();
+  return ApproxResult{std::move(current), size, total_marks, rounds};
+}
+
+Add approximate_to(const Add& f, std::size_t max_size, ApproxMode mode,
+                   CollapseMetric metric) {
+  return approximate(f, max_size, mode, metric).function;
+}
+
+namespace {
+
+/// Rebuilds `root` with every terminal value remapped through `value_map`.
+class LeafRemapper {
+ public:
+  LeafRemapper(DdManager* mgr,
+               const std::unordered_map<const DdNode*, double>& value_map)
+      : mgr_(mgr), value_map_(value_map) {}
+
+  DdNode* rebuild(DdNode* n) {
+    if (n->is_terminal()) {
+      return DdInternal::terminal(*mgr_, value_map_.at(n));
+    }
+    if (auto it = memo_.find(n); it != memo_.end()) {
+      DdInternal::ref(*mgr_, it->second);
+      return it->second;
+    }
+    DdNode* t = rebuild(n->then_child);
+    DdNode* e = rebuild(n->else_child);
+    DdNode* r = DdInternal::make_node(*mgr_, n->var, t, e);
+    memo_.emplace(n, r);
+    return r;
+  }
+
+ private:
+  DdManager* mgr_;
+  const std::unordered_map<const DdNode*, double>& value_map_;
+  std::unordered_map<const DdNode*, DdNode*> memo_;
+};
+
+}  // namespace
+
+Add quantize_leaves(const Add& f, std::size_t max_leaves, ApproxMode mode) {
+  CFPM_REQUIRE(!f.is_null());
+  CFPM_REQUIRE(max_leaves >= 1);
+  DdManager* mgr = f.manager();
+  DdNode* root = DdInternal::node(f);
+
+  // Probability mass reaching each terminal under uniform inputs.
+  std::vector<const DdNode*> internal = internal_nodes(root);
+  const DdManager& cmgr = *mgr;
+  std::sort(internal.begin(), internal.end(),
+            [&](const DdNode* a, const DdNode* b) {
+              return cmgr.level_of_var(a->var) < cmgr.level_of_var(b->var);
+            });
+  std::unordered_map<const DdNode*, double> reach;
+  reach[root] = 1.0;
+  std::unordered_map<const DdNode*, double> leaf_mass;
+  if (internal.empty()) {
+    leaf_mass.emplace(root, 1.0);
+  } else {
+    for (const DdNode* n : internal) {
+      const double p = reach[n];
+      for (const DdNode* child : {n->then_child, n->else_child}) {
+        if (child->is_terminal()) {
+          leaf_mass[child] += 0.5 * p;
+        } else {
+          reach[child] += 0.5 * p;
+        }
+      }
+    }
+  }
+
+  // Greedy closest-pair merging on the sorted value axis.
+  struct Cluster {
+    double value;
+    double mass;
+    std::vector<const DdNode*> members;
+  };
+  std::vector<Cluster> clusters;
+  clusters.reserve(leaf_mass.size());
+  for (const auto& [leaf, mass] : leaf_mass) {
+    clusters.push_back({leaf->value, mass, {leaf}});
+  }
+  std::sort(clusters.begin(), clusters.end(),
+            [](const Cluster& a, const Cluster& b) { return a.value < b.value; });
+  while (clusters.size() > max_leaves) {
+    std::size_t best = 0;
+    double best_gap = clusters[1].value - clusters[0].value;
+    for (std::size_t i = 1; i + 1 < clusters.size(); ++i) {
+      const double gap = clusters[i + 1].value - clusters[i].value;
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = i;
+      }
+    }
+    Cluster& a = clusters[best];
+    Cluster& b = clusters[best + 1];
+    const double mass = a.mass + b.mass;
+    a.value = mode == ApproxMode::kAverage
+                  ? (mass > 0.0
+                         ? (a.value * a.mass + b.value * b.mass) / mass
+                         : 0.5 * (a.value + b.value))
+                  : b.value;  // upper bound: merge upward
+    a.mass = mass;
+    a.members.insert(a.members.end(), b.members.begin(), b.members.end());
+    clusters.erase(clusters.begin() + static_cast<long>(best) + 1);
+  }
+
+  std::unordered_map<const DdNode*, double> value_map;
+  for (const Cluster& c : clusters) {
+    for (const DdNode* leaf : c.members) value_map.emplace(leaf, c.value);
+  }
+  LeafRemapper remapper(mgr, value_map);
+  Add result = DdInternal::make_add(mgr, remapper.rebuild(root));
+  mgr->collect_garbage();
+  return result;
+}
+
+}  // namespace cfpm::dd

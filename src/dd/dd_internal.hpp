@@ -1,0 +1,25 @@
+// Private bridge giving dd implementation files access to handle internals.
+// Not installed; include only from src/dd/*.cpp and src/power model builder.
+#pragma once
+
+#include "dd/manager.hpp"
+
+namespace cfpm::dd {
+
+struct DdInternal {
+  static DdNode* node(const DdHandle& h) { return h.node_; }
+  /// Wraps an already-referenced node into a handle (takes ownership).
+  static Bdd make_bdd(DdManager* m, DdNode* n) { return Bdd(m, n); }
+  static Add make_add(DdManager* m, DdNode* n) { return Add(m, n); }
+
+  // Reference plumbing for implementation files outside the manager.
+  static void ref(DdManager& m, DdNode* n) { m.ref_node(n); }
+  static void deref(DdManager& m, DdNode* n) { m.deref_node(n); }
+  static DdNode* terminal(DdManager& m, double v) { return m.terminal(v); }
+  static DdNode* make_node(DdManager& m, std::uint32_t var, DdNode* t,
+                           DdNode* e) {
+    return m.make_node(var, t, e);
+  }
+};
+
+}  // namespace cfpm::dd

@@ -1,0 +1,30 @@
+// Internal node representation of the decision-diagram package.
+//
+// A single node type serves both BDDs and ADDs: a BDD is simply an ADD
+// whose terminals are 0.0 and 1.0. Terminal nodes carry a double value and
+// have var == kTerminalVar; internal nodes carry a variable index and two
+// children. Nodes are hash-consed in per-variable unique tables, so
+// pointer equality is function equality.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace cfpm::dd {
+
+struct DdNode {
+  static constexpr std::uint32_t kTerminalVar =
+      std::numeric_limits<std::uint32_t>::max();
+
+  std::uint32_t var = kTerminalVar;  ///< variable index, kTerminalVar for leaves
+  std::uint32_t ref = 0;             ///< live parents + external handles
+  std::uint64_t id = 0;              ///< creation sequence number (deterministic tie-breaks)
+  DdNode* then_child = nullptr;      ///< child for var = 1
+  DdNode* else_child = nullptr;      ///< child for var = 0
+  DdNode* next = nullptr;            ///< unique-table chain
+  double value = 0.0;                ///< terminal value (leaves only)
+
+  bool is_terminal() const noexcept { return var == kTerminalVar; }
+};
+
+}  // namespace cfpm::dd

@@ -1,0 +1,402 @@
+#include "dd/manager.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "support/assert.hpp"
+#include "support/error.hpp"
+
+namespace cfpm::dd {
+
+namespace {
+
+// 64-bit mix for hashing node triples (Fibonacci hashing on a mixed word).
+inline std::uint64_t mix(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+inline std::size_t hash_value(double v, std::size_t mask) noexcept {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return static_cast<std::size_t>(mix(bits)) & mask;
+}
+
+constexpr std::size_t kInitialBuckets = 256;  // power of two
+
+}  // namespace
+
+std::size_t DdManager::child_slot(const DdNode* t, const DdNode* e,
+                                  std::size_t mask) noexcept {
+  const auto a = reinterpret_cast<std::uintptr_t>(t);
+  const auto b = reinterpret_cast<std::uintptr_t>(e);
+  return static_cast<std::size_t>(mix(a * 0x9e3779b97f4a7c15ULL + b)) & mask;
+}
+
+DdManager::DdManager(std::size_t num_vars, DdConfig config) : config_(config) {
+  CFPM_REQUIRE(config_.cache_log2_slots >= 4 && config_.cache_log2_slots <= 28);
+  cache_.resize(std::size_t{1} << config_.cache_log2_slots);
+  ite_cache_.resize(std::size_t{1} << (config_.cache_log2_slots > 2
+                                           ? config_.cache_log2_slots - 2
+                                           : config_.cache_log2_slots));
+  terminals_.buckets.resize(kInitialBuckets, nullptr);
+  for (std::size_t i = 0; i < num_vars; ++i) new_var();
+  zero_ = terminal(0.0);
+  one_ = terminal(1.0);
+}
+
+DdManager::~DdManager() = default;
+
+std::uint32_t DdManager::new_var() {
+  const auto var = static_cast<std::uint32_t>(level_of_var_.size());
+  level_of_var_.push_back(var);
+  var_at_level_.push_back(var);
+  unique_.emplace_back();
+  unique_.back().buckets.resize(kInitialBuckets, nullptr);
+  return var;
+}
+
+void DdManager::set_order(std::span<const std::uint32_t> order) {
+  CFPM_REQUIRE(order.size() == num_vars());
+  CFPM_REQUIRE(live_ <= 2 && dead_ == 0);  // only the 0/1 terminals may exist
+  std::vector<bool> seen(num_vars(), false);
+  for (std::uint32_t v : order) {
+    CFPM_REQUIRE(v < num_vars() && !seen[v]);
+    seen[v] = true;
+  }
+  for (std::uint32_t l = 0; l < order.size(); ++l) {
+    var_at_level_[l] = order[l];
+    level_of_var_[order[l]] = l;
+  }
+}
+
+std::uint32_t DdManager::level_of_var(std::uint32_t var) const {
+  CFPM_REQUIRE(var < num_vars());
+  return level_of_var_[var];
+}
+
+std::uint32_t DdManager::var_at_level(std::uint32_t level) const {
+  CFPM_REQUIRE(level < num_vars());
+  return var_at_level_[level];
+}
+
+// ---------------------------------------------------------------------------
+// Reference management.
+//
+// Invariant: n->ref == (number of live parents) + (number of external
+// handles). A node with ref == 0 is "dead": it stays in its unique table
+// (and may be resurrected by a cache hit or a unique-table hit) until the
+// next garbage collection sweeps it.
+// ---------------------------------------------------------------------------
+
+void DdManager::ref_node(DdNode* n) noexcept {
+  CFPM_ASSERT(n != nullptr);
+  if (n->ref == 0) {
+    // Resurrection: restore this node's parent-contribution to its children.
+    --dead_;
+    ++live_;
+    if (!n->is_terminal()) {
+      ref_node(n->then_child);
+      ref_node(n->else_child);
+    }
+  }
+  ++n->ref;
+}
+
+void DdManager::deref_node(DdNode* n) noexcept {
+  CFPM_ASSERT(n != nullptr && n->ref > 0);
+  if (--n->ref == 0) {
+    ++dead_;
+    --live_;
+    if (!n->is_terminal()) {
+      deref_node(n->then_child);
+      deref_node(n->else_child);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Node construction.
+// ---------------------------------------------------------------------------
+
+DdNode* DdManager::allocate_node() {
+  if (free_list_ != nullptr) {
+    DdNode* n = free_list_;
+    free_list_ = n->next;
+    return n;
+  }
+  if (config_.max_nodes != 0 && allocated_ >= config_.max_nodes) {
+    collect_garbage();
+    if (free_list_ != nullptr) {
+      DdNode* n = free_list_;
+      free_list_ = n->next;
+      return n;
+    }
+    throw ResourceError("decision-diagram node budget exceeded (" +
+                        std::to_string(config_.max_nodes) + " nodes)");
+  }
+  ++allocated_;
+  return &arena_.emplace_back();
+}
+
+DdNode* DdManager::terminal(double value) {
+  CFPM_REQUIRE(std::isfinite(value));
+  if (value == 0.0) value = 0.0;  // normalize -0.0 to +0.0 for canonicity
+  const std::size_t mask = terminals_.buckets.size() - 1;
+  const std::size_t slot = hash_value(value, mask);
+  for (DdNode* p = terminals_.buckets[slot]; p != nullptr; p = p->next) {
+    if (p->value == value) {
+      ref_node(p);
+      return p;
+    }
+  }
+  DdNode* n = allocate_node();
+  n->var = DdNode::kTerminalVar;
+  n->ref = 1;
+  n->id = next_id_++;
+  n->then_child = nullptr;
+  n->else_child = nullptr;
+  n->value = value;
+  n->next = terminals_.buckets[slot];
+  terminals_.buckets[slot] = n;
+  ++terminals_.count;
+  ++live_;
+  return n;
+}
+
+DdNode* DdManager::make_node(std::uint32_t var, DdNode* t, DdNode* e) {
+  CFPM_ASSERT(var < num_vars());
+  if (t == e) {
+    // Reduction rule: redundant test. Transfer t's reference to the result,
+    // release e's.
+    deref_node(e);
+    return t;
+  }
+  CFPM_ASSERT(level_of(t) > level_of_var_[var]);
+  CFPM_ASSERT(level_of(e) > level_of_var_[var]);
+
+  UniqueTable& table = unique_[var];
+  std::size_t mask = table.buckets.size() - 1;
+  std::size_t slot = child_slot(t, e, mask);
+  for (DdNode* p = table.buckets[slot]; p != nullptr; p = p->next) {
+    if (p->then_child == t && p->else_child == e) {
+      ref_node(p);
+      deref_node(t);
+      deref_node(e);
+      return p;
+    }
+  }
+  maybe_resize_table(var);
+  mask = table.buckets.size() - 1;
+  slot = child_slot(t, e, mask);
+
+  DdNode* n = allocate_node();
+  n->var = var;
+  n->ref = 1;  // caller's reference
+  n->id = next_id_++;
+  n->then_child = t;  // adopts the caller's references as parent references
+  n->else_child = e;
+  n->value = 0.0;
+  n->next = table.buckets[slot];
+  table.buckets[slot] = n;
+  ++table.count;
+  ++live_;
+  return n;
+}
+
+void DdManager::maybe_resize_table(std::uint32_t var) {
+  UniqueTable& table = unique_[var];
+  if (table.count < table.buckets.size()) return;
+  std::vector<DdNode*> old = std::move(table.buckets);
+  table.buckets.assign(old.size() * 2, nullptr);
+  const std::size_t mask = table.buckets.size() - 1;
+  for (DdNode* p : old) {
+    while (p != nullptr) {
+      DdNode* next = p->next;
+      const std::size_t slot = child_slot(p->then_child, p->else_child, mask);
+      p->next = table.buckets[slot];
+      table.buckets[slot] = p;
+      p = next;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Garbage collection. Called only from safe points (no apply recursion in
+// flight), so every node still needed is protected by a reference.
+// ---------------------------------------------------------------------------
+
+void DdManager::maybe_gc() {
+  const std::size_t threshold = std::max(
+      config_.gc_min_dead,
+      static_cast<std::size_t>(static_cast<double>(live_) * config_.gc_dead_fraction));
+  if (dead_ > threshold) collect_garbage();
+}
+
+std::size_t DdManager::collect_garbage() {
+  if (dead_ == 0) return 0;
+  ++gc_runs_;
+  cache_clear();  // cache holds unreferenced pointers; must not survive a sweep
+  std::size_t reclaimed = 0;
+  auto sweep = [&](UniqueTable& table) {
+    for (DdNode*& bucket : table.buckets) {
+      DdNode** link = &bucket;
+      while (*link != nullptr) {
+        DdNode* n = *link;
+        if (n->ref == 0) {
+          *link = n->next;
+          n->next = free_list_;
+          n->then_child = nullptr;
+          n->else_child = nullptr;
+          free_list_ = n;
+          --table.count;
+          ++reclaimed;
+        } else {
+          link = &n->next;
+        }
+      }
+    }
+  };
+  for (UniqueTable& table : unique_) sweep(table);
+  sweep(terminals_);
+  CFPM_ASSERT(reclaimed == dead_);
+  dead_ = 0;
+  return reclaimed;
+}
+
+// ---------------------------------------------------------------------------
+// Computed cache: direct-mapped, lossy.
+// ---------------------------------------------------------------------------
+
+DdNode* DdManager::cache_lookup(Op op, const DdNode* f, const DdNode* g) noexcept {
+  ++cache_lookups_;
+  const auto a = reinterpret_cast<std::uintptr_t>(f);
+  const auto b = reinterpret_cast<std::uintptr_t>(g);
+  const std::size_t slot =
+      static_cast<std::size_t>(mix(a * 31 + b * 0x9e3779b97f4a7c15ULL +
+                                   static_cast<std::uint64_t>(op))) &
+      (cache_.size() - 1);
+  const CacheEntry& e = cache_[slot];
+  if (e.f == f && e.g == g && e.op == static_cast<std::uint8_t>(op)) {
+    ++cache_hits_;
+    return e.result;
+  }
+  return nullptr;
+}
+
+void DdManager::cache_insert(Op op, const DdNode* f, const DdNode* g,
+                             DdNode* r) noexcept {
+  const auto a = reinterpret_cast<std::uintptr_t>(f);
+  const auto b = reinterpret_cast<std::uintptr_t>(g);
+  const std::size_t slot =
+      static_cast<std::size_t>(mix(a * 31 + b * 0x9e3779b97f4a7c15ULL +
+                                   static_cast<std::uint64_t>(op))) &
+      (cache_.size() - 1);
+  cache_[slot] = CacheEntry{f, g, static_cast<std::uint8_t>(op), r};
+}
+
+DdNode* DdManager::ite_cache_lookup(const DdNode* f, const DdNode* g,
+                                    const DdNode* h) noexcept {
+  ++cache_lookups_;
+  const auto a = reinterpret_cast<std::uintptr_t>(f);
+  const auto b = reinterpret_cast<std::uintptr_t>(g);
+  const auto c = reinterpret_cast<std::uintptr_t>(h);
+  const std::size_t slot =
+      static_cast<std::size_t>(mix(a * 31 + b * 0x9e3779b97f4a7c15ULL + c)) &
+      (ite_cache_.size() - 1);
+  const IteCacheEntry& e = ite_cache_[slot];
+  if (e.f == f && e.g == g && e.h == h) {
+    ++cache_hits_;
+    return e.result;
+  }
+  return nullptr;
+}
+
+void DdManager::ite_cache_insert(const DdNode* f, const DdNode* g,
+                                 const DdNode* h, DdNode* r) noexcept {
+  const auto a = reinterpret_cast<std::uintptr_t>(f);
+  const auto b = reinterpret_cast<std::uintptr_t>(g);
+  const auto c = reinterpret_cast<std::uintptr_t>(h);
+  const std::size_t slot =
+      static_cast<std::size_t>(mix(a * 31 + b * 0x9e3779b97f4a7c15ULL + c)) &
+      (ite_cache_.size() - 1);
+  ite_cache_[slot] = IteCacheEntry{f, g, h, r};
+}
+
+void DdManager::cache_clear() noexcept {
+  for (CacheEntry& e : cache_) e = CacheEntry{};
+  for (IteCacheEntry& e : ite_cache_) e = IteCacheEntry{};
+}
+
+// ---------------------------------------------------------------------------
+// Leaf / variable constructors.
+// ---------------------------------------------------------------------------
+
+Add DdManager::constant(double value) { return Add(this, terminal(value)); }
+
+Bdd DdManager::bdd_zero() {
+  ref_node(zero_);
+  return Bdd(this, zero_);
+}
+
+Bdd DdManager::bdd_one() {
+  ref_node(one_);
+  return Bdd(this, one_);
+}
+
+Bdd DdManager::bdd_var(std::uint32_t var) {
+  CFPM_REQUIRE(var < num_vars());
+  ref_node(one_);
+  ref_node(zero_);
+  return Bdd(this, make_node(var, one_, zero_));
+}
+
+// ---------------------------------------------------------------------------
+// Handle plumbing.
+// ---------------------------------------------------------------------------
+
+DdHandle::DdHandle(const DdHandle& other) : mgr_(other.mgr_), node_(other.node_) {
+  if (node_ != nullptr) mgr_->ref_node(node_);
+}
+
+DdHandle::DdHandle(DdHandle&& other) noexcept
+    : mgr_(other.mgr_), node_(other.node_) {
+  other.node_ = nullptr;
+}
+
+DdHandle& DdHandle::operator=(const DdHandle& other) {
+  if (this == &other) return *this;
+  DdNode* old = node_;
+  DdManager* old_mgr = mgr_;
+  mgr_ = other.mgr_;
+  node_ = other.node_;
+  if (node_ != nullptr) mgr_->ref_node(node_);
+  if (old != nullptr) old_mgr->deref_node(old);
+  return *this;
+}
+
+DdHandle& DdHandle::operator=(DdHandle&& other) noexcept {
+  if (this == &other) return *this;
+  if (node_ != nullptr) mgr_->deref_node(node_);
+  mgr_ = other.mgr_;
+  node_ = other.node_;
+  other.node_ = nullptr;
+  return *this;
+}
+
+DdHandle::~DdHandle() { reset(); }
+
+void DdHandle::reset() noexcept {
+  if (node_ != nullptr) {
+    mgr_->deref_node(node_);
+    node_ = nullptr;
+  }
+}
+
+}  // namespace cfpm::dd

@@ -1,0 +1,314 @@
+// Decision-diagram manager: hash-consed BDDs/ADDs with reference-counting
+// garbage collection and a lossy computed-operation cache.
+//
+// This is the symbolic kernel of the library (the role CUDD plays in the
+// paper). Public access goes through the RAII handles `Bdd` and `Add`
+// declared at the bottom; raw DdNode pointers never escape this module.
+//
+// Conventions:
+//  * A BDD is an ADD whose leaves are exactly {0.0, 1.0}; logical operators
+//    check this in debug builds.
+//  * Variables are identified by index; the evaluation/traversal order is a
+//    permutation maintained by the manager (level_of_var / var_at_level).
+//    The order is fixed after variables are created; reordering utilities
+//    operate by rebuilding into a fresh manager (see ordering.hpp).
+//  * All internal routines that return a DdNode* return it with one
+//    caller-owned reference already applied ("referenced-return").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dd/dd_node.hpp"
+
+namespace cfpm::dd {
+
+class Bdd;
+class Add;
+
+/// Binary operations usable with DdManager::apply.
+enum class Op : std::uint8_t {
+  kPlus,   ///< arithmetic sum
+  kMinus,  ///< arithmetic difference
+  kTimes,  ///< arithmetic product (== AND on 0/1 diagrams)
+  kMax,    ///< pointwise maximum (== OR on 0/1 diagrams)
+  kMin,    ///< pointwise minimum
+  kAnd,    ///< logical AND, requires 0/1 terminals
+  kOr,     ///< logical OR, requires 0/1 terminals
+  kXor,    ///< logical XOR, requires 0/1 terminals
+};
+
+/// Tuning knobs for a DdManager.
+struct DdConfig {
+  /// GC is considered when the number of dead nodes exceeds
+  /// max(gc_min_dead, live nodes * gc_dead_fraction).
+  std::size_t gc_min_dead = 4096;
+  double gc_dead_fraction = 0.25;
+  /// log2 of the computed-cache slot count.
+  unsigned cache_log2_slots = 18;
+  /// Hard ceiling on allocated nodes; 0 means unlimited. Exceeding it
+  /// throws cfpm::ResourceError (after attempting a GC).
+  std::size_t max_nodes = 0;
+};
+
+class DdManager {
+ public:
+  explicit DdManager(std::size_t num_vars = 0, DdConfig config = {});
+  ~DdManager();
+
+  DdManager(const DdManager&) = delete;
+  DdManager& operator=(const DdManager&) = delete;
+
+  // ----- variables and ordering ------------------------------------------
+
+  /// Appends a new variable (placed at the bottom of the order); returns its index.
+  std::uint32_t new_var();
+  std::size_t num_vars() const noexcept { return level_of_var_.size(); }
+
+  /// Declares a custom order: order[l] is the variable at level l.
+  /// Must be a permutation of all current variables; only allowed while no
+  /// internal nodes exist yet.
+  void set_order(std::span<const std::uint32_t> order);
+
+  std::uint32_t level_of_var(std::uint32_t var) const;
+  std::uint32_t var_at_level(std::uint32_t level) const;
+
+  // ----- leaf/variable constructors ---------------------------------------
+
+  Add constant(double value);
+  Bdd bdd_zero();
+  Bdd bdd_one();
+  /// Projection function of a variable (as a BDD).
+  Bdd bdd_var(std::uint32_t var);
+
+  // ----- statistics --------------------------------------------------------
+
+  std::size_t live_nodes() const noexcept { return live_; }
+  std::size_t dead_nodes() const noexcept { return dead_; }
+  std::size_t allocated_nodes() const noexcept { return allocated_; }
+  std::uint64_t cache_hits() const noexcept { return cache_hits_; }
+  std::uint64_t cache_lookups() const noexcept { return cache_lookups_; }
+  std::uint64_t gc_runs() const noexcept { return gc_runs_; }
+
+  /// Forces a garbage collection; returns the number of nodes reclaimed.
+  std::size_t collect_garbage();
+
+  // ----- dynamic reordering (reorder.cpp) ----------------------------------
+
+  /// Swaps the variables at `level` and `level + 1` in place. Node
+  /// addresses keep representing the same functions, so all handles stay
+  /// valid. Returns the live node count after the swap.
+  std::size_t swap_adjacent_levels(std::uint32_t level);
+
+  /// Sifts one variable to its locally optimal level (Rudell), allowing at
+  /// most `max_growth`x intermediate growth. Returns the live node count.
+  std::size_t sift_variable(std::uint32_t var, double max_growth = 1.2);
+
+  /// One sifting pass over all variables, most populated first. Returns
+  /// the number of live nodes saved.
+  std::size_t sift(double max_growth = 1.2);
+
+ private:
+  friend class DdHandle;
+  friend class Bdd;
+  friend class Add;
+  friend class NodeStats;   // stats.cpp traversals
+  friend struct DdInternal; // private bridge for dd implementation files
+
+  struct CacheEntry {
+    const DdNode* f = nullptr;
+    const DdNode* g = nullptr;
+    std::uint8_t op = 0xff;
+    DdNode* result = nullptr;
+  };
+  struct IteCacheEntry {
+    const DdNode* f = nullptr;
+    const DdNode* g = nullptr;
+    const DdNode* h = nullptr;
+    DdNode* result = nullptr;
+  };
+
+  // --- reference management (see dd_node.hpp invariants) -----------------
+  void ref_node(DdNode* n) noexcept;
+  void deref_node(DdNode* n) noexcept;
+
+  // --- node construction ---------------------------------------------------
+  DdNode* terminal(double value);                 // referenced-return
+  /// Consumes one reference each from t and e; referenced-return.
+  DdNode* make_node(std::uint32_t var, DdNode* t, DdNode* e);
+  DdNode* allocate_node();
+  void maybe_gc();
+  void maybe_resize_table(std::uint32_t var);
+  static std::size_t child_slot(const DdNode* t, const DdNode* e,
+                                std::size_t mask) noexcept;
+
+  // --- operations (apply.cpp) ----------------------------------------------
+  DdNode* apply(Op op, DdNode* f, DdNode* g);     // referenced-return
+  DdNode* apply_rec(Op op, DdNode* f, DdNode* g);
+  DdNode* bdd_not(DdNode* f);                     // referenced-return
+  DdNode* ite_rec(DdNode* f, DdNode* g, DdNode* h);
+  DdNode* cofactor_rec(DdNode* f, std::uint32_t var, bool phase);
+  static double apply_terminal(Op op, double a, double b);
+  static DdNode* apply_shortcut(Op op, DdNode* f, DdNode* g,
+                                DdNode* zero, DdNode* one);
+
+  // --- cache ---------------------------------------------------------------
+  DdNode* cache_lookup(Op op, const DdNode* f, const DdNode* g) noexcept;
+  void cache_insert(Op op, const DdNode* f, const DdNode* g, DdNode* r) noexcept;
+  DdNode* ite_cache_lookup(const DdNode* f, const DdNode* g,
+                           const DdNode* h) noexcept;
+  void ite_cache_insert(const DdNode* f, const DdNode* g, const DdNode* h,
+                        DdNode* r) noexcept;
+  void cache_clear() noexcept;
+
+  std::uint32_t level_of(const DdNode* n) const noexcept {
+    return n->is_terminal() ? kTerminalLevel : level_of_var_[n->var];
+  }
+  static constexpr std::uint32_t kTerminalLevel = DdNode::kTerminalVar;
+
+  // --- storage --------------------------------------------------------------
+  DdConfig config_;
+  std::deque<DdNode> arena_;
+  DdNode* free_list_ = nullptr;
+  std::size_t live_ = 0;
+  std::size_t dead_ = 0;
+  std::size_t allocated_ = 0;
+  std::uint64_t next_id_ = 0;
+
+  // per-variable unique tables
+  struct UniqueTable {
+    std::vector<DdNode*> buckets;
+    std::size_t count = 0;  // nodes in table (live + dead)
+  };
+  std::vector<UniqueTable> unique_;
+  UniqueTable terminals_;
+
+  std::vector<std::uint32_t> level_of_var_;
+  std::vector<std::uint32_t> var_at_level_;
+
+  std::vector<CacheEntry> cache_;
+  std::vector<IteCacheEntry> ite_cache_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_lookups_ = 0;
+  std::uint64_t gc_runs_ = 0;
+
+  DdNode* zero_ = nullptr;  // permanently referenced 0.0 / 1.0 terminals
+  DdNode* one_ = nullptr;
+};
+
+/// RAII handle to a decision diagram. Copyable (ref-counted).
+/// Base of Bdd and Add; not used directly.
+class DdHandle {
+ public:
+  DdHandle() = default;
+  DdHandle(const DdHandle& other);
+  DdHandle(DdHandle&& other) noexcept;
+  DdHandle& operator=(const DdHandle& other);
+  DdHandle& operator=(DdHandle&& other) noexcept;
+  ~DdHandle();
+
+  bool is_null() const noexcept { return node_ == nullptr; }
+  DdManager* manager() const noexcept { return mgr_; }
+
+  /// Total node count of the DAG rooted here, terminals included.
+  std::size_t size() const;
+  /// Variables this function depends on, ascending by index.
+  std::vector<std::uint32_t> support() const;
+  bool is_terminal_node() const noexcept {
+    return node_ != nullptr && node_->is_terminal();
+  }
+
+  friend bool operator==(const DdHandle& a, const DdHandle& b) noexcept {
+    return a.node_ == b.node_;
+  }
+
+ protected:
+  DdHandle(DdManager* mgr, DdNode* node) noexcept : mgr_(mgr), node_(node) {}
+  void reset() noexcept;
+
+  DdManager* mgr_ = nullptr;
+  DdNode* node_ = nullptr;  // owns one reference when non-null
+
+  friend class DdManager;
+  friend class NodeStats;
+  friend struct DdInternal;
+};
+
+/// Boolean function handle (terminals restricted to {0, 1}).
+class Bdd : public DdHandle {
+ public:
+  Bdd() = default;
+
+  Bdd operator&(const Bdd& other) const;
+  Bdd operator|(const Bdd& other) const;
+  Bdd operator^(const Bdd& other) const;
+  Bdd operator!() const;
+
+  /// if-then-else composition: (*this) ? t : e.
+  Bdd ite(const Bdd& t, const Bdd& e) const;
+  /// Restriction of the function with variable `var` fixed to `phase`.
+  Bdd cofactor(std::uint32_t var, bool phase) const;
+
+  bool is_zero() const noexcept;
+  bool is_one() const noexcept;
+
+  /// Evaluates the function under a full assignment (indexed by variable).
+  bool eval(std::span<const std::uint8_t> assignment) const;
+
+  /// Number of satisfying assignments over `num_vars` variables.
+  double sat_count(std::size_t num_vars) const;
+
+ private:
+  using DdHandle::DdHandle;
+  friend class DdManager;
+  friend class Add;
+  friend struct DdInternal;
+};
+
+/// Arithmetic (discrete-valued) function handle.
+class Add : public DdHandle {
+ public:
+  Add() = default;
+  /// A BDD is already a 0/1-valued ADD; conversion is free.
+  explicit Add(const Bdd& b);
+
+  Add operator+(const Add& other) const;
+  Add operator-(const Add& other) const;
+  Add operator*(const Add& other) const;
+  Add times(double constant) const;
+  Add max(const Add& other) const;
+  Add min(const Add& other) const;
+
+  /// Evaluates the function under a full assignment (indexed by variable).
+  double eval(std::span<const std::uint8_t> assignment) const;
+
+  /// Restriction with variable `var` fixed to `phase`.
+  Add cofactor(std::uint32_t var, bool phase) const;
+
+  /// Distinct terminal values reachable from this root, ascending.
+  std::vector<double> leaf_values() const;
+
+  /// Exact average of the function over all input assignments (Eq. 6 of the
+  /// paper; independent of how many variables the manager holds, since the
+  /// function is constant in variables outside its support).
+  double average() const;
+  /// Exact variance over all input assignments (Eq. 5).
+  double variance() const;
+  /// Maximum (resp. minimum) terminal value reachable from the root.
+  double max_value() const;
+  double min_value() const;
+
+  double terminal_value() const;  ///< requires is_terminal_node()
+
+ private:
+  using DdHandle::DdHandle;
+  friend class DdManager;
+  friend struct DdInternal;
+};
+
+}  // namespace cfpm::dd

@@ -1,0 +1,167 @@
+// Dynamic variable reordering: in-place adjacent-level swap and sifting
+// (Rudell's algorithm), the mechanism the paper relies on (via CUDD) to
+// keep switching-capacitance ADDs small before node collapsing.
+//
+// The swap relabels nodes in place, so node addresses keep denoting the
+// same functions and all external handles stay valid.
+#include <algorithm>
+#include <vector>
+
+#include "dd/manager.hpp"
+#include "support/assert.hpp"
+
+namespace cfpm::dd {
+
+std::size_t DdManager::swap_adjacent_levels(std::uint32_t level) {
+  CFPM_REQUIRE(level + 1 < num_vars());
+  const std::uint32_t u = var_at_level_[level];      // moves down
+  const std::uint32_t v = var_at_level_[level + 1];  // moves up
+
+  // Update the order first so every make_node below sees the new levels.
+  var_at_level_[level] = v;
+  var_at_level_[level + 1] = u;
+  level_of_var_[u] = level + 1;
+  level_of_var_[v] = level;
+
+  // Collect u's live nodes and empty its table. Dead u-nodes are freed on
+  // the spot (their children were dereferenced when they died); the cache
+  // is cleared when that happens because it may still point at them.
+  UniqueTable& table_u = unique_[u];
+  std::vector<DdNode*> pending;
+  pending.reserve(table_u.count);
+  bool freed_any = false;
+  for (DdNode*& bucket : table_u.buckets) {
+    DdNode* p = bucket;
+    while (p != nullptr) {
+      DdNode* next = p->next;
+      if (p->ref == 0) {
+        p->next = free_list_;
+        p->then_child = nullptr;
+        p->else_child = nullptr;
+        free_list_ = p;
+        --dead_;
+        freed_any = true;
+      } else {
+        pending.push_back(p);
+      }
+      p = next;
+    }
+    bucket = nullptr;
+  }
+  table_u.count = 0;
+  if (freed_any) cache_clear();
+
+  auto insert_into = [&](std::uint32_t var, DdNode* n) {
+    maybe_resize_table(var);
+    UniqueTable& table = unique_[var];
+    const std::size_t slot =
+        child_slot(n->then_child, n->else_child, table.buckets.size() - 1);
+    n->next = table.buckets[slot];
+    table.buckets[slot] = n;
+    ++table.count;
+  };
+
+  // Pass 1: nodes independent of v stay u-nodes (one level lower). They
+  // must be back in the table before pass 2, whose make_node lookups may
+  // need to find them.
+  auto depends_on_v = [&](const DdNode* n) {
+    return (!n->then_child->is_terminal() && n->then_child->var == v) ||
+           (!n->else_child->is_terminal() && n->else_child->var == v);
+  };
+  for (DdNode* n : pending) {
+    if (!depends_on_v(n)) insert_into(u, n);
+  }
+
+  // Pass 2: relabel v-dependent nodes in place.
+  for (DdNode* n : pending) {
+    if (!depends_on_v(n)) continue;
+    DdNode* t = n->then_child;
+    DdNode* e = n->else_child;
+    const bool t_tests_v = !t->is_terminal() && t->var == v;
+    const bool e_tests_v = !e->is_terminal() && e->var == v;
+    DdNode* t1 = t_tests_v ? t->then_child : t;
+    DdNode* t0 = t_tests_v ? t->else_child : t;
+    DdNode* e1 = e_tests_v ? e->then_child : e;
+    DdNode* e0 = e_tests_v ? e->else_child : e;
+
+    // New v-cofactors of n (u-nodes one level down).
+    ref_node(t1);
+    ref_node(e1);
+    DdNode* nt = make_node(u, t1, e1);
+    ref_node(t0);
+    ref_node(e0);
+    DdNode* ne = make_node(u, t0, e0);
+    // n depends on v (via t or e), so its two v-cofactors differ.
+    CFPM_ASSERT(nt != ne);
+
+    // Relabel n; parents keep pointing at the same function.
+    n->var = v;
+    n->then_child = nt;  // adopts the references returned by make_node
+    n->else_child = ne;
+    insert_into(v, n);
+    deref_node(t);
+    deref_node(e);
+  }
+  return live_;
+}
+
+std::size_t DdManager::sift_variable(std::uint32_t var, double max_growth) {
+  CFPM_REQUIRE(var < num_vars());
+  CFPM_REQUIRE(max_growth >= 1.0);
+  const auto levels = static_cast<std::uint32_t>(num_vars());
+  std::uint32_t pos = level_of_var_[var];
+  std::size_t best_size = live_;
+  std::uint32_t best_pos = pos;
+  const std::size_t limit =
+      static_cast<std::size_t>(static_cast<double>(live_) * max_growth);
+
+  // Phase 1: sift down to the bottom (abort on excessive growth).
+  while (pos + 1 < levels) {
+    const std::size_t size = swap_adjacent_levels(pos);
+    ++pos;
+    if (size < best_size) {
+      best_size = size;
+      best_pos = pos;
+    }
+    if (size > limit) break;
+  }
+  // Phase 2: sift up to the top.
+  while (pos > 0) {
+    const std::size_t size = swap_adjacent_levels(pos - 1);
+    --pos;
+    if (size < best_size) {
+      best_size = size;
+      best_pos = pos;
+    }
+    if (size > limit) break;
+  }
+  // Phase 3: settle at the best position seen.
+  while (pos < best_pos) {
+    swap_adjacent_levels(pos);
+    ++pos;
+  }
+  while (pos > best_pos) {
+    swap_adjacent_levels(pos - 1);
+    --pos;
+  }
+  return live_;
+}
+
+std::size_t DdManager::sift(double max_growth) {
+  collect_garbage();
+  const std::size_t before = live_;
+
+  // Sift variables in decreasing order of table population (Rudell).
+  std::vector<std::uint32_t> order(num_vars());
+  for (std::uint32_t vr = 0; vr < num_vars(); ++vr) order[vr] = vr;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return unique_[a].count > unique_[b].count;
+  });
+  for (std::uint32_t vr : order) {
+    sift_variable(vr, max_growth);
+  }
+  collect_garbage();
+  return before - std::min(before, live_);
+}
+
+}  // namespace cfpm::dd

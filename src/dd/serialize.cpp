@@ -1,0 +1,212 @@
+#include "dd/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dd/dd_internal.hpp"
+#include "support/assert.hpp"
+#include "support/error.hpp"
+
+namespace cfpm::dd {
+
+void write_add(std::ostream& os, const Add& f) {
+  CFPM_REQUIRE(!f.is_null());
+  const DdNode* root = DdInternal::node(f);
+
+  // Post-order: children before parents.
+  std::unordered_map<const DdNode*, std::size_t> ids;
+  std::vector<const DdNode*> order;
+  std::vector<std::pair<const DdNode*, bool>> stack{{root, false}};
+  while (!stack.empty()) {
+    auto [n, expanded] = stack.back();
+    stack.pop_back();
+    if (ids.contains(n)) continue;
+    if (n->is_terminal() || expanded) {
+      ids.emplace(n, order.size());
+      order.push_back(n);
+    } else {
+      stack.push_back({n, true});
+      stack.push_back({n->then_child, false});
+      stack.push_back({n->else_child, false});
+    }
+  }
+
+  os << "cfpm-add 1\n";
+  const DdManager& mgr = *f.manager();
+  os << "vars " << mgr.num_vars() << "\n";
+  // The node structure is only canonical under the manager's variable
+  // order (which sifting may have changed); record it.
+  os << "order";
+  for (std::uint32_t l = 0; l < mgr.num_vars(); ++l) {
+    os << " " << mgr.var_at_level(l);
+  }
+  os << "\n";
+  os << "nodes " << order.size() << "\n";
+  os.precision(17);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const DdNode* n = order[i];
+    if (n->is_terminal()) {
+      os << i << " T " << n->value << "\n";
+    } else {
+      os << i << " N " << n->var << " " << ids.at(n->then_child) << " "
+         << ids.at(n->else_child) << "\n";
+    }
+  }
+  os << "root " << ids.at(root) << "\n";
+  if (!os) throw Error("write_add: stream failure");
+}
+
+namespace {
+
+/// Next non-empty, non-comment line; returns false at EOF.
+bool next_line(std::istream& is, std::string& line, std::size_t& lineno) {
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const auto last = line.find_last_not_of(" \t\r");
+    line = line.substr(first, last - first + 1);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Add read_add(std::istream& is, DdManager& mgr) {
+  std::string line;
+  std::size_t lineno = 0;
+
+  auto expect_line = [&](const char* what) {
+    if (!next_line(is, line, lineno)) {
+      throw ParseError(std::string("read_add: missing ") + what, lineno);
+    }
+  };
+
+  expect_line("header");
+  if (line != "cfpm-add 1") {
+    throw ParseError("read_add: bad header '" + line + "'", lineno);
+  }
+
+  expect_line("vars");
+  std::size_t nvars = 0;
+  {
+    std::istringstream ss(line);
+    std::string kw;
+    if (!(ss >> kw >> nvars) || kw != "vars") {
+      throw ParseError("read_add: expected 'vars <n>'", lineno);
+    }
+  }
+  if (nvars > mgr.num_vars()) {
+    throw ParseError("read_add: model needs " + std::to_string(nvars) +
+                         " variables, manager has " +
+                         std::to_string(mgr.num_vars()),
+                     lineno);
+  }
+
+  expect_line("order-or-nodes");
+  std::vector<std::uint32_t> saved_order;
+  if (line.rfind("order", 0) == 0) {
+    std::istringstream ss(line);
+    std::string kw;
+    ss >> kw;
+    std::uint32_t v;
+    while (ss >> v) saved_order.push_back(v);
+    if (saved_order.size() != nvars) {
+      throw ParseError("read_add: order lists " +
+                           std::to_string(saved_order.size()) + " of " +
+                           std::to_string(nvars) + " variables",
+                       lineno);
+    }
+    bool differs = false;
+    for (std::uint32_t l = 0; l < nvars; ++l) {
+      if (mgr.var_at_level(l) != saved_order[l]) differs = true;
+    }
+    if (differs) {
+      // Extend to the manager's full width: unmentioned variables keep
+      // their relative order below the recorded ones.
+      std::vector<std::uint32_t> full(saved_order);
+      std::vector<bool> used(mgr.num_vars(), false);
+      for (std::uint32_t v2 : saved_order) used[v2] = true;
+      for (std::uint32_t v2 = 0; v2 < mgr.num_vars(); ++v2) {
+        if (!used[v2]) full.push_back(v2);
+      }
+      mgr.set_order(full);  // requires a fresh manager
+    }
+    expect_line("nodes");
+  }
+  std::size_t count = 0;
+  {
+    std::istringstream ss(line);
+    std::string kw;
+    if (!(ss >> kw >> count) || kw != "nodes") {
+      throw ParseError("read_add: expected 'nodes <count>'", lineno);
+    }
+  }
+  if (count == 0) throw ParseError("read_add: empty node list", lineno);
+
+  // Each map entry owns one manager reference to its node.
+  std::vector<DdNode*> by_id(count, nullptr);
+  struct Releaser {
+    DdManager& mgr;
+    std::vector<DdNode*>& nodes;
+    ~Releaser() {
+      for (DdNode* n : nodes) {
+        if (n != nullptr) DdInternal::deref(mgr, n);
+      }
+    }
+  } releaser{mgr, by_id};
+
+  for (std::size_t i = 0; i < count; ++i) {
+    expect_line("node");
+    std::istringstream ss(line);
+    std::size_t id = 0;
+    char kind = 0;
+    if (!(ss >> id >> kind) || id >= count || by_id[id] != nullptr) {
+      throw ParseError("read_add: bad node line '" + line + "'", lineno);
+    }
+    if (kind == 'T') {
+      double value = 0.0;
+      if (!(ss >> value)) {
+        throw ParseError("read_add: bad terminal line '" + line + "'", lineno);
+      }
+      by_id[id] = DdInternal::terminal(mgr, value);  // map's reference
+    } else if (kind == 'N') {
+      std::uint32_t var = 0;
+      std::size_t tid = 0, eid = 0;
+      if (!(ss >> var >> tid >> eid) || var >= nvars || tid >= count ||
+          eid >= count || by_id[tid] == nullptr || by_id[eid] == nullptr) {
+        throw ParseError("read_add: bad internal line '" + line + "'", lineno);
+      }
+      DdNode* t = by_id[tid];
+      DdNode* e = by_id[eid];
+      DdInternal::ref(mgr, t);  // consumed by make_node
+      DdInternal::ref(mgr, e);
+      by_id[id] = DdInternal::make_node(mgr, var, t, e);
+    } else {
+      throw ParseError("read_add: unknown node kind '" + line + "'", lineno);
+    }
+  }
+
+  expect_line("root");
+  std::size_t root_id = 0;
+  {
+    std::istringstream ss(line);
+    std::string kw;
+    if (!(ss >> kw >> root_id) || kw != "root" || root_id >= count ||
+        by_id[root_id] == nullptr) {
+      throw ParseError("read_add: bad root line", lineno);
+    }
+  }
+  DdNode* root = by_id[root_id];
+  DdInternal::ref(mgr, root);
+  return DdInternal::make_add(&mgr, root);
+}
+
+}  // namespace cfpm::dd

@@ -1,0 +1,34 @@
+// Textual serialization of ADDs.
+//
+// This is what makes the paper's IP argument concrete: a vendor can ship
+// the switching-capacitance ADD of a macro (a black-box discrete function)
+// without revealing the gate-level netlist it was derived from.
+//
+// Format (line oriented, '#' comments allowed):
+//   cfpm-add 1
+//   vars <n>
+//   order <var@level0> <var@level1> ...   # optional; identity when absent
+//   nodes <count>
+//   <id> T <value>                 # terminal
+//   <id> N <var> <then> <else>     # internal node, children appear earlier
+//   root <id>
+//
+// The node structure is canonical only under the recorded variable order
+// (sifting may have moved variables); loading a reordered diagram requires
+// a fresh manager, whose order is set before any node is built.
+#pragma once
+
+#include <iosfwd>
+
+#include "dd/manager.hpp"
+
+namespace cfpm::dd {
+
+/// Writes `f` to `os`. Throws cfpm::Error on stream failure.
+void write_add(std::ostream& os, const Add& f);
+
+/// Reads an ADD into `mgr` (which must have at least the serialized
+/// variable count). Throws cfpm::ParseError on malformed input.
+Add read_add(std::istream& is, DdManager& mgr);
+
+}  // namespace cfpm::dd

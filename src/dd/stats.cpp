@@ -1,0 +1,149 @@
+#include "dd/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "dd/dd_internal.hpp"
+#include "support/assert.hpp"
+
+namespace cfpm::dd {
+
+NodeStats::NodeStats(const Add& f) {
+  CFPM_REQUIRE(!f.is_null());
+  root_ = DdInternal::node(f);
+  compute(root_);
+}
+
+const NodeStats::Entry& NodeStats::at(const DdNode* n) const {
+  auto it = entries_.find(n);
+  CFPM_REQUIRE(it != entries_.end());
+  return it->second;
+}
+
+const NodeStats::Entry& NodeStats::root() const { return at(root_); }
+
+const NodeStats::Entry& NodeStats::compute(const DdNode* n) {
+  auto it = entries_.find(n);
+  if (it != entries_.end()) return it->second;
+
+  Entry e;
+  if (n->is_terminal()) {
+    e.avg = e.max = e.min = n->value;
+    e.var = 0.0;
+  } else {
+    // Children may skip levels; the recursions of Eq. 7 remain valid on
+    // reduced diagrams because a sub-function is constant in any skipped
+    // variable.
+    const Entry l = compute(n->else_child);   // copy: map may rehash below
+    const Entry r = compute(n->then_child);
+    e.avg = 0.5 * (l.avg + r.avg);
+    e.var = 0.5 * (l.var + (l.avg - e.avg) * (l.avg - e.avg) +
+                   r.var + (r.avg - e.avg) * (r.avg - e.avg));
+    e.max = std::max(l.max, r.max);
+    e.min = std::min(l.min, r.min);
+  }
+  return entries_.emplace(n, e).first->second;
+}
+
+// ---------------------------------------------------------------------------
+// Handle-level queries built on traversals.
+// ---------------------------------------------------------------------------
+
+std::size_t DdHandle::size() const {
+  CFPM_REQUIRE(node_ != nullptr);
+  std::unordered_set<const DdNode*> seen;
+  std::vector<const DdNode*> stack{node_};
+  while (!stack.empty()) {
+    const DdNode* n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    if (!n->is_terminal()) {
+      stack.push_back(n->then_child);
+      stack.push_back(n->else_child);
+    }
+  }
+  return seen.size();
+}
+
+std::vector<std::uint32_t> DdHandle::support() const {
+  CFPM_REQUIRE(node_ != nullptr);
+  std::unordered_set<const DdNode*> seen;
+  std::unordered_set<std::uint32_t> vars;
+  std::vector<const DdNode*> stack{node_};
+  while (!stack.empty()) {
+    const DdNode* n = stack.back();
+    stack.pop_back();
+    if (n->is_terminal() || !seen.insert(n).second) continue;
+    vars.insert(n->var);
+    stack.push_back(n->then_child);
+    stack.push_back(n->else_child);
+  }
+  std::vector<std::uint32_t> result(vars.begin(), vars.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+double Add::average() const {
+  NodeStats stats(*this);
+  return stats.root().avg;
+}
+
+double Add::variance() const {
+  NodeStats stats(*this);
+  return stats.root().var;
+}
+
+double Add::max_value() const {
+  NodeStats stats(*this);
+  return stats.root().max;
+}
+
+double Add::min_value() const {
+  NodeStats stats(*this);
+  return stats.root().min;
+}
+
+std::vector<double> Add::leaf_values() const {
+  CFPM_REQUIRE(!is_null());
+  std::unordered_set<const DdNode*> seen;
+  std::unordered_set<double> values;
+  std::vector<const DdNode*> stack{node_};
+  while (!stack.empty()) {
+    const DdNode* n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    if (n->is_terminal()) {
+      values.insert(n->value);
+    } else {
+      stack.push_back(n->then_child);
+      stack.push_back(n->else_child);
+    }
+  }
+  std::vector<double> result(values.begin(), values.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<std::uint8_t> argmax_assignment(const Add& f) {
+  CFPM_REQUIRE(!f.is_null());
+  NodeStats stats(f);
+  std::vector<std::uint8_t> assignment(f.manager()->num_vars(), 0);
+  const DdNode* n = DdInternal::node(f);
+  while (!n->is_terminal()) {
+    const double max_then = stats.at(n->then_child).max;
+    const double max_else = stats.at(n->else_child).max;
+    const bool take_then = max_then >= max_else;
+    assignment[n->var] = take_then ? 1 : 0;
+    n = take_then ? n->then_child : n->else_child;
+  }
+  return assignment;
+}
+
+double Bdd::sat_count(std::size_t num_vars) const {
+  // The satisfying fraction of a 0/1 function equals its average value.
+  Add as_add(*this);
+  return as_add.average() * std::ldexp(1.0, static_cast<int>(num_vars));
+}
+
+}  // namespace cfpm::dd

@@ -1,0 +1,55 @@
+// Per-node statistics of a discrete function represented as an ADD.
+//
+// For every node n, computes over all assignments of the variables below
+// n's level (Eq. 5-8 of the paper):
+//   avg(n)  - average value of the sub-function
+//   var(n)  - variance of the sub-function
+//   max(n)  - maximum value
+//   min(n)  - minimum value
+//   mse(n)  - var(n) + (max(n) - avg(n))^2, the mean square error of
+//             replacing the sub-function by its maximum (Eq. 8)
+// All statistics are computed in one linear traversal of the DAG.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "dd/manager.hpp"
+
+namespace cfpm::dd {
+
+/// Returns an input assignment (indexed by variable, entries 0/1) on which
+/// `f` attains its maximum terminal value. Variables outside the support
+/// are left 0. Complements max_value() by exhibiting a witness -- e.g. the
+/// worst-case input transition of a switching-capacitance model (the
+/// search that is exponential on the netlist [8, 9] is linear on the ADD).
+std::vector<std::uint8_t> argmax_assignment(const Add& f);
+
+class NodeStats {
+ public:
+  struct Entry {
+    double avg = 0.0;
+    double var = 0.0;
+    double max = 0.0;
+    double min = 0.0;
+
+    double mse_of_max() const noexcept {
+      return var + (max - avg) * (max - avg);
+    }
+  };
+
+  /// Computes statistics for every node reachable from `f`.
+  explicit NodeStats(const Add& f);
+
+  const Entry& at(const DdNode* n) const;
+  const Entry& root() const;
+  std::size_t node_count() const noexcept { return entries_.size(); }
+
+ private:
+  const Entry& compute(const DdNode* n);
+
+  const DdNode* root_ = nullptr;
+  std::unordered_map<const DdNode*, Entry> entries_;
+};
+
+}  // namespace cfpm::dd

@@ -1,0 +1,142 @@
+#include "eval/experiment.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <thread>
+
+#include "support/assert.hpp"
+
+namespace cfpm::eval {
+
+RunConfig RunConfig::from_env() {
+  RunConfig config;
+  if (const char* v = std::getenv("CFPM_VECTORS")) {
+    const long parsed = std::strtol(v, nullptr, 10);
+    if (parsed >= 2) config.vectors_per_run = static_cast<std::size_t>(parsed);
+  }
+  return config;
+}
+
+namespace {
+
+enum class Metric { kAverage, kPeak };
+
+std::vector<AccuracyReport> evaluate(
+    std::span<const power::PowerModel* const> models, std::size_t n,
+    const ReferenceFn& golden, std::span<const stats::InputStatistics> grid,
+    const RunConfig& config, Metric metric) {
+  CFPM_REQUIRE(!models.empty());
+  CFPM_REQUIRE(!grid.empty());
+
+  std::vector<AccuracyReport> reports(models.size());
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    CFPM_REQUIRE(models[m]->num_inputs() == n);
+    reports[m].model_name = models[m]->name();
+    reports[m].points.reserve(grid.size());
+  }
+
+  // Grid points are independent (deterministic per-point seeds), so they
+  // evaluate in parallel. Models and the golden reference are only read.
+  std::vector<std::vector<AccuracyPoint>> points(
+      grid.size(), std::vector<AccuracyPoint>(models.size()));
+  auto evaluate_point = [&](std::size_t gi) {
+    const stats::InputStatistics& s = grid[gi];
+    stats::MarkovSequenceGenerator gen(s, config.seed + gi);
+    const sim::InputSequence seq = gen.generate(n, config.vectors_per_run);
+    const sim::SequenceEnergy energy = golden(seq);
+    const double golden_value =
+        metric == Metric::kAverage ? energy.average_ff() : energy.peak_ff;
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      AccuracyPoint p;
+      p.statistics = s;
+      p.golden = golden_value;
+      p.model = metric == Metric::kAverage ? models[m]->average_over(seq)
+                                           : models[m]->peak_over(seq);
+      if (golden_value > 0.0) {
+        const double diff = metric == Metric::kAverage
+                                ? std::abs(p.model - golden_value)
+                                : (p.model - golden_value);
+        p.re = diff / golden_value;
+      } else {
+        p.re = (p.model == 0.0) ? 0.0 : std::numeric_limits<double>::infinity();
+      }
+      points[gi][m] = p;
+    }
+  };
+
+  const std::size_t workers = std::min<std::size_t>(
+      grid.size(), std::max(1u, std::thread::hardware_concurrency()));
+  if (workers <= 1) {
+    for (std::size_t gi = 0; gi < grid.size(); ++gi) evaluate_point(gi);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        for (std::size_t gi = w; gi < grid.size(); gi += workers) {
+          evaluate_point(gi);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      reports[m].points.push_back(points[gi][m]);
+    }
+  }
+
+  for (AccuracyReport& r : reports) {
+    double sum = 0.0;
+    for (const AccuracyPoint& p : r.points) sum += std::abs(p.re);
+    r.are = sum / static_cast<double>(r.points.size());
+  }
+  return reports;
+}
+
+ReferenceFn zero_delay_reference(const sim::GateLevelSimulator& golden) {
+  return [&golden](const sim::InputSequence& seq) { return golden.simulate(seq); };
+}
+
+}  // namespace
+
+std::vector<AccuracyReport> evaluate_average_accuracy(
+    std::span<const power::PowerModel* const> models,
+    const sim::GateLevelSimulator& golden,
+    std::span<const stats::InputStatistics> grid, const RunConfig& config) {
+  return evaluate(models, golden.circuit().num_inputs(),
+                  zero_delay_reference(golden), grid, config, Metric::kAverage);
+}
+
+std::vector<AccuracyReport> evaluate_bound_accuracy(
+    std::span<const power::PowerModel* const> models,
+    const sim::GateLevelSimulator& golden,
+    std::span<const stats::InputStatistics> grid, const RunConfig& config) {
+  return evaluate(models, golden.circuit().num_inputs(),
+                  zero_delay_reference(golden), grid, config, Metric::kPeak);
+}
+
+std::vector<AccuracyReport> evaluate_average_accuracy(
+    std::span<const power::PowerModel* const> models, std::size_t num_inputs,
+    const ReferenceFn& golden, std::span<const stats::InputStatistics> grid,
+    const RunConfig& config) {
+  return evaluate(models, num_inputs, golden, grid, config, Metric::kAverage);
+}
+
+std::vector<AccuracyReport> evaluate_bound_accuracy(
+    std::span<const power::PowerModel* const> models, std::size_t num_inputs,
+    const ReferenceFn& golden, std::span<const stats::InputStatistics> grid,
+    const RunConfig& config) {
+  return evaluate(models, num_inputs, golden, grid, config, Metric::kPeak);
+}
+
+AccuracyReport evaluate_average_accuracy(
+    const power::PowerModel& model, const sim::GateLevelSimulator& golden,
+    std::span<const stats::InputStatistics> grid, const RunConfig& config) {
+  const power::PowerModel* ptr = &model;
+  return evaluate_average_accuracy(std::span(&ptr, 1), golden, grid,
+                                   config)[0];
+}
+
+}  // namespace cfpm::eval

@@ -1,0 +1,82 @@
+// Experiment harness: relative-error evaluation of RTL power models
+// against the golden gate-level simulator, over a grid of input statistics
+// (Section 4 of the paper).
+//
+// For every (sp, st) point the harness runs "concurrent RTL and gate-level
+// simulation" on the same random sequence and records:
+//   average-accuracy RE  = |avg_model - avg_golden| / avg_golden
+//   bound-accuracy   RE  = (peak_model - peak_golden) / peak_golden
+// The average of RE over all points is the paper's ARE.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "power/power_model.hpp"
+#include "sim/simulator.hpp"
+#include "stats/markov.hpp"
+
+namespace cfpm::eval {
+
+struct RunConfig {
+  std::size_t vectors_per_run = 10000;  ///< paper: 10000 vectors
+  std::uint64_t seed = 0x5eed;
+  /// Overrides vectors_per_run from the CFPM_VECTORS environment variable
+  /// when present (lets CI run fast without touching the benches).
+  static RunConfig from_env();
+};
+
+struct AccuracyPoint {
+  stats::InputStatistics statistics;
+  double golden = 0.0;  ///< simulated average (or peak) capacitance, fF
+  double model = 0.0;   ///< model estimate on the same sequence
+  double re = 0.0;      ///< relative error (bound RE keeps its sign)
+};
+
+struct AccuracyReport {
+  std::string model_name;
+  std::vector<AccuracyPoint> points;
+  /// Average of |re| over all points, as a fraction (0.057 = 5.7%).
+  double are = 0.0;
+};
+
+/// Any golden reference: maps a workload to per-sequence energy. Adapters
+/// exist for the zero-delay and the glitch-aware simulators; tests can pass
+/// a lambda.
+using ReferenceFn = std::function<sim::SequenceEnergy(const sim::InputSequence&)>;
+
+/// Average-power accuracy of several models over a shared set of random
+/// sequences (one per grid point; all models see identical workloads).
+std::vector<AccuracyReport> evaluate_average_accuracy(
+    std::span<const power::PowerModel* const> models,
+    const sim::GateLevelSimulator& golden,
+    std::span<const stats::InputStatistics> grid, const RunConfig& config);
+
+/// Generic-reference variants (e.g. the glitch-aware UnitDelaySimulator).
+std::vector<AccuracyReport> evaluate_average_accuracy(
+    std::span<const power::PowerModel* const> models, std::size_t num_inputs,
+    const ReferenceFn& golden, std::span<const stats::InputStatistics> grid,
+    const RunConfig& config);
+std::vector<AccuracyReport> evaluate_bound_accuracy(
+    std::span<const power::PowerModel* const> models, std::size_t num_inputs,
+    const ReferenceFn& golden, std::span<const stats::InputStatistics> grid,
+    const RunConfig& config);
+
+/// Peak-power (upper-bound) accuracy: RE of each model's per-sequence peak
+/// estimate versus the golden peak. For conservative models RE >= 0 up to
+/// simulation noise.
+std::vector<AccuracyReport> evaluate_bound_accuracy(
+    std::span<const power::PowerModel* const> models,
+    const sim::GateLevelSimulator& golden,
+    std::span<const stats::InputStatistics> grid, const RunConfig& config);
+
+/// Convenience for a single model.
+AccuracyReport evaluate_average_accuracy(const power::PowerModel& model,
+                                         const sim::GateLevelSimulator& golden,
+                                         std::span<const stats::InputStatistics> grid,
+                                         const RunConfig& config);
+
+}  // namespace cfpm::eval

@@ -1,0 +1,27 @@
+// Minimal fixed-width text-table printer for experiment outputs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cfpm::eval {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds one row; must match the header's column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `digits` decimals.
+  static std::string num(double v, int digits = 1);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cfpm::eval

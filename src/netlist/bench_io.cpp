@@ -1,0 +1,211 @@
+#include "netlist/bench_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/error.hpp"
+
+namespace cfpm::netlist {
+
+namespace {
+
+std::string strip(std::string_view s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string_view::npos) return {};
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return std::string(s.substr(first, last - first + 1));
+}
+
+struct PendingGate {
+  GateType type;
+  std::vector<std::string> fanins;
+  std::size_t line;
+};
+
+}  // namespace
+
+Netlist read_bench(std::istream& is, std::string circuit_name) {
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  // name -> gate definition (insertion order preserved separately)
+  std::unordered_map<std::string, PendingGate> gates;
+  std::vector<std::string> gate_order;
+
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(is, raw)) {
+    ++lineno;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::string line = strip(raw);
+    if (line.empty()) continue;
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      // INPUT(x) or OUTPUT(y)
+      const auto open = line.find('(');
+      const auto close = line.rfind(')');
+      if (open == std::string::npos || close == std::string::npos ||
+          close < open) {
+        throw ParseError("bench: expected INPUT(...)/OUTPUT(...): '" + line + "'",
+                         lineno);
+      }
+      const std::string kw = strip(line.substr(0, open));
+      const std::string arg = strip(line.substr(open + 1, close - open - 1));
+      if (arg.empty()) throw ParseError("bench: empty signal name", lineno);
+      if (kw == "INPUT") {
+        input_names.push_back(arg);
+      } else if (kw == "OUTPUT") {
+        output_names.push_back(arg);
+      } else {
+        throw ParseError("bench: unknown directive '" + kw + "'", lineno);
+      }
+      continue;
+    }
+
+    // name = GATE(a, b, ...)
+    const std::string lhs = strip(line.substr(0, eq));
+    const std::string rhs = strip(line.substr(eq + 1));
+    const auto open = rhs.find('(');
+    const auto close = rhs.rfind(')');
+    if (lhs.empty() || open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      throw ParseError("bench: malformed gate line '" + line + "'", lineno);
+    }
+    const std::string type_name = strip(rhs.substr(0, open));
+    if (type_name == "DFF" || type_name == "dff") {
+      throw ParseError("bench: sequential element DFF not supported "
+                       "(combinational macros only)", lineno);
+    }
+    GateType type;
+    if (!parse_gate_type(type_name, type)) {
+      throw ParseError("bench: unknown gate type '" + type_name + "'", lineno);
+    }
+    PendingGate g{type, {}, lineno};
+    std::string args = rhs.substr(open + 1, close - open - 1);
+    std::istringstream ss(args);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      tok = strip(tok);
+      if (tok.empty()) throw ParseError("bench: empty fanin name", lineno);
+      g.fanins.push_back(tok);
+    }
+    if (g.fanins.size() < min_arity(type) || g.fanins.size() > max_arity(type)) {
+      throw ParseError("bench: gate '" + lhs + "' has illegal fan-in count",
+                       lineno);
+    }
+    if (gates.contains(lhs)) {
+      throw ParseError("bench: signal '" + lhs + "' defined twice", lineno);
+    }
+    gates.emplace(lhs, std::move(g));
+    gate_order.push_back(lhs);
+  }
+
+  // Topological insertion (DFS with cycle detection).
+  Netlist n(std::move(circuit_name));
+  std::unordered_map<std::string, SignalId> resolved;
+  for (const std::string& in : input_names) {
+    if (resolved.contains(in)) {
+      throw ParseError("bench: input '" + in + "' declared twice");
+    }
+    if (gates.contains(in)) {
+      throw ParseError("bench: '" + in + "' is both an input and a gate");
+    }
+    resolved.emplace(in, n.add_input(in));
+  }
+
+  enum class Mark : std::uint8_t { kWhite, kGray, kBlack };
+  std::unordered_map<std::string, Mark> marks;
+
+  // Iterative DFS to avoid stack overflow on deep netlists.
+  struct Frame {
+    std::string name;
+    std::size_t next_fanin = 0;
+  };
+  auto resolve = [&](const std::string& start) {
+    if (resolved.contains(start)) return;
+    std::vector<Frame> stack;
+    stack.push_back({start, 0});
+    marks[start] = Mark::kGray;
+    while (!stack.empty()) {
+      Frame& fr = stack.back();
+      auto git = gates.find(fr.name);
+      if (git == gates.end()) {
+        throw ParseError("bench: undefined signal '" + fr.name + "'");
+      }
+      PendingGate& g = git->second;
+      if (fr.next_fanin < g.fanins.size()) {
+        const std::string& dep = g.fanins[fr.next_fanin++];
+        if (resolved.contains(dep)) continue;
+        const Mark m = marks.count(dep) ? marks[dep] : Mark::kWhite;
+        if (m == Mark::kGray) {
+          throw ParseError("bench: combinational cycle through '" + dep + "'",
+                           g.line);
+        }
+        marks[dep] = Mark::kGray;
+        stack.push_back({dep, 0});
+        continue;
+      }
+      // All fanins resolved.
+      std::vector<SignalId> ids;
+      ids.reserve(g.fanins.size());
+      for (const std::string& dep : g.fanins) ids.push_back(resolved.at(dep));
+      resolved.emplace(fr.name, n.add_gate(g.type, ids, fr.name));
+      marks[fr.name] = Mark::kBlack;
+      stack.pop_back();
+    }
+  };
+
+  for (const std::string& name : gate_order) resolve(name);
+  for (const std::string& out : output_names) {
+    auto it = resolved.find(out);
+    if (it == resolved.end()) {
+      throw ParseError("bench: output '" + out + "' is undefined");
+    }
+    n.mark_output(it->second);
+  }
+  n.validate();
+  return n;
+}
+
+Netlist read_bench_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw Error("cannot open bench file: " + path);
+  // Derive a circuit name from the file stem.
+  std::string stem = path;
+  if (const auto slash = stem.find_last_of('/'); slash != std::string::npos) {
+    stem = stem.substr(slash + 1);
+  }
+  if (const auto dot = stem.find_last_of('.'); dot != std::string::npos) {
+    stem = stem.substr(0, dot);
+  }
+  return read_bench(f, stem);
+}
+
+void write_bench(std::ostream& os, const Netlist& n) {
+  os << "# " << n.name() << " : " << n.num_inputs() << " inputs, "
+     << n.outputs().size() << " outputs, " << n.num_gates() << " gates\n";
+  for (SignalId s : n.inputs()) os << "INPUT(" << n.signal(s).name << ")\n";
+  for (SignalId s : n.outputs()) os << "OUTPUT(" << n.signal(s).name << ")\n";
+  for (SignalId s = 0; s < n.num_signals(); ++s) {
+    const auto& sig = n.signal(s);
+    if (sig.is_input) continue;
+    os << sig.name << " = " << gate_type_name(sig.type) << "(";
+    bool first = true;
+    for (SignalId f : n.fanins(s)) {
+      if (!first) os << ", ";
+      first = false;
+      os << n.signal(f).name;
+    }
+    os << ")\n";
+  }
+  if (!os) throw Error("write_bench: stream failure");
+}
+
+}  // namespace cfpm::netlist

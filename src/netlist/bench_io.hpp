@@ -1,0 +1,30 @@
+// ISCAS-85 ".bench" netlist reader/writer.
+//
+// Supported grammar (comments start with '#'):
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = GATE(arg1, arg2, ...)
+// with GATE one of AND/NAND/OR/NOR/XOR/XNOR/NOT/BUF(F). Definitions may
+// appear in any order; the loader topologically sorts them. Sequential
+// elements (DFF) are rejected: the library models combinational macros.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace cfpm::netlist {
+
+/// Parses a .bench description. Throws cfpm::ParseError on malformed input,
+/// undefined signals, combinational cycles, or sequential elements.
+Netlist read_bench(std::istream& is, std::string circuit_name = "bench");
+
+/// Loads a .bench file from disk. Throws cfpm::Error if unreadable.
+Netlist read_bench_file(const std::string& path);
+
+/// Writes `n` in .bench syntax (inputs, outputs, then gates in topological
+/// order).
+void write_bench(std::ostream& os, const Netlist& n);
+
+}  // namespace cfpm::netlist

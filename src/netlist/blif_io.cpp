@@ -1,0 +1,337 @@
+#include "netlist/blif_io.hpp"
+
+#include <bit>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/error.hpp"
+
+namespace cfpm::netlist {
+
+namespace {
+
+struct Cover {
+  std::vector<std::string> inputs;  // fanin names
+  std::vector<std::string> cubes;   // input parts, e.g. "1-0"
+  bool onset = true;                // true if rows drive output to 1
+  std::size_t line = 0;
+};
+
+std::vector<std::string> tokenize(const std::string& s) {
+  std::istringstream ss(s);
+  std::vector<std::string> toks;
+  std::string t;
+  while (ss >> t) toks.push_back(t);
+  return toks;
+}
+
+/// Builds gates realizing one SOP cover; returns the id of the signal that
+/// carries the cover's output function.
+class CoverSynthesizer {
+ public:
+  CoverSynthesizer(Netlist& n, std::unordered_map<std::string, SignalId>& sigs)
+      : n_(n), sigs_(sigs) {}
+
+  SignalId synthesize(const std::string& out_name, const Cover& cover) {
+    std::vector<SignalId> fanin_ids;
+    fanin_ids.reserve(cover.inputs.size());
+    for (const std::string& in : cover.inputs) {
+      auto it = sigs_.find(in);
+      if (it == sigs_.end()) {
+        throw ParseError("blif: undefined fanin '" + in + "' of '" + out_name +
+                             "'",
+                         cover.line);
+      }
+      fanin_ids.push_back(it->second);
+    }
+
+    // Constant covers.
+    if (cover.cubes.empty()) {
+      return n_.add_gate(GateType::kConst0, {}, out_name);
+    }
+    if (cover.inputs.empty()) {
+      // Single row with empty cube: constant 1 for onset covers.
+      return n_.add_gate(cover.onset ? GateType::kConst1 : GateType::kConst0,
+                         {}, out_name);
+    }
+
+    std::vector<SignalId> terms;
+    terms.reserve(cover.cubes.size());
+    for (const std::string& cube : cover.cubes) {
+      terms.push_back(build_term(out_name, cube, fanin_ids, cover.line));
+    }
+
+    if (!cover.onset) {
+      // Off-set cover: output = NOR of the cube terms.
+      if (terms.size() == 1) {
+        return n_.add_gate(GateType::kNot, {terms[0]}, out_name);
+      }
+      return n_.add_gate(GateType::kNor, terms, out_name);
+    }
+    if (terms.size() == 1) {
+      // The cover output must carry `out_name`; a buffer keeps the name
+      // table simple at negligible netlist-size cost.
+      return n_.add_gate(GateType::kBuf, {terms[0]}, out_name);
+    }
+    return n_.add_gate(GateType::kOr, terms, out_name);
+  }
+
+ private:
+  SignalId inverter_of(SignalId s) {
+    auto it = inverters_.find(s);
+    if (it != inverters_.end()) return it->second;
+    const SignalId inv = n_.add_gate(
+        GateType::kNot, {s}, n_.signal(s).name + "$not" + std::to_string(s));
+    inverters_.emplace(s, inv);
+    return inv;
+  }
+
+  SignalId build_term(const std::string& out_name, const std::string& cube,
+                      const std::vector<SignalId>& fanin_ids,
+                      std::size_t line) {
+    if (cube.size() != fanin_ids.size()) {
+      throw ParseError("blif: cube width mismatch in cover of '" + out_name +
+                           "'",
+                       line);
+    }
+    std::vector<SignalId> literals;
+    for (std::size_t i = 0; i < cube.size(); ++i) {
+      if (cube[i] == '1') {
+        literals.push_back(fanin_ids[i]);
+      } else if (cube[i] == '0') {
+        literals.push_back(inverter_of(fanin_ids[i]));
+      } else if (cube[i] != '-') {
+        throw ParseError("blif: bad cube character '" + std::string(1, cube[i]) +
+                             "'",
+                         line);
+      }
+    }
+    if (literals.empty()) {
+      // Tautological cube: constant 1 term.
+      return n_.add_gate(GateType::kConst1, {},
+                         out_name + "$one" + std::to_string(temp_counter_++));
+    }
+    if (literals.size() == 1) return literals[0];
+    return n_.add_gate(GateType::kAnd, literals,
+                       out_name + "$and" + std::to_string(temp_counter_++));
+  }
+
+  Netlist& n_;
+  std::unordered_map<std::string, SignalId>& sigs_;
+  std::unordered_map<SignalId, SignalId> inverters_;
+  std::size_t temp_counter_ = 0;
+};
+
+}  // namespace
+
+Netlist read_blif(std::istream& is) {
+  std::string model_name = "blif";
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  // Covers keyed by output name, in definition order.
+  std::vector<std::pair<std::string, Cover>> covers;
+
+  std::string raw;
+  std::string logical;
+  std::size_t lineno = 0;
+  Cover* open_cover = nullptr;
+
+  auto handle_directive = [&](const std::string& line, std::size_t ln) {
+    auto toks = tokenize(line);
+    CFPM_ASSERT(!toks.empty());
+    const std::string& kw = toks[0];
+    if (kw == ".model") {
+      if (toks.size() >= 2) model_name = toks[1];
+      open_cover = nullptr;
+    } else if (kw == ".inputs") {
+      input_names.insert(input_names.end(), toks.begin() + 1, toks.end());
+      open_cover = nullptr;
+    } else if (kw == ".outputs") {
+      output_names.insert(output_names.end(), toks.begin() + 1, toks.end());
+      open_cover = nullptr;
+    } else if (kw == ".names") {
+      if (toks.size() < 2) throw ParseError("blif: .names needs an output", ln);
+      Cover c;
+      c.inputs.assign(toks.begin() + 1, toks.end() - 1);
+      c.line = ln;
+      covers.emplace_back(toks.back(), std::move(c));
+      open_cover = &covers.back().second;
+    } else if (kw == ".end") {
+      open_cover = nullptr;
+    } else if (kw == ".latch" || kw == ".subckt" || kw == ".gate") {
+      throw ParseError("blif: unsupported directive '" + kw +
+                           "' (combinational .names subset only)",
+                       ln);
+    } else if (kw[0] == '.') {
+      throw ParseError("blif: unknown directive '" + kw + "'", ln);
+    } else {
+      // Cover row: "<cube> <value>" (or just "<value>" for 0-input covers).
+      if (open_cover == nullptr) {
+        throw ParseError("blif: cube outside .names", ln);
+      }
+      if (toks.size() == 1 && open_cover->inputs.empty()) {
+        open_cover->onset = (toks[0] == "1");
+        open_cover->cubes.push_back("");
+        return;
+      }
+      if (toks.size() != 2) throw ParseError("blif: malformed cube row", ln);
+      const bool row_on = (toks[1] == "1");
+      if (!open_cover->cubes.empty() &&
+          row_on != open_cover->onset) {
+        throw ParseError("blif: mixed on/off-set rows in one cover", ln);
+      }
+      open_cover->onset = row_on;
+      open_cover->cubes.push_back(toks[0]);
+    }
+  };
+
+  while (std::getline(is, raw)) {
+    ++lineno;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    // Continuation lines.
+    std::string line = raw;
+    while (!line.empty() && line.back() == '\\') {
+      line.pop_back();
+      std::string next;
+      if (!std::getline(is, next)) break;
+      ++lineno;
+      const auto h2 = next.find('#');
+      if (h2 != std::string::npos) next.erase(h2);
+      line += next;
+    }
+    if (tokenize(line).empty()) continue;
+    handle_directive(line, lineno);
+  }
+
+  // Build the netlist: inputs first, then covers in dependency order.
+  Netlist n(model_name);
+  std::unordered_map<std::string, SignalId> sigs;
+  for (const std::string& in : input_names) {
+    if (sigs.contains(in)) throw ParseError("blif: duplicate input '" + in + "'");
+    sigs.emplace(in, n.add_input(in));
+  }
+
+  std::unordered_map<std::string, std::size_t> cover_index;
+  for (std::size_t i = 0; i < covers.size(); ++i) {
+    if (cover_index.contains(covers[i].first)) {
+      throw ParseError("blif: signal '" + covers[i].first + "' defined twice",
+                       covers[i].second.line);
+    }
+    cover_index.emplace(covers[i].first, i);
+  }
+
+  CoverSynthesizer synth(n, sigs);
+  std::vector<std::uint8_t> state(covers.size(), 0);  // 0 white 1 gray 2 done
+  auto elaborate = [&](auto&& self, std::size_t idx) -> void {
+    if (state[idx] == 2) return;
+    if (state[idx] == 1) {
+      throw ParseError("blif: combinational cycle through '" +
+                           covers[idx].first + "'",
+                       covers[idx].second.line);
+    }
+    state[idx] = 1;
+    for (const std::string& in : covers[idx].second.inputs) {
+      if (sigs.contains(in)) continue;
+      auto it = cover_index.find(in);
+      if (it == cover_index.end()) {
+        throw ParseError("blif: undefined signal '" + in + "'",
+                         covers[idx].second.line);
+      }
+      self(self, it->second);
+    }
+    sigs.emplace(covers[idx].first,
+                 synth.synthesize(covers[idx].first, covers[idx].second));
+    state[idx] = 2;
+  };
+  for (std::size_t i = 0; i < covers.size(); ++i) elaborate(elaborate, i);
+
+  for (const std::string& out : output_names) {
+    auto it = sigs.find(out);
+    if (it == sigs.end()) {
+      throw ParseError("blif: output '" + out + "' is undefined");
+    }
+    n.mark_output(it->second);
+  }
+  n.validate();
+  return n;
+}
+
+Netlist read_blif_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw Error("cannot open blif file: " + path);
+  return read_blif(f);
+}
+
+void write_blif(std::ostream& os, const Netlist& n) {
+  os << ".model " << (n.name().empty() ? "cfpm" : n.name()) << "\n";
+  os << ".inputs";
+  for (SignalId s : n.inputs()) os << " " << n.signal(s).name;
+  os << "\n.outputs";
+  for (SignalId s : n.outputs()) os << " " << n.signal(s).name;
+  os << "\n";
+
+  for (SignalId s = 0; s < n.num_signals(); ++s) {
+    const auto& sig = n.signal(s);
+    if (sig.is_input) continue;
+    os << ".names";
+    for (SignalId f : n.fanins(s)) os << " " << n.signal(f).name;
+    os << " " << sig.name << "\n";
+    const std::size_t k = sig.fanin_count;
+    switch (sig.type) {
+      case GateType::kConst0:
+        break;  // empty cover == constant 0
+      case GateType::kConst1:
+        os << "1\n";
+        break;
+      case GateType::kBuf:
+        os << "1 1\n";
+        break;
+      case GateType::kNot:
+        os << "0 1\n";
+        break;
+      case GateType::kAnd:
+        os << std::string(k, '1') << " 1\n";
+        break;
+      case GateType::kNand:
+        // Off-set cover: output is 0 exactly on the all-ones cube.
+        os << std::string(k, '1') << " 0\n";
+        break;
+      case GateType::kOr:
+        for (std::size_t i = 0; i < k; ++i) {
+          std::string cube(k, '-');
+          cube[i] = '1';
+          os << cube << " 1\n";
+        }
+        break;
+      case GateType::kNor:
+        os << std::string(k, '0') << " 1\n";
+        break;
+      case GateType::kXor:
+      case GateType::kXnor: {
+        // Enumerate parity minterms; gate fan-in is small in practice but
+        // guard against pathological widths.
+        CFPM_REQUIRE(k <= 16);
+        const bool odd = sig.type == GateType::kXor;
+        for (std::size_t m = 0; m < (std::size_t{1} << k); ++m) {
+          const bool parity = (std::popcount(m) % 2) == 1;
+          if (parity != odd) continue;
+          std::string cube(k, '0');
+          for (std::size_t b = 0; b < k; ++b) {
+            if ((m >> b) & 1u) cube[b] = '1';
+          }
+          os << cube << " 1\n";
+        }
+        break;
+      }
+    }
+  }
+  os << ".end\n";
+  if (!os) throw Error("write_blif: stream failure");
+}
+
+}  // namespace cfpm::netlist

@@ -1,0 +1,29 @@
+// Berkeley BLIF reader (combinational subset).
+//
+// Supported: .model/.inputs/.outputs/.names/.end, '\' line continuations,
+// '#' comments. Each .names sum-of-products cover is synthesized into
+// AND/OR/NOT gates of the target library (single-literal covers become
+// BUF/NOT; empty covers become constants). .latch and .subckt are rejected:
+// the library models flat combinational macros.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace cfpm::netlist {
+
+/// Parses a BLIF model. Throws cfpm::ParseError on malformed or
+/// unsupported input.
+Netlist read_blif(std::istream& is);
+
+/// Loads a BLIF file from disk. Throws cfpm::Error if unreadable.
+Netlist read_blif_file(const std::string& path);
+
+/// Writes `n` as BLIF: one .names cover per gate (gates map 1:1 onto
+/// canonical SOP covers). Round-trips through read_blif up to the gate
+/// realization chosen by the cover synthesizer.
+void write_blif(std::ostream& os, const Netlist& n);
+
+}  // namespace cfpm::netlist

@@ -1,0 +1,131 @@
+#include "netlist/gate.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/assert.hpp"
+
+namespace cfpm::netlist {
+
+std::string_view gate_type_name(GateType t) noexcept {
+  switch (t) {
+    case GateType::kBuf:
+      return "BUF";
+    case GateType::kNot:
+      return "NOT";
+    case GateType::kAnd:
+      return "AND";
+    case GateType::kNand:
+      return "NAND";
+    case GateType::kOr:
+      return "OR";
+    case GateType::kNor:
+      return "NOR";
+    case GateType::kXor:
+      return "XOR";
+    case GateType::kXnor:
+      return "XNOR";
+    case GateType::kConst0:
+      return "CONST0";
+    case GateType::kConst1:
+      return "CONST1";
+  }
+  return "?";
+}
+
+bool parse_gate_type(std::string_view name, GateType& out) noexcept {
+  std::string upper(name);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  if (upper == "BUF" || upper == "BUFF") {
+    out = GateType::kBuf;
+  } else if (upper == "NOT" || upper == "INV") {
+    out = GateType::kNot;
+  } else if (upper == "AND") {
+    out = GateType::kAnd;
+  } else if (upper == "NAND") {
+    out = GateType::kNand;
+  } else if (upper == "OR") {
+    out = GateType::kOr;
+  } else if (upper == "NOR") {
+    out = GateType::kNor;
+  } else if (upper == "XOR") {
+    out = GateType::kXor;
+  } else if (upper == "XNOR") {
+    out = GateType::kXnor;
+  } else if (upper == "CONST0" || upper == "GND" || upper == "ZERO") {
+    out = GateType::kConst0;
+  } else if (upper == "CONST1" || upper == "VDD" || upper == "ONE") {
+    out = GateType::kConst1;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::uint64_t eval_gate_words(GateType t,
+                              std::span<const std::uint64_t> inputs) noexcept {
+  switch (t) {
+    case GateType::kBuf:
+      return inputs[0];
+    case GateType::kNot:
+      return ~inputs[0];
+    case GateType::kAnd:
+    case GateType::kNand: {
+      std::uint64_t acc = ~std::uint64_t{0};
+      for (std::uint64_t w : inputs) acc &= w;
+      return t == GateType::kAnd ? acc : ~acc;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      std::uint64_t acc = 0;
+      for (std::uint64_t w : inputs) acc |= w;
+      return t == GateType::kOr ? acc : ~acc;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      std::uint64_t acc = 0;
+      for (std::uint64_t w : inputs) acc ^= w;
+      return t == GateType::kXor ? acc : ~acc;
+    }
+    case GateType::kConst0:
+      return 0;
+    case GateType::kConst1:
+      return ~std::uint64_t{0};
+  }
+  return 0;
+}
+
+bool eval_gate(GateType t, std::span<const std::uint8_t> inputs) noexcept {
+  switch (t) {
+    case GateType::kBuf:
+      return inputs[0] != 0;
+    case GateType::kNot:
+      return inputs[0] == 0;
+    case GateType::kAnd:
+    case GateType::kNand: {
+      bool acc = true;
+      for (std::uint8_t v : inputs) acc = acc && (v != 0);
+      return t == GateType::kAnd ? acc : !acc;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      bool acc = false;
+      for (std::uint8_t v : inputs) acc = acc || (v != 0);
+      return t == GateType::kOr ? acc : !acc;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      bool acc = false;
+      for (std::uint8_t v : inputs) acc = acc != (v != 0);
+      return t == GateType::kXor ? acc : !acc;
+    }
+    case GateType::kConst0:
+      return false;
+    case GateType::kConst1:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace cfpm::netlist

@@ -1,0 +1,72 @@
+// Gate types of the target library.
+//
+// The paper maps MCNC benchmarks onto a "test gate library"; ours consists
+// of the primitive functions below, each allowed any arity >= its minimum.
+// Word-level evaluators are provided for the bit-parallel simulator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace cfpm::netlist {
+
+enum class GateType : std::uint8_t {
+  kBuf,    ///< identity, 1 input
+  kNot,    ///< inverter, 1 input
+  kAnd,    ///< >= 2 inputs
+  kNand,   ///< >= 2 inputs
+  kOr,     ///< >= 2 inputs
+  kNor,    ///< >= 2 inputs
+  kXor,    ///< >= 2 inputs (odd parity)
+  kXnor,   ///< >= 2 inputs (even parity)
+  kConst0, ///< 0 inputs
+  kConst1, ///< 0 inputs
+};
+
+/// Number of gate types (for table sizing / iteration).
+inline constexpr std::size_t kNumGateTypes = 10;
+
+/// Minimum fan-in legal for a gate type.
+constexpr std::size_t min_arity(GateType t) noexcept {
+  switch (t) {
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return 0;
+    case GateType::kBuf:
+    case GateType::kNot:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+/// Maximum fan-in legal for a gate type (unbounded types return SIZE_MAX).
+constexpr std::size_t max_arity(GateType t) noexcept {
+  switch (t) {
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return 0;
+    case GateType::kBuf:
+    case GateType::kNot:
+      return 1;
+    default:
+      return static_cast<std::size_t>(-1);
+  }
+}
+
+/// Canonical upper-case name ("AND", "NOR", ...).
+std::string_view gate_type_name(GateType t) noexcept;
+
+/// Parses a gate-type name (case-insensitive; accepts BUF/BUFF and INV as
+/// aliases). Returns true on success.
+bool parse_gate_type(std::string_view name, GateType& out) noexcept;
+
+/// Evaluates the gate over 64 parallel one-bit lanes.
+std::uint64_t eval_gate_words(GateType t, std::span<const std::uint64_t> inputs) noexcept;
+
+/// Scalar evaluation.
+bool eval_gate(GateType t, std::span<const std::uint8_t> inputs) noexcept;
+
+}  // namespace cfpm::netlist

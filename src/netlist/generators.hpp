@@ -1,0 +1,85 @@
+// Deterministic benchmark-circuit generators.
+//
+// The paper evaluates on MCNC/LGSynth91 benchmarks mapped onto a test gate
+// library; those mapped netlists are not redistributable. mcnc_like()
+// produces structural stand-ins with the same names, the same input counts
+// and approximately the same gate counts as Table 1 of the paper, built
+// from the known function class of each benchmark (ALU, comparator, 16:1
+// multiplexer, decoder, parity tree, bounded-support random logic) and
+// decomposed to a 2-input gate library like a technology mapper would.
+// All generators are deterministic: the same name always yields the same
+// netlist.
+//
+// Classic parametric circuits (adders, comparators, muxes, parity trees)
+// are also exposed directly for tests, examples and ablations.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace cfpm::netlist::gen {
+
+/// The ISCAS-85 c17 circuit (6 NAND gates), built in code.
+Netlist c17();
+
+/// Ripple-carry adder: a[width], b[width], cin -> sum[width], cout.
+Netlist ripple_carry_adder(unsigned width);
+
+/// Magnitude comparator of two `width`-bit operands: outputs eq, gt, lt.
+Netlist magnitude_comparator(unsigned width);
+
+/// Flat one-hot `1-of-2^sel_bits` multiplexer with enable:
+/// inputs d[2^sel], s[sel], en; one output.
+Netlist mux_flat(unsigned sel_bits);
+
+/// Two-level (clustered 4:1) multiplexer, 16 data inputs + 4 selects + en.
+Netlist mux_two_level();
+
+/// Binary decoder with enable: inputs a[bits], en; 2^bits outputs.
+Netlist decoder(unsigned bits);
+
+/// Parity tree over `width` inputs; `native_xor_levels` levels of the tree
+/// use native XOR gates, the remainder is AND/OR/NOT-decomposed (mirrors
+/// the mix found in mapped parity circuits).
+Netlist parity_tree(unsigned width, unsigned native_xor_levels = 1);
+
+/// Small behavioral ALU: two `width`-bit operands, 2 control bits;
+/// functions {ADD, SUB(b via xor), AND, OR}; outputs width sum bits + cout.
+Netlist alu(unsigned width);
+
+/// Bounded-support pseudo-random multilevel logic.
+struct RandomLogicSpec {
+  std::string name = "rand";
+  unsigned num_inputs = 16;
+  unsigned num_outputs = 4;
+  /// Target gate count of the *functional* netlist (before decomposition).
+  unsigned target_gates = 40;
+  /// Each gate's transitive input support is kept inside a window of this
+  /// many adjacent primary inputs, so the circuit's BDDs stay tractable.
+  unsigned window = 10;
+  /// Fraction of gates drawn from {XOR, XNOR} instead of the AND/OR
+  /// family. XOR-rich logic propagates input toggles without value
+  /// masking, which is characteristic of parity/arithmetic control
+  /// structures.
+  double xor_fraction = 0.3;
+  /// Probability that a gate consumes signals that have no fan-out yet,
+  /// biasing the topology toward trees (sparse reconvergence).
+  double tree_bias = 0.5;
+  /// Fraction of inverters/buffers; chains deepen the netlist (and its
+  /// capacitance) without widening any function's support.
+  double not_fraction = 0.12;
+  std::uint64_t seed = 1;
+};
+Netlist random_logic(const RandomLogicSpec& spec);
+
+/// Names accepted by mcnc_like(), in Table-1 order.
+std::vector<std::string> mcnc_names();
+
+/// Structural stand-in for a Table-1 MCNC benchmark (see file comment).
+/// Throws cfpm::Error for unknown names.
+Netlist mcnc_like(std::string_view name);
+
+}  // namespace cfpm::netlist::gen

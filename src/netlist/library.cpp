@@ -1,0 +1,30 @@
+#include "netlist/library.hpp"
+
+namespace cfpm::netlist {
+
+GateLibrary GateLibrary::uniform(double input_cap_ff, double output_load_ff) {
+  GateLibrary lib;
+  for (std::size_t i = 0; i < kNumGateTypes; ++i) {
+    lib.input_cap_[i] = input_cap_ff;
+  }
+  lib.output_load_ = output_load_ff;
+  return lib;
+}
+
+GateLibrary GateLibrary::standard() {
+  GateLibrary lib;
+  lib.set_input_cap_ff(GateType::kBuf, 4.0);
+  lib.set_input_cap_ff(GateType::kNot, 4.0);
+  lib.set_input_cap_ff(GateType::kAnd, 6.0);
+  lib.set_input_cap_ff(GateType::kNand, 5.0);
+  lib.set_input_cap_ff(GateType::kOr, 6.0);
+  lib.set_input_cap_ff(GateType::kNor, 5.0);
+  lib.set_input_cap_ff(GateType::kXor, 9.0);
+  lib.set_input_cap_ff(GateType::kXnor, 9.0);
+  lib.set_input_cap_ff(GateType::kConst0, 0.0);
+  lib.set_input_cap_ff(GateType::kConst1, 0.0);
+  lib.set_output_load_ff(12.0);
+  return lib;
+}
+
+}  // namespace cfpm::netlist

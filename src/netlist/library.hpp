@@ -1,0 +1,51 @@
+// Gate library with per-pin input capacitances.
+//
+// Following the paper's experimental setup, the load capacitance of a gate
+// output is the sum of the input capacitances of the gates it fans out to
+// (plus an external load for primary outputs). Absolute values are
+// arbitrary; only the induced pattern dependence matters for the
+// experiments, so we pick values representative of a ~0.5um standard-cell
+// library (a few fF per pin, larger gates presenting larger pins).
+#pragma once
+
+#include <array>
+
+#include "netlist/gate.hpp"
+
+namespace cfpm::netlist {
+
+class GateLibrary {
+ public:
+  /// Library with all input capacitances equal (useful in tests).
+  static GateLibrary uniform(double input_cap_ff, double output_load_ff = 0.0);
+
+  /// The default "test gate library" used by generators and experiments.
+  static GateLibrary standard();
+
+  /// Capacitance (fF) presented by one input pin of a gate of type `t`.
+  double input_cap_ff(GateType t) const noexcept {
+    return input_cap_[static_cast<std::size_t>(t)];
+  }
+  void set_input_cap_ff(GateType t, double ff) noexcept {
+    input_cap_[static_cast<std::size_t>(t)] = ff;
+  }
+
+  /// External load (fF) attached to every primary output.
+  double output_load_ff() const noexcept { return output_load_; }
+  void set_output_load_ff(double ff) noexcept { output_load_ = ff; }
+
+  /// Simple wire-load model: every fan-out branch adds this much routing
+  /// capacitance to the driving net (0 by default -- the paper's setup
+  /// counts pin capacitances only).
+  double wire_cap_per_fanout_ff() const noexcept { return wire_per_fanout_; }
+  void set_wire_cap_per_fanout_ff(double ff) noexcept {
+    wire_per_fanout_ = ff;
+  }
+
+ private:
+  std::array<double, kNumGateTypes> input_cap_{};
+  double output_load_ = 0.0;
+  double wire_per_fanout_ = 0.0;
+};
+
+}  // namespace cfpm::netlist

@@ -1,0 +1,145 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/error.hpp"
+
+namespace cfpm::netlist {
+
+SignalId Netlist::add_signal(Signal s, std::span<const SignalId> fanins) {
+  CFPM_REQUIRE(!s.name.empty());
+  CFPM_REQUIRE(!by_name_.contains(s.name));
+  const auto id = static_cast<SignalId>(signals_.size());
+  for (SignalId f : fanins) {
+    CFPM_REQUIRE(f < id);  // topological construction order
+  }
+  s.fanin_begin = static_cast<std::uint32_t>(fanin_pool_.size());
+  s.fanin_count = static_cast<std::uint32_t>(fanins.size());
+  fanin_pool_.insert(fanin_pool_.end(), fanins.begin(), fanins.end());
+  by_name_.emplace(s.name, id);
+  signals_.push_back(std::move(s));
+  is_output_.push_back(false);
+  fanouts_.clear();  // invalidate cache
+  return id;
+}
+
+SignalId Netlist::add_input(std::string_view name) {
+  Signal s;
+  s.name = std::string(name);
+  s.is_input = true;
+  const SignalId id = add_signal(std::move(s), {});
+  inputs_.push_back(id);
+  return id;
+}
+
+SignalId Netlist::add_gate(GateType type, std::span<const SignalId> fanins,
+                           std::string_view name) {
+  CFPM_REQUIRE(fanins.size() >= min_arity(type));
+  CFPM_REQUIRE(fanins.size() <= max_arity(type));
+  Signal s;
+  s.name = std::string(name);
+  s.type = type;
+  s.is_input = false;
+  return add_signal(std::move(s), fanins);
+}
+
+SignalId Netlist::add_gate(GateType type, std::initializer_list<SignalId> fanins,
+                           std::string_view name) {
+  return add_gate(type, std::span<const SignalId>(fanins.begin(), fanins.size()),
+                  name);
+}
+
+void Netlist::mark_output(SignalId s) {
+  CFPM_REQUIRE(s < signals_.size());
+  if (!is_output_[s]) {
+    is_output_[s] = true;
+    outputs_.push_back(s);
+  }
+}
+
+const Netlist::Signal& Netlist::signal(SignalId s) const {
+  CFPM_REQUIRE(s < signals_.size());
+  return signals_[s];
+}
+
+std::span<const SignalId> Netlist::fanins(SignalId s) const {
+  const Signal& sig = signal(s);
+  return {fanin_pool_.data() + sig.fanin_begin, sig.fanin_count};
+}
+
+bool Netlist::is_output(SignalId s) const {
+  CFPM_REQUIRE(s < signals_.size());
+  return is_output_[s];
+}
+
+std::uint32_t Netlist::input_index(SignalId s) const {
+  const auto it = std::find(inputs_.begin(), inputs_.end(), s);
+  CFPM_REQUIRE(it != inputs_.end());
+  return static_cast<std::uint32_t>(it - inputs_.begin());
+}
+
+SignalId Netlist::find(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kInvalidSignal : it->second;
+}
+
+const std::vector<std::vector<SignalId>>& Netlist::fanouts() const {
+  if (fanouts_.empty() && !signals_.empty()) {
+    fanouts_.resize(signals_.size());
+    for (SignalId s = 0; s < signals_.size(); ++s) {
+      for (SignalId f : fanins(s)) fanouts_[f].push_back(s);
+    }
+  }
+  return fanouts_;
+}
+
+void Netlist::validate() const {
+  CFPM_REQUIRE(by_name_.size() == signals_.size());
+  for (SignalId s = 0; s < signals_.size(); ++s) {
+    const Signal& sig = signals_[s];
+    const auto it = by_name_.find(sig.name);
+    CFPM_REQUIRE(it != by_name_.end() && it->second == s);
+    if (sig.is_input) {
+      CFPM_REQUIRE(sig.fanin_count == 0);
+    } else {
+      CFPM_REQUIRE(sig.fanin_count >= min_arity(sig.type));
+      CFPM_REQUIRE(sig.fanin_count <= max_arity(sig.type));
+      for (SignalId f : fanins(s)) CFPM_REQUIRE(f < s);
+    }
+  }
+  for (SignalId o : outputs_) CFPM_REQUIRE(o < signals_.size() && is_output_[o]);
+}
+
+std::vector<unsigned> Netlist::levels() const {
+  std::vector<unsigned> level(signals_.size(), 0);
+  for (SignalId s = 0; s < signals_.size(); ++s) {
+    if (signals_[s].is_input) continue;
+    unsigned deepest = 0;
+    for (SignalId f : fanins(s)) deepest = std::max(deepest, level[f]);
+    level[s] = deepest + 1;
+  }
+  return level;
+}
+
+unsigned Netlist::depth() const {
+  const auto level = levels();
+  unsigned deepest = 0;
+  for (unsigned l : level) deepest = std::max(deepest, l);
+  return deepest;
+}
+
+std::vector<double> Netlist::annotate_loads(const GateLibrary& lib) const {
+  std::vector<double> load(signals_.size(), 0.0);
+  const double wire = lib.wire_cap_per_fanout_ff();
+  for (SignalId s = 0; s < signals_.size(); ++s) {
+    const Signal& sig = signals_[s];
+    if (sig.is_input) continue;
+    const double pin = lib.input_cap_ff(sig.type) + wire;
+    for (SignalId f : fanins(s)) load[f] += pin;
+  }
+  for (SignalId o : outputs_) load[o] += lib.output_load_ff();
+  return load;
+}
+
+}  // namespace cfpm::netlist

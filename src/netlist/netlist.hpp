@@ -1,0 +1,116 @@
+// Combinational gate-level netlist (the paper's "golden model" substrate).
+//
+// A netlist is a DAG of signals. Every signal is either a primary input or
+// the output of exactly one gate. Signals are stored in topological order
+// by construction: a gate may only reference signals created before it.
+// This makes levelized zero-delay simulation a single linear sweep and
+// symbolic BDD construction a single pass.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/gate.hpp"
+#include "netlist/library.hpp"
+
+namespace cfpm::netlist {
+
+using SignalId = std::uint32_t;
+inline constexpr SignalId kInvalidSignal = static_cast<SignalId>(-1);
+
+class Netlist {
+ public:
+  struct Signal {
+    std::string name;
+    GateType type = GateType::kBuf;      // meaningless for primary inputs
+    bool is_input = false;
+    std::uint32_t fanin_begin = 0;       // slice into fanin_pool_
+    std::uint32_t fanin_count = 0;
+  };
+
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // ----- construction ------------------------------------------------------
+
+  /// Adds a primary input. Names must be unique and non-empty.
+  SignalId add_input(std::string_view name);
+
+  /// Adds a gate driving a new signal. All fanins must already exist
+  /// (enforces topological construction order). Arity is checked against
+  /// the gate type. Duplicate fanins are allowed (as in real netlists).
+  SignalId add_gate(GateType type, std::span<const SignalId> fanins,
+                    std::string_view name);
+
+  /// Convenience overloads.
+  SignalId add_gate(GateType type, std::initializer_list<SignalId> fanins,
+                    std::string_view name);
+
+  /// Marks a signal as primary output (idempotent).
+  void mark_output(SignalId s);
+
+  // ----- topology ----------------------------------------------------------
+
+  std::size_t num_signals() const noexcept { return signals_.size(); }
+  std::size_t num_inputs() const noexcept { return inputs_.size(); }
+  /// Number of gates (signals that are not primary inputs). This is the
+  /// paper's "N" column.
+  std::size_t num_gates() const noexcept { return signals_.size() - inputs_.size(); }
+
+  const Signal& signal(SignalId s) const;
+  std::span<const SignalId> fanins(SignalId s) const;
+  std::span<const SignalId> inputs() const noexcept { return inputs_; }
+  std::span<const SignalId> outputs() const noexcept { return outputs_; }
+
+  bool is_input(SignalId s) const { return signal(s).is_input; }
+  bool is_output(SignalId s) const;
+
+  /// Index of a primary input among inputs() (0-based); kInvalidSignal-safe.
+  std::uint32_t input_index(SignalId s) const;
+
+  /// Looks a signal up by name; returns kInvalidSignal if absent.
+  SignalId find(std::string_view name) const;
+
+  /// Fan-out lists (computed lazily, cached).
+  const std::vector<std::vector<SignalId>>& fanouts() const;
+
+  /// Structural sanity check: arities, dangling outputs, name table
+  /// consistency. Throws cfpm::ContractError on violation.
+  void validate() const;
+
+  /// Logic level of each signal: inputs are level 0, every gate is one
+  /// more than its deepest fan-in. levels().back() users: see depth().
+  std::vector<unsigned> levels() const;
+
+  /// Depth of the deepest gate (0 for an all-input netlist).
+  unsigned depth() const;
+
+  // ----- capacitance back-annotation ---------------------------------------
+
+  /// Load capacitance (fF) per signal: sum of fan-out input-pin caps, plus
+  /// the library's external load on primary outputs. Computed for all
+  /// signals; only gate outputs contribute to the switching-capacitance
+  /// model (input nets are charged by the external driver).
+  std::vector<double> annotate_loads(const GateLibrary& lib) const;
+
+ private:
+  SignalId add_signal(Signal s, std::span<const SignalId> fanins);
+
+  std::string name_;
+  std::vector<Signal> signals_;
+  std::vector<SignalId> fanin_pool_;
+  std::vector<SignalId> inputs_;
+  std::vector<SignalId> outputs_;
+  std::vector<bool> is_output_;
+  std::unordered_map<std::string, SignalId> by_name_;
+  mutable std::vector<std::vector<SignalId>> fanouts_;  // lazy cache
+};
+
+}  // namespace cfpm::netlist

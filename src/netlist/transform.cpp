@@ -1,0 +1,299 @@
+#include "netlist/transform.hpp"
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace cfpm::netlist {
+
+namespace {
+
+/// Emits {NAND2, NOR2, INV} structures into `out`, generating fresh unique
+/// internal names.
+class Emitter {
+ public:
+  explicit Emitter(Netlist& out) : out_(out) {}
+
+  SignalId nand2(SignalId a, SignalId b, std::string_view name = {}) {
+    return out_.add_gate(GateType::kNand, {a, b}, pick(name));
+  }
+  SignalId nor2(SignalId a, SignalId b, std::string_view name = {}) {
+    return out_.add_gate(GateType::kNor, {a, b}, pick(name));
+  }
+  SignalId inv(SignalId a, std::string_view name = {}) {
+    return out_.add_gate(GateType::kNot, {a}, pick(name));
+  }
+  SignalId and2(SignalId a, SignalId b) { return inv(nand2(a, b)); }
+  SignalId or2(SignalId a, SignalId b) { return inv(nor2(a, b)); }
+
+  /// 4-NAND exclusive-or cell.
+  SignalId xor2(SignalId a, SignalId b, std::string_view name = {}) {
+    const SignalId n1 = nand2(a, b);
+    const SignalId n2 = nand2(a, n1);
+    const SignalId n3 = nand2(b, n1);
+    return nand2(n2, n3, name);
+  }
+
+  /// Balanced pairwise reduction until exactly two operands remain.
+  /// `join` combines two signals into one.
+  template <typename Join>
+  std::pair<SignalId, SignalId> reduce_to_pair(std::vector<SignalId> ops,
+                                               Join join) {
+    CFPM_ASSERT(ops.size() >= 2);
+    while (ops.size() > 2) {
+      std::vector<SignalId> next;
+      next.reserve((ops.size() + 1) / 2);
+      for (std::size_t i = 0; i + 1 < ops.size(); i += 2) {
+        next.push_back(join(ops[i], ops[i + 1]));
+      }
+      if (ops.size() % 2 == 1) next.push_back(ops.back());
+      ops = std::move(next);
+    }
+    return {ops[0], ops[1]};
+  }
+
+ private:
+  std::string pick(std::string_view name) {
+    if (!name.empty()) return std::string(name);
+    return "$d" + std::to_string(counter_++);
+  }
+
+  Netlist& out_;
+  std::size_t counter_ = 0;
+};
+
+}  // namespace
+
+Netlist decompose_to_2input(const Netlist& src) {
+  Netlist out(src.name());
+  Emitter em(out);
+  std::vector<SignalId> map(src.num_signals(), kInvalidSignal);
+
+  for (SignalId s = 0; s < src.num_signals(); ++s) {
+    const auto& sig = src.signal(s);
+    if (sig.is_input) {
+      map[s] = out.add_input(sig.name);
+      continue;
+    }
+    std::vector<SignalId> ops;
+    ops.reserve(sig.fanin_count);
+    for (SignalId f : src.fanins(s)) ops.push_back(map[f]);
+
+    switch (sig.type) {
+      case GateType::kBuf:
+        map[s] = out.add_gate(GateType::kBuf, {ops[0]}, sig.name);
+        break;
+      case GateType::kNot:
+        map[s] = em.inv(ops[0], sig.name);
+        break;
+      case GateType::kConst0:
+      case GateType::kConst1:
+        map[s] = out.add_gate(sig.type, {}, sig.name);
+        break;
+      case GateType::kAnd: {
+        auto [a, b] = em.reduce_to_pair(
+            std::move(ops), [&](SignalId x, SignalId y) { return em.and2(x, y); });
+        map[s] = em.inv(em.nand2(a, b), sig.name);
+        break;
+      }
+      case GateType::kNand: {
+        auto [a, b] = em.reduce_to_pair(
+            std::move(ops), [&](SignalId x, SignalId y) { return em.and2(x, y); });
+        map[s] = em.nand2(a, b, sig.name);
+        break;
+      }
+      case GateType::kOr: {
+        auto [a, b] = em.reduce_to_pair(
+            std::move(ops), [&](SignalId x, SignalId y) { return em.or2(x, y); });
+        map[s] = em.inv(em.nor2(a, b), sig.name);
+        break;
+      }
+      case GateType::kNor: {
+        auto [a, b] = em.reduce_to_pair(
+            std::move(ops), [&](SignalId x, SignalId y) { return em.or2(x, y); });
+        map[s] = em.nor2(a, b, sig.name);
+        break;
+      }
+      case GateType::kXor: {
+        auto [a, b] = em.reduce_to_pair(
+            std::move(ops), [&](SignalId x, SignalId y) { return em.xor2(x, y); });
+        map[s] = em.xor2(a, b, sig.name);
+        break;
+      }
+      case GateType::kXnor: {
+        auto [a, b] = em.reduce_to_pair(
+            std::move(ops), [&](SignalId x, SignalId y) { return em.xor2(x, y); });
+        map[s] = em.inv(em.xor2(a, b), sig.name);
+        break;
+      }
+    }
+  }
+
+  for (SignalId o : src.outputs()) out.mark_output(map[o]);
+  out.validate();
+  return out;
+}
+
+std::array<std::size_t, kNumGateTypes> gate_histogram(const Netlist& n) {
+  std::array<std::size_t, kNumGateTypes> hist{};
+  for (SignalId s = 0; s < n.num_signals(); ++s) {
+    const auto& sig = n.signal(s);
+    if (!sig.is_input) ++hist[static_cast<std::size_t>(sig.type)];
+  }
+  return hist;
+}
+
+
+Netlist clean(const Netlist& src) {
+  // Pass 1: liveness (reaches a primary output).
+  std::vector<bool> live(src.num_signals(), false);
+  {
+    std::vector<SignalId> stack(src.outputs().begin(), src.outputs().end());
+    while (!stack.empty()) {
+      const SignalId s = stack.back();
+      stack.pop_back();
+      if (live[s]) continue;
+      live[s] = true;
+      for (SignalId f : src.fanins(s)) stack.push_back(f);
+    }
+  }
+
+  Netlist out(src.name());
+  // Per original signal: constant value if known, else materialized id.
+  std::vector<std::optional<bool>> constant(src.num_signals());
+  std::vector<SignalId> mapped(src.num_signals(), kInvalidSignal);
+  std::size_t fresh = 0;
+
+  auto materialize_constant = [&](bool value, const std::string& name) {
+    return out.add_gate(value ? GateType::kConst1 : GateType::kConst0, {},
+                        name);
+  };
+
+  for (SignalId s = 0; s < src.num_signals(); ++s) {
+    const auto& sig = src.signal(s);
+    if (sig.is_input) {
+      mapped[s] = out.add_input(sig.name);  // interface always preserved
+      continue;
+    }
+    if (!live[s]) continue;  // swept
+
+    // Gather fanins, folding constants per gate semantics.
+    bool folded_const = false;
+    bool const_value = false;
+    bool parity_flip = false;  // for XOR/XNOR constant-1 fanins
+    std::vector<SignalId> kept;  // original ids of surviving fanins
+    const GateType t = sig.type;
+    for (SignalId f : src.fanins(s)) {
+      if (!constant[f].has_value()) {
+        kept.push_back(f);
+        continue;
+      }
+      const bool v = *constant[f];
+      switch (t) {
+        case GateType::kAnd:
+        case GateType::kNand:
+          if (!v) {
+            folded_const = true;
+            const_value = (t == GateType::kNand);
+          }
+          break;  // drop const-1 fanins
+        case GateType::kOr:
+        case GateType::kNor:
+          if (v) {
+            folded_const = true;
+            const_value = (t == GateType::kOr);
+          }
+          break;  // drop const-0 fanins
+        case GateType::kXor:
+        case GateType::kXnor:
+          if (v) parity_flip = !parity_flip;
+          break;  // drop const-0 fanins
+        case GateType::kBuf:
+          folded_const = true;
+          const_value = v;
+          break;
+        case GateType::kNot:
+          folded_const = true;
+          const_value = !v;
+          break;
+        case GateType::kConst0:
+        case GateType::kConst1:
+          break;  // no fanins
+      }
+      if (folded_const) break;
+    }
+    if (t == GateType::kConst0 || t == GateType::kConst1) {
+      folded_const = true;
+      const_value = (t == GateType::kConst1);
+    }
+
+    const bool inverting = t == GateType::kNand || t == GateType::kNor ||
+                           t == GateType::kXnor || t == GateType::kNot;
+    if (!folded_const && kept.empty()) {
+      // All fanins were identity constants: AND()->1, OR()->0, XOR()->0,
+      // then apply inversion/parity.
+      switch (t) {
+        case GateType::kAnd:
+        case GateType::kNand:
+          const_value = true;
+          break;
+        default:
+          const_value = false;
+          break;
+      }
+      if (inverting) const_value = !const_value;
+      if (t == GateType::kXor || t == GateType::kXnor) {
+        const_value = const_value != parity_flip;
+      }
+      folded_const = true;
+    }
+
+    if (folded_const) {
+      constant[s] = const_value;
+      if (src.is_output(s)) {
+        mapped[s] = materialize_constant(const_value, sig.name);
+      }
+      continue;
+    }
+
+    // Single survivor on a (possibly inverted) unate gate -> wire.
+    const bool is_parity = t == GateType::kXor || t == GateType::kXnor;
+    bool invert = inverting;
+    if (is_parity) invert = inverting != parity_flip;
+    if (kept.size() == 1 &&
+        (t != GateType::kBuf && t != GateType::kNot)) {
+      const SignalId in = mapped[kept[0]];
+      CFPM_ASSERT(in != kInvalidSignal);
+      mapped[s] = out.add_gate(invert ? GateType::kNot : GateType::kBuf, {in},
+                               sig.name);
+      continue;
+    }
+
+    std::vector<SignalId> fanins;
+    fanins.reserve(kept.size());
+    for (SignalId f : kept) {
+      CFPM_ASSERT(mapped[f] != kInvalidSignal);
+      fanins.push_back(mapped[f]);
+    }
+    GateType emitted = t;
+    if (is_parity && parity_flip) {
+      emitted = (t == GateType::kXor) ? GateType::kXnor : GateType::kXor;
+    }
+    // Unary gates keep their own type (handled above when const).
+    mapped[s] = out.add_gate(emitted, fanins, sig.name);
+    ++fresh;
+  }
+  (void)fresh;
+
+  for (SignalId o : src.outputs()) {
+    CFPM_ASSERT(mapped[o] != kInvalidSignal);
+    out.mark_output(mapped[o]);
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace cfpm::netlist

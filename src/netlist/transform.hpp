@@ -1,0 +1,34 @@
+// Structural netlist transforms.
+//
+// decompose_to_2input() re-expresses a netlist over the restricted library
+// {NAND2, NOR2, INV, BUF}, the way a technology mapper would. The paper's
+// Table-1 circuits are MCNC benchmarks *after mapping onto a test gate
+// library*; our generators build functionally meaningful circuits with rich
+// gates and then decompose them, which yields gate counts and switching
+// profiles comparable to mapped netlists.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace cfpm::netlist {
+
+/// Rewrites every gate as a tree of {NAND2, NOR2, INV}:
+///   AND  -> NAND + INV            OR   -> NOR + INV
+///   NAND -> balanced AND-tree + final NAND stage
+///   XOR  -> 4-NAND cells chained  XNOR -> XOR + INV
+/// Multi-input gates become balanced binary trees. Primary input/output
+/// names are preserved; internal signals get fresh '$'-suffixed names.
+/// Functional equivalence is guaranteed (and covered by tests).
+Netlist decompose_to_2input(const Netlist& src);
+
+/// Counts gates per type (diagnostics, tests).
+std::array<std::size_t, kNumGateTypes> gate_histogram(const Netlist& n);
+
+/// Cleanup pass: propagates constants (CONST0/CONST1 and gates whose
+/// value is forced by them), simplifies single-survivor gates to
+/// BUF/NOT, and sweeps gates that reach no primary output. Primary
+/// input/output names and functions are preserved; an output that becomes
+/// constant is kept as a CONST gate. Returns the simplified netlist.
+Netlist clean(const Netlist& src);
+
+}  // namespace cfpm::netlist

@@ -1,0 +1,106 @@
+#include "netlist/verify.hpp"
+
+#include <unordered_map>
+
+#include "dd/manager.hpp"
+#include "dd/stats.hpp"
+#include "support/assert.hpp"
+
+namespace cfpm::netlist {
+
+namespace {
+
+/// Builds the BDD of every signal of `n`, with primary input `name` mapped
+/// to the manager variable given by `var_of`.
+std::vector<dd::Bdd> build_functions(
+    dd::DdManager& mgr, const Netlist& n,
+    const std::unordered_map<std::string, std::uint32_t>& var_of) {
+  std::vector<dd::Bdd> f(n.num_signals());
+  for (SignalId s = 0; s < n.num_signals(); ++s) {
+    const auto& sig = n.signal(s);
+    if (sig.is_input) {
+      f[s] = mgr.bdd_var(var_of.at(sig.name));
+      continue;
+    }
+    switch (sig.type) {
+      case GateType::kConst0:
+        f[s] = mgr.bdd_zero();
+        break;
+      case GateType::kConst1:
+        f[s] = mgr.bdd_one();
+        break;
+      case GateType::kBuf:
+        f[s] = f[n.fanins(s)[0]];
+        break;
+      case GateType::kNot:
+        f[s] = !f[n.fanins(s)[0]];
+        break;
+      default: {
+        const auto fanins = n.fanins(s);
+        dd::Bdd acc = f[fanins[0]];
+        for (std::size_t k = 1; k < fanins.size(); ++k) {
+          switch (sig.type) {
+            case GateType::kAnd:
+            case GateType::kNand:
+              acc = acc & f[fanins[k]];
+              break;
+            case GateType::kOr:
+            case GateType::kNor:
+              acc = acc | f[fanins[k]];
+              break;
+            default:  // kXor / kXnor
+              acc = acc ^ f[fanins[k]];
+              break;
+          }
+        }
+        if (sig.type == GateType::kNand || sig.type == GateType::kNor ||
+            sig.type == GateType::kXnor) {
+          acc = !acc;
+        }
+        f[s] = std::move(acc);
+        break;
+      }
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+EquivalenceResult check_equivalence(const Netlist& golden,
+                                    const Netlist& candidate) {
+  CFPM_REQUIRE(golden.num_inputs() == candidate.num_inputs());
+  CFPM_REQUIRE(golden.outputs().size() == candidate.outputs().size());
+
+  // Shared variable per input name.
+  dd::DdManager mgr(golden.num_inputs());
+  std::unordered_map<std::string, std::uint32_t> var_of;
+  std::uint32_t next = 0;
+  for (SignalId s : golden.inputs()) {
+    var_of.emplace(golden.signal(s).name, next++);
+  }
+  for (SignalId s : candidate.inputs()) {
+    CFPM_REQUIRE(var_of.contains(candidate.signal(s).name));
+  }
+
+  const auto fg = build_functions(mgr, golden, var_of);
+  const auto fc = build_functions(mgr, candidate, var_of);
+
+  EquivalenceResult result;
+  for (std::size_t o = 0; o < golden.outputs().size(); ++o) {
+    const dd::Bdd& a = fg[golden.outputs()[o]];
+    const dd::Bdd& b = fc[candidate.outputs()[o]];
+    if (a == b) continue;  // canonical: pointer equality decides
+    result.equivalent = false;
+    result.differing_output = golden.signal(golden.outputs()[o]).name;
+    // Witness: any satisfying assignment of a XOR b.
+    const dd::Bdd diff = a ^ b;
+    const auto assignment = dd::argmax_assignment(dd::Add(diff));
+    result.counterexample.assign(assignment.begin(), assignment.end());
+    return result;
+  }
+  result.equivalent = true;
+  return result;
+}
+
+}  // namespace cfpm::netlist

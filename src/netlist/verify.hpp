@@ -1,0 +1,33 @@
+// Formal equivalence checking of combinational netlists via BDDs.
+//
+// Complements the simulation-based spot checks used in the test suite:
+// builds canonical BDDs for every primary output of both circuits (inputs
+// matched by name) and compares them structurally. Exact, and fast for
+// every circuit this library works with -- the same symbolic machinery
+// that powers the models does the proving.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace cfpm::netlist {
+
+struct EquivalenceResult {
+  bool equivalent = false;
+  /// When not equivalent: name of the first differing output pair and a
+  /// witness input assignment (by the common input order of `golden`).
+  std::string differing_output;
+  std::vector<std::uint8_t> counterexample;
+};
+
+/// Checks that `candidate` computes the same function as `golden` on every
+/// primary output (paired positionally; both circuits must have the same
+/// input names, matched by name, and equally many outputs).
+/// Throws cfpm::ContractError when the interfaces are incompatible.
+EquivalenceResult check_equivalence(const Netlist& golden,
+                                    const Netlist& candidate);
+
+}  // namespace cfpm::netlist

@@ -1,0 +1,383 @@
+#include "power/add_model.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "dd/serialize.hpp"
+#include "dd/stats.hpp"
+#include "support/assert.hpp"
+#include "support/error.hpp"
+#include "support/timer.hpp"
+
+namespace cfpm::power {
+
+using netlist::Netlist;
+using netlist::SignalId;
+
+namespace {
+
+std::uint32_t map_var(VariableOrder order, std::uint32_t input, bool final_copy,
+                      std::size_t num_inputs) {
+  switch (order) {
+    case VariableOrder::kInterleaved:
+      return 2 * input + (final_copy ? 1u : 0u);
+    case VariableOrder::kBlocked:
+      return input + (final_copy ? static_cast<std::uint32_t>(num_inputs) : 0u);
+  }
+  CFPM_UNREACHABLE("bad VariableOrder");
+}
+
+}  // namespace
+
+/// Implements the iterative construction loop of Fig. 6.
+class SymbolicBuilder {
+ public:
+  SymbolicBuilder(const Netlist& n, std::span<const double> loads,
+                  const AddModelOptions& options)
+      : n_(n), loads_(loads), options_(options) {}
+
+  AddPowerModel run() {
+    Timer timer;
+    const std::size_t num_inputs = n_.num_inputs();
+    CFPM_REQUIRE(num_inputs >= 1);
+    CFPM_REQUIRE(loads_.size() == n_.num_signals());
+
+    auto mgr = std::make_shared<dd::DdManager>(2 * num_inputs,
+                                               options_.dd_config);
+    AddModelBuildInfo info;
+
+    // Node functions of every signal, in both variable spaces, built in one
+    // topological pass. BDDs of signals whose fan-outs have all been
+    // consumed are released to bound memory.
+    std::vector<dd::Bdd> g_i(n_.num_signals());
+    std::vector<dd::Bdd> g_f(n_.num_signals());
+    std::vector<std::uint32_t> pending_uses(n_.num_signals(), 0);
+    for (SignalId s = 0; s < n_.num_signals(); ++s) {
+      for (SignalId f : n_.fanins(s)) ++pending_uses[f];
+    }
+
+    dd::Add total = mgr->constant(0.0);
+
+    // During construction the partial sum is kept under a slackened cap;
+    // the tight budget is enforced only after reordering, so early
+    // collapses (made under a possibly poor variable order) cannot lock in
+    // large errors. When the cap is first exceeded we try sifting before
+    // collapsing -- CUDD's automatic dynamic reordering plays the same
+    // role in the paper's flow.
+    const std::size_t inner_cap =
+        options_.max_nodes == 0 ? 0 : options_.max_nodes * 64;
+    std::size_t sift_trigger =
+        options_.max_nodes == 0 ? 0 : options_.max_nodes * 32;
+
+    auto release_if_done = [&](SignalId s) {
+      if (pending_uses[s] == 0) {
+        g_i[s] = dd::Bdd();
+        g_f[s] = dd::Bdd();
+      }
+    };
+
+    for (SignalId s = 0; s < n_.num_signals(); ++s) {
+      const auto& sig = n_.signal(s);
+      if (sig.is_input) {
+        const std::uint32_t idx = n_.input_index(s);
+        g_i[s] = mgr->bdd_var(
+            map_var(options_.order, idx, false, num_inputs));
+        g_f[s] = mgr->bdd_var(
+            map_var(options_.order, idx, true, num_inputs));
+        continue;
+      }
+      g_i[s] = build_gate(*mgr, sig.type, s, g_i);
+      g_f[s] = build_gate(*mgr, sig.type, s, g_f);
+
+      // deltaC = NOT(g(x^i)) AND g(x^f), weighted by the load (Fig. 6).
+      dd::Bdd rising = (!g_i[s]) & g_f[s];
+      dd::Add delta = dd::Add(rising).times(loads_[s]);
+      rising = dd::Bdd();
+      if (options_.delta_max_nodes != 0 &&
+          delta.size() > options_.delta_max_nodes) {
+        delta = dd::approximate_to(delta, options_.delta_max_nodes,
+                                   options_.mode);
+        ++info.approximations;
+      }
+      total = total + delta;
+      if (options_.approximate_during_construction && inner_cap != 0) {
+        if (options_.reorder_passes > 0 && total.size() > sift_trigger) {
+          mgr->sift();
+          ++info.reorder_runs;
+          // Re-sift only once the diagram outgrows this result noticeably.
+          sift_trigger = std::max(sift_trigger, 2 * total.size());
+        }
+        if (total.size() > inner_cap) {
+          total = dd::approximate_to(total, inner_cap, options_.mode);
+          ++info.approximations;
+        }
+      }
+      info.peak_live_nodes = std::max(info.peak_live_nodes, mgr->live_nodes());
+
+      // Fan-in BDDs may now be releasable.
+      for (SignalId f : n_.fanins(s)) {
+        CFPM_ASSERT(pending_uses[f] > 0);
+        --pending_uses[f];
+        release_if_done(f);
+      }
+      // A gate with no fan-outs (e.g. a primary output) is only needed for
+      // its own deltaC, which we just added.
+      release_if_done(s);
+    }
+    g_i.clear();
+    g_f.clear();
+    mgr->collect_garbage();
+
+    // Reorder, then enforce the budget on the (often already small enough)
+    // exact function.
+    if (options_.max_nodes != 0 && total.size() > options_.max_nodes) {
+      for (unsigned pass = 0; pass < options_.reorder_passes; ++pass) {
+        if (mgr->sift() == 0) break;  // converged
+      }
+      ++info.reorder_runs;
+    }
+    if (options_.max_nodes != 0 && total.size() > options_.max_nodes) {
+      total = dd::approximate_to(total, options_.max_nodes, options_.mode);
+      ++info.approximations;
+    }
+    mgr->collect_garbage();
+
+    info.build_seconds = timer.seconds();
+    info.exact_if_zero = info.approximations;
+
+    AddPowerModel model(std::move(mgr), std::move(total), num_inputs,
+                        options_.order, options_.mode, n_.name());
+    model.build_info_ = info;
+    return model;
+  }
+
+ private:
+  dd::Bdd build_gate(dd::DdManager& mgr, netlist::GateType type, SignalId s,
+                     const std::vector<dd::Bdd>& env) {
+    using netlist::GateType;
+    const auto fanins = n_.fanins(s);
+    switch (type) {
+      case GateType::kConst0:
+        return mgr.bdd_zero();
+      case GateType::kConst1:
+        return mgr.bdd_one();
+      case GateType::kBuf:
+        return env[fanins[0]];
+      case GateType::kNot:
+        return !env[fanins[0]];
+      default:
+        break;
+    }
+    dd::Bdd acc = env[fanins[0]];
+    for (std::size_t k = 1; k < fanins.size(); ++k) {
+      const dd::Bdd& next = env[fanins[k]];
+      switch (type) {
+        case GateType::kAnd:
+        case GateType::kNand:
+          acc = acc & next;
+          break;
+        case GateType::kOr:
+        case GateType::kNor:
+          acc = acc | next;
+          break;
+        case GateType::kXor:
+        case GateType::kXnor:
+          acc = acc ^ next;
+          break;
+        default:
+          CFPM_UNREACHABLE("gate type");
+      }
+    }
+    if (type == GateType::kNand || type == GateType::kNor ||
+        type == GateType::kXnor) {
+      acc = !acc;
+    }
+    return acc;
+  }
+
+  const Netlist& n_;
+  std::span<const double> loads_;
+  const AddModelOptions& options_;
+};
+
+// ---------------------------------------------------------------------------
+
+AddPowerModel::AddPowerModel(std::shared_ptr<dd::DdManager> mgr,
+                             dd::Add function, std::size_t num_inputs,
+                             VariableOrder order, dd::ApproxMode mode,
+                             std::string circuit_name)
+    : mgr_(std::move(mgr)),
+      function_(std::move(function)),
+      num_inputs_(num_inputs),
+      order_(order),
+      mode_(mode),
+      circuit_name_(std::move(circuit_name)) {}
+
+AddPowerModel AddPowerModel::build(const Netlist& n,
+                                   std::span<const double> loads_ff,
+                                   const AddModelOptions& options) {
+  SymbolicBuilder builder(n, loads_ff, options);
+  return builder.run();
+}
+
+AddPowerModel AddPowerModel::build(const Netlist& n,
+                                   const netlist::GateLibrary& lib,
+                                   const AddModelOptions& options) {
+  const std::vector<double> loads = n.annotate_loads(lib);
+  return build(n, loads, options);
+}
+
+std::string AddPowerModel::name() const {
+  return "ADD(" + circuit_name_ + "," + std::to_string(size()) + ")";
+}
+
+std::uint32_t AddPowerModel::var_of_xi(std::uint32_t input) const {
+  CFPM_REQUIRE(input < num_inputs_);
+  return map_var(order_, input, false, num_inputs_);
+}
+
+std::uint32_t AddPowerModel::var_of_xf(std::uint32_t input) const {
+  CFPM_REQUIRE(input < num_inputs_);
+  return map_var(order_, input, true, num_inputs_);
+}
+
+double AddPowerModel::estimate_ff(std::span<const std::uint8_t> xi,
+                                  std::span<const std::uint8_t> xf) const {
+  CFPM_REQUIRE(xi.size() == num_inputs_ && xf.size() == num_inputs_);
+  // Assignment indexed by manager variable.
+  std::vector<std::uint8_t> assignment(2 * num_inputs_, 0);
+  for (std::uint32_t k = 0; k < num_inputs_; ++k) {
+    assignment[var_of_xi(k)] = xi[k];
+    assignment[var_of_xf(k)] = xf[k];
+  }
+  return function_.eval(assignment);
+}
+
+std::vector<double> AddPowerModel::input_sensitivity_ff() const {
+  std::vector<double> sensitivity(num_inputs_, 0.0);
+  for (std::uint32_t k = 0; k < num_inputs_; ++k) {
+    const std::uint32_t vi = var_of_xi(k);
+    const std::uint32_t vf = var_of_xf(k);
+    const dd::Add f0 = function_.cofactor(vi, false);
+    const dd::Add f1 = function_.cofactor(vi, true);
+    const double toggle = 0.5 * (f0.cofactor(vf, true).average() +
+                                 f1.cofactor(vf, false).average());
+    const double stable = 0.5 * (f0.cofactor(vf, false).average() +
+                                 f1.cofactor(vf, true).average());
+    sensitivity[k] = toggle - stable;
+  }
+  return sensitivity;
+}
+
+AddPowerModel::Transition AddPowerModel::worst_case_transition() const {
+  const std::vector<std::uint8_t> assignment = dd::argmax_assignment(function_);
+  Transition t;
+  t.xi.resize(num_inputs_);
+  t.xf.resize(num_inputs_);
+  for (std::uint32_t k = 0; k < num_inputs_; ++k) {
+    t.xi[k] = assignment[var_of_xi(k)];
+    t.xf[k] = assignment[var_of_xf(k)];
+  }
+  return t;
+}
+
+AddPowerModel AddPowerModel::compress(std::size_t max_nodes) const {
+  return compress(max_nodes, mode_);
+}
+
+AddPowerModel AddPowerModel::compress(std::size_t max_nodes,
+                                      dd::ApproxMode mode) const {
+  Timer timer;
+  dd::Add smaller = dd::approximate_to(function_, max_nodes, mode);
+  AddPowerModel model(mgr_, std::move(smaller), num_inputs_, order_, mode,
+                      circuit_name_);
+  model.build_info_ = build_info_;
+  model.build_info_.build_seconds += timer.seconds();
+  model.build_info_.approximations += 1;
+  return model;
+}
+
+void AddPowerModel::save(std::ostream& os) const {
+  os << "cfpm-power-model 1\n";
+  os << "circuit " << (circuit_name_.empty() ? "?" : circuit_name_) << "\n";
+  os << "inputs " << num_inputs_ << "\n";
+  os << "order "
+     << (order_ == VariableOrder::kInterleaved ? "interleaved" : "blocked")
+     << "\n";
+  os << "mode "
+     << (mode_ == dd::ApproxMode::kAverage ? "average" : "upper-bound") << "\n";
+  dd::write_add(os, function_);
+  if (!os) throw Error("AddPowerModel::save: stream failure");
+}
+
+AddPowerModel AddPowerModel::load(std::istream& is) {
+  std::string line;
+  auto read_line = [&](const char* what) {
+    if (!std::getline(is, line)) {
+      throw ParseError(std::string("power model: missing ") + what);
+    }
+  };
+  read_line("header");
+  if (line != "cfpm-power-model 1") {
+    throw ParseError("power model: bad header '" + line + "'");
+  }
+  std::string circuit, order_str, mode_str;
+  std::size_t inputs = 0;
+  read_line("circuit");
+  {
+    std::istringstream ss(line);
+    std::string kw;
+    if (!(ss >> kw >> circuit) || kw != "circuit") {
+      throw ParseError("power model: expected 'circuit <name>'");
+    }
+  }
+  read_line("inputs");
+  {
+    std::istringstream ss(line);
+    std::string kw;
+    if (!(ss >> kw >> inputs) || kw != "inputs" || inputs == 0) {
+      throw ParseError("power model: expected 'inputs <n>'");
+    }
+  }
+  read_line("order");
+  {
+    std::istringstream ss(line);
+    std::string kw;
+    if (!(ss >> kw >> order_str) || kw != "order") {
+      throw ParseError("power model: expected 'order <o>'");
+    }
+  }
+  read_line("mode");
+  {
+    std::istringstream ss(line);
+    std::string kw;
+    if (!(ss >> kw >> mode_str) || kw != "mode") {
+      throw ParseError("power model: expected 'mode <m>'");
+    }
+  }
+  VariableOrder order;
+  if (order_str == "interleaved") {
+    order = VariableOrder::kInterleaved;
+  } else if (order_str == "blocked") {
+    order = VariableOrder::kBlocked;
+  } else {
+    throw ParseError("power model: unknown order '" + order_str + "'");
+  }
+  dd::ApproxMode mode;
+  if (mode_str == "average") {
+    mode = dd::ApproxMode::kAverage;
+  } else if (mode_str == "upper-bound") {
+    mode = dd::ApproxMode::kUpperBound;
+  } else {
+    throw ParseError("power model: unknown mode '" + mode_str + "'");
+  }
+
+  auto mgr = std::make_shared<dd::DdManager>(2 * inputs);
+  dd::Add function = dd::read_add(is, *mgr);
+  return AddPowerModel(std::move(mgr), std::move(function), inputs, order,
+                       mode, circuit);
+}
+
+}  // namespace cfpm::power

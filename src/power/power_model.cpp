@@ -1,0 +1,40 @@
+#include "power/power_model.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace cfpm::power {
+
+double PowerModel::average_over(const sim::InputSequence& seq) const {
+  CFPM_REQUIRE(seq.num_inputs() == num_inputs());
+  const std::size_t transitions = seq.num_transitions();
+  if (transitions == 0) return 0.0;
+  std::vector<std::uint8_t> xi(seq.num_inputs()), xf(seq.num_inputs());
+  seq.vector_at(0, xi);
+  double total = 0.0;
+  for (std::size_t t = 0; t < transitions; ++t) {
+    seq.vector_at(t + 1, xf);
+    total += estimate_ff(xi, xf);
+    xi.swap(xf);
+  }
+  return total / static_cast<double>(transitions);
+}
+
+double PowerModel::peak_over(const sim::InputSequence& seq) const {
+  CFPM_REQUIRE(seq.num_inputs() == num_inputs());
+  const std::size_t transitions = seq.num_transitions();
+  std::vector<std::uint8_t> xi(seq.num_inputs()), xf(seq.num_inputs());
+  double peak = 0.0;
+  if (transitions == 0) return peak;
+  seq.vector_at(0, xi);
+  for (std::size_t t = 0; t < transitions; ++t) {
+    seq.vector_at(t + 1, xf);
+    peak = std::max(peak, estimate_ff(xi, xf));
+    xi.swap(xf);
+  }
+  return peak;
+}
+
+}  // namespace cfpm::power

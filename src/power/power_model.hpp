@@ -1,0 +1,57 @@
+// RTL power-model interface.
+//
+// A model maps an input transition (x^i -> x^f) of a combinational macro to
+// an estimate of the switched capacitance in fF (energy = Vdd^2 * C, Eq. 1).
+// Pattern-independent models simply ignore the patterns.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "sim/sequence.hpp"
+
+namespace cfpm::power {
+
+class PowerModel {
+ public:
+  virtual ~PowerModel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Estimated switching capacitance (fF) for one transition.
+  virtual double estimate_ff(std::span<const std::uint8_t> xi,
+                             std::span<const std::uint8_t> xf) const = 0;
+
+  /// True when estimate_ff is guaranteed >= the golden model's value for
+  /// every transition (conservative upper bound).
+  virtual bool is_upper_bound() const { return false; }
+
+  /// Number of macro inputs the model expects.
+  virtual std::size_t num_inputs() const = 0;
+
+  /// Largest estimate the model can produce over any transition (the
+  /// pattern-independent worst case of this estimator).
+  virtual double worst_case_ff() const = 0;
+
+  // ----- sequence-level evaluation (RTL simulation loop) -------------------
+
+  /// Average estimated capacitance per transition over a sequence.
+  double average_over(const sim::InputSequence& seq) const;
+
+  /// Maximum estimated capacitance over the transitions of a sequence.
+  double peak_over(const sim::InputSequence& seq) const;
+};
+
+/// Supply voltage context to convert capacitance to energy/power.
+struct SupplyConfig {
+  double vdd_volts = 3.3;
+  /// Energy (fJ) for a switched capacitance in fF.
+  double energy_fj(double cap_ff) const { return vdd_volts * vdd_volts * cap_ff; }
+  /// Average power (uW) given fF per transition and a clock period in ns.
+  double power_uw(double cap_ff_per_cycle, double period_ns) const {
+    return energy_fj(cap_ff_per_cycle) / period_ns;  // fJ/ns == uW
+  }
+};
+
+}  // namespace cfpm::power

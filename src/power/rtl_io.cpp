@@ -1,0 +1,173 @@
+#include "power/rtl_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <unordered_map>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/blif_io.hpp"
+#include "netlist/generators.hpp"
+#include "power/add_model.hpp"
+#include "support/assert.hpp"
+#include "support/error.hpp"
+
+namespace cfpm::power {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& s) {
+  std::istringstream ss(s);
+  std::vector<std::string> toks;
+  std::string t;
+  while (ss >> t) toks.push_back(t);
+  return toks;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::shared_ptr<const PowerModel> load_macro(const std::string& source,
+                                             std::size_t max_nodes, bool bound,
+                                             const netlist::GateLibrary& lib,
+                                             std::size_t lineno) {
+  if (ends_with(source, ".cfpm")) {
+    std::ifstream in(source);
+    if (!in) throw Error("rtl: cannot open model '" + source + "'");
+    return std::make_shared<AddPowerModel>(AddPowerModel::load(in));
+  }
+  netlist::Netlist n = [&] {
+    if (source.rfind("gen:", 0) == 0) {
+      const std::string name = source.substr(4);
+      if (name == "c17") return netlist::gen::c17();
+      return netlist::gen::mcnc_like(name);
+    }
+    if (ends_with(source, ".bench")) return netlist::read_bench_file(source);
+    if (ends_with(source, ".blif")) return netlist::read_blif_file(source);
+    throw ParseError("rtl: unknown macro source '" + source + "'", lineno);
+  }();
+  AddModelOptions opt;
+  opt.max_nodes = max_nodes;
+  opt.mode = bound ? dd::ApproxMode::kUpperBound : dd::ApproxMode::kAverage;
+  return std::make_shared<AddPowerModel>(AddPowerModel::build(n, lib, opt));
+}
+
+/// Parses "<a>" or "<a>-<b>" bus-bit tokens into indices.
+void append_bits(const std::string& token, std::vector<std::size_t>& bits,
+                 std::size_t lineno) {
+  const auto dash = token.find('-');
+  try {
+    if (dash == std::string::npos) {
+      bits.push_back(std::stoul(token));
+      return;
+    }
+    const std::size_t lo = std::stoul(token.substr(0, dash));
+    const std::size_t hi = std::stoul(token.substr(dash + 1));
+    if (hi < lo) throw ParseError("rtl: empty bit range '" + token + "'", lineno);
+    for (std::size_t b = lo; b <= hi; ++b) bits.push_back(b);
+  } catch (const std::invalid_argument&) {
+    throw ParseError("rtl: bad bus bit '" + token + "'", lineno);
+  } catch (const std::out_of_range&) {
+    throw ParseError("rtl: bus bit out of range '" + token + "'", lineno);
+  }
+}
+
+}  // namespace
+
+RtlDescription read_rtl_design(std::istream& is,
+                               const netlist::GateLibrary& lib) {
+  RtlDescription result;
+  result.name = "rtl";
+  std::unordered_map<std::string, std::shared_ptr<const PowerModel>> macros;
+  std::unordered_map<std::string, bool> instance_names;
+  std::size_t declared_bus = 0;
+  std::size_t lineno = 0;
+  std::string raw;
+
+  while (std::getline(is, raw)) {
+    ++lineno;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const auto toks = tokenize(raw);
+    if (toks.empty()) continue;
+
+    if (toks[0] == "design") {
+      if (toks.size() != 2) throw ParseError("rtl: design needs a name", lineno);
+      result.name = toks[1];
+    } else if (toks[0] == "bus") {
+      if (toks.size() != 2) throw ParseError("rtl: bus needs a width", lineno);
+      declared_bus = std::stoul(toks[1]);
+    } else if (toks[0] == "macro") {
+      if (toks.size() < 3) {
+        throw ParseError("rtl: macro needs a name and a source", lineno);
+      }
+      const std::string& name = toks[1];
+      if (macros.contains(name)) {
+        throw ParseError("rtl: macro '" + name + "' defined twice", lineno);
+      }
+      std::size_t max_nodes = 1000;
+      bool bound = false;
+      for (std::size_t i = 3; i < toks.size(); ++i) {
+        if (toks[i].rfind("max=", 0) == 0) {
+          max_nodes = std::stoul(toks[i].substr(4));
+        } else if (toks[i] == "bound") {
+          bound = true;
+        } else {
+          throw ParseError("rtl: unknown macro option '" + toks[i] + "'",
+                           lineno);
+        }
+      }
+      macros.emplace(name, load_macro(toks[2], max_nodes, bound, lib, lineno));
+    } else if (toks[0] == "inst") {
+      if (toks.size() < 4) {
+        throw ParseError("rtl: inst needs a name, macro and bus bits", lineno);
+      }
+      const std::string& iname = toks[1];
+      if (instance_names.contains(iname)) {
+        throw ParseError("rtl: instance '" + iname + "' defined twice", lineno);
+      }
+      auto it = macros.find(toks[2]);
+      if (it == macros.end()) {
+        throw ParseError("rtl: undefined macro '" + toks[2] + "'", lineno);
+      }
+      std::vector<std::size_t> bits;
+      for (std::size_t i = 3; i < toks.size(); ++i) {
+        append_bits(toks[i], bits, lineno);
+      }
+      if (bits.size() != it->second->num_inputs()) {
+        throw ParseError("rtl: instance '" + iname + "' wires " +
+                             std::to_string(bits.size()) + " bits to a " +
+                             std::to_string(it->second->num_inputs()) +
+                             "-input macro",
+                         lineno);
+      }
+      instance_names.emplace(iname, true);
+      result.design.add_instance(iname, it->second, std::move(bits));
+      result.instance_macros.push_back(toks[2]);
+    } else {
+      throw ParseError("rtl: unknown directive '" + toks[0] + "'", lineno);
+    }
+  }
+
+  if (result.design.num_instances() == 0) {
+    throw ParseError("rtl: no instances declared", lineno);
+  }
+  if (declared_bus != 0 && declared_bus < result.design.bus_width()) {
+    throw ParseError("rtl: declared bus width " + std::to_string(declared_bus) +
+                         " is narrower than the widest wired bit " +
+                         std::to_string(result.design.bus_width() - 1),
+                     lineno);
+  }
+  return result;
+}
+
+RtlDescription read_rtl_design_file(const std::string& path,
+                                    const netlist::GateLibrary& lib) {
+  std::ifstream f(path);
+  if (!f) throw Error("cannot open rtl design: " + path);
+  return read_rtl_design(f, lib);
+}
+
+}  // namespace cfpm::power

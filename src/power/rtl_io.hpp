@@ -1,0 +1,47 @@
+// Text format for RT-level designs built from power-model macros.
+//
+// The paper's deployment story: a library of combinational macros, each
+// back-annotated with a (characterization-free) power model, instantiated
+// many times across an RTL design. This loader turns such a description
+// into an RtlDesign.
+//
+// Grammar (line oriented, '#' comments):
+//   design <name>
+//   bus <width>                       # optional; inferred when absent
+//   macro <mname> <source> [max=<N>] [bound]
+//   inst <iname> <mname> <bit> <bit> ...   # one bus bit per macro input,
+//                                          # ranges like 3-10 allowed
+//
+// <source> is a saved model (*.cfpm), a netlist (*.bench / *.blif) or a
+// built-in generator (gen:<name>). Netlist sources are turned into models
+// on the fly with the given node budget (default 1000) and strategy.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netlist/library.hpp"
+#include "power/rtl.hpp"
+
+namespace cfpm::power {
+
+struct RtlDescription {
+  std::string name;
+  RtlDesign design;
+  /// Macro name per instance (parallel to the design's instances).
+  std::vector<std::string> instance_macros;
+};
+
+/// Parses a design description. Netlist-backed macros are modeled with
+/// `lib` capacitances. Throws cfpm::ParseError on malformed input and
+/// cfpm::Error when a referenced file is unreadable.
+RtlDescription read_rtl_design(std::istream& is,
+                               const netlist::GateLibrary& lib);
+
+/// Convenience file loader.
+RtlDescription read_rtl_design_file(const std::string& path,
+                                    const netlist::GateLibrary& lib);
+
+}  // namespace cfpm::power

@@ -1,0 +1,135 @@
+#include "sim/simulator.hpp"
+
+#include <bit>
+
+#include "support/assert.hpp"
+
+namespace cfpm::sim {
+
+using netlist::Netlist;
+using netlist::SignalId;
+
+GateLevelSimulator::GateLevelSimulator(const Netlist& n,
+                                       std::vector<double> loads_ff)
+    : netlist_(n), loads_(std::move(loads_ff)) {
+  CFPM_REQUIRE(loads_.size() == n.num_signals());
+  for (SignalId s = 0; s < n.num_signals(); ++s) {
+    if (!n.signal(s).is_input) {
+      CFPM_REQUIRE(n.signal(s).fanin_count <= 64);  // word-parallel kernel limit
+      total_gate_load_ += loads_[s];
+    }
+  }
+}
+
+GateLevelSimulator::GateLevelSimulator(const Netlist& n,
+                                       const netlist::GateLibrary& lib)
+    : GateLevelSimulator(n, n.annotate_loads(lib)) {}
+
+void GateLevelSimulator::eval_words(std::span<const std::uint64_t> input_words,
+                                    std::span<std::uint64_t> signal_words) const {
+  CFPM_REQUIRE(input_words.size() == netlist_.num_inputs());
+  CFPM_REQUIRE(signal_words.size() == netlist_.num_signals());
+  std::size_t next_input = 0;
+  std::uint64_t fanin_buf[64];
+  for (SignalId s = 0; s < netlist_.num_signals(); ++s) {
+    const auto& sig = netlist_.signal(s);
+    if (sig.is_input) {
+      signal_words[s] = input_words[next_input++];
+      continue;
+    }
+    const auto fanins = netlist_.fanins(s);
+    CFPM_ASSERT(fanins.size() <= 64);
+    for (std::size_t k = 0; k < fanins.size(); ++k) {
+      fanin_buf[k] = signal_words[fanins[k]];
+    }
+    signal_words[s] = netlist::eval_gate_words(
+        sig.type, std::span<const std::uint64_t>(fanin_buf, fanins.size()));
+  }
+}
+
+std::vector<std::uint8_t> GateLevelSimulator::eval(
+    std::span<const std::uint8_t> inputs) const {
+  CFPM_REQUIRE(inputs.size() == netlist_.num_inputs());
+  std::vector<std::uint64_t> in_words(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    in_words[i] = inputs[i] ? ~std::uint64_t{0} : 0;
+  }
+  std::vector<std::uint64_t> sig_words(netlist_.num_signals());
+  eval_words(in_words, sig_words);
+  std::vector<std::uint8_t> out(netlist_.num_signals());
+  for (std::size_t s = 0; s < out.size(); ++s) {
+    out[s] = (sig_words[s] & 1u) ? 1 : 0;
+  }
+  return out;
+}
+
+double GateLevelSimulator::switching_capacitance_ff(
+    std::span<const std::uint8_t> xi, std::span<const std::uint8_t> xf) const {
+  const std::vector<std::uint8_t> vi = eval(xi);
+  const std::vector<std::uint8_t> vf = eval(xf);
+  double cap = 0.0;
+  for (SignalId s = 0; s < netlist_.num_signals(); ++s) {
+    if (netlist_.signal(s).is_input) continue;
+    if (vi[s] == 0 && vf[s] != 0) cap += loads_[s];
+  }
+  return cap;
+}
+
+SequenceEnergy GateLevelSimulator::simulate(const InputSequence& seq) const {
+  CFPM_REQUIRE(seq.num_inputs() == netlist_.num_inputs());
+  SequenceEnergy result;
+  const std::size_t transitions = seq.num_transitions();
+  result.per_transition_ff.assign(transitions, 0.0);
+  if (transitions == 0) return result;
+
+  const std::size_t num_signals = netlist_.num_signals();
+  const std::size_t chunks = seq.words_per_input();
+  std::vector<std::uint64_t> in_words(netlist_.num_inputs());
+  std::vector<std::uint64_t> cur(num_signals), next(num_signals);
+
+  // Evaluate chunk 0.
+  for (std::size_t i = 0; i < in_words.size(); ++i) in_words[i] = seq.word(i, 0);
+  eval_words(in_words, cur);
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const bool has_next = (c + 1) < chunks;
+    if (has_next) {
+      for (std::size_t i = 0; i < in_words.size(); ++i) {
+        in_words[i] = seq.word(i, c + 1);
+      }
+      eval_words(in_words, next);
+    }
+    // Transitions whose *initial* timestep lies in chunk c:
+    // t in [64c, min(64c+63, transitions-1)].
+    const std::size_t base = c * 64;
+    const std::size_t last =
+        std::min(base + 63, transitions - 1);  // inclusive
+    if (base > last) break;
+    const unsigned lanes = static_cast<unsigned>(last - base + 1);
+    const std::uint64_t lane_mask =
+        lanes == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << lanes) - 1);
+
+    for (SignalId s = 0; s < num_signals; ++s) {
+      if (netlist_.signal(s).is_input) continue;
+      const std::uint64_t w = cur[s];
+      const std::uint64_t shifted =
+          (w >> 1) | (has_next ? (next[s] << 63) : 0);
+      std::uint64_t rise = ~w & shifted & lane_mask;
+      const double load = loads_[s];
+      while (rise != 0) {
+        const int b = std::countr_zero(rise);
+        rise &= rise - 1;
+        result.per_transition_ff[base + static_cast<std::size_t>(b)] += load;
+      }
+    }
+    cur.swap(next);
+  }
+
+  for (double c : result.per_transition_ff) {
+    result.total_ff += c;
+    result.peak_ff = std::max(result.peak_ff, c);
+  }
+  return result;
+}
+
+}  // namespace cfpm::sim

@@ -1,0 +1,71 @@
+// Zero-delay gate-level simulator (the paper's golden model).
+//
+// At zero delay the only structural power phenomenon is the charging of a
+// gate's load capacitance on a rising output transition (Eq. 1-3). The
+// simulator evaluates a netlist over 64 parallel one-bit lanes and reports
+// the exact switching capacitance per input transition. This is the
+// reference against which every RTL power model is judged, and also the
+// data source for characterizing the Con/Lin baselines.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/library.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/sequence.hpp"
+
+namespace cfpm::sim {
+
+/// Per-sequence energy accounting, all in femtofarads of switched
+/// capacitance (multiply by Vdd^2 for energy, Eq. 1).
+struct SequenceEnergy {
+  std::vector<double> per_transition_ff;  ///< C(x^t, x^{t+1}) for every t
+  double total_ff = 0.0;
+  double peak_ff = 0.0;
+
+  double average_ff() const {
+    return per_transition_ff.empty()
+               ? 0.0
+               : total_ff / static_cast<double>(per_transition_ff.size());
+  }
+};
+
+class GateLevelSimulator {
+ public:
+  /// Loads are taken per signal, typically from Netlist::annotate_loads().
+  GateLevelSimulator(const netlist::Netlist& n, std::vector<double> loads_ff);
+
+  /// Convenience: annotates loads from `lib`.
+  GateLevelSimulator(const netlist::Netlist& n, const netlist::GateLibrary& lib);
+
+  const netlist::Netlist& circuit() const noexcept { return netlist_; }
+  std::span<const double> loads_ff() const noexcept { return loads_; }
+
+  /// Worst case: every gate output rises (sum of all gate loads).
+  double total_gate_load_ff() const noexcept { return total_gate_load_; }
+
+  /// Evaluates all signals for 64 packed input patterns.
+  /// `input_words[i]` carries input i of all lanes; `signal_words` must have
+  /// num_signals() entries and receives every signal's lanes.
+  void eval_words(std::span<const std::uint64_t> input_words,
+                  std::span<std::uint64_t> signal_words) const;
+
+  /// Scalar single-vector evaluation; returns all signal values.
+  std::vector<std::uint8_t> eval(std::span<const std::uint8_t> inputs) const;
+
+  /// Exact switching capacitance (fF) of one transition x^i -> x^f (Eq. 2).
+  double switching_capacitance_ff(std::span<const std::uint8_t> xi,
+                                  std::span<const std::uint8_t> xf) const;
+
+  /// Simulates a full vector sequence; one capacitance per transition.
+  SequenceEnergy simulate(const InputSequence& seq) const;
+
+ private:
+  const netlist::Netlist& netlist_;
+  std::vector<double> loads_;
+  double total_gate_load_ = 0.0;
+};
+
+}  // namespace cfpm::sim

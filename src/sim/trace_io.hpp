@@ -1,0 +1,32 @@
+// Value Change Dump (VCD) export of simulation traces.
+//
+// Dumps an input workload -- and, when a simulator is supplied, every
+// internal signal's zero-delay value -- as an IEEE-1364 VCD file that any
+// waveform viewer (GTKWave & friends) can open. One timestep per input
+// vector; only changes are emitted, per the format.
+#pragma once
+
+#include <iosfwd>
+
+#include "netlist/netlist.hpp"
+#include "sim/sequence.hpp"
+#include "sim/simulator.hpp"
+
+namespace cfpm::sim {
+
+struct VcdOptions {
+  /// Emitted in the header ("1ns" per vector by default).
+  const char* timescale = "1ns";
+  /// Dump internal gate outputs too (requires a simulator in write_vcd).
+  bool include_internal = true;
+};
+
+/// Writes the workload `seq` applied to `n`. When `simulator` is non-null
+/// (and options.include_internal), internal signal values are dumped as
+/// well. Throws cfpm::Error on stream failure.
+void write_vcd(std::ostream& os, const netlist::Netlist& n,
+               const InputSequence& seq,
+               const GateLevelSimulator* simulator = nullptr,
+               const VcdOptions& options = {});
+
+}  // namespace cfpm::sim

@@ -1,0 +1,173 @@
+#include "sim/unit_delay.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/assert.hpp"
+
+namespace cfpm::sim {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SignalId;
+
+DelayModel DelayModel::unit() {
+  DelayModel m;
+  for (std::size_t i = 0; i < netlist::kNumGateTypes; ++i) {
+    m.delay_[i] = 1;
+  }
+  m.delay_[static_cast<std::size_t>(GateType::kConst0)] = 0;
+  m.delay_[static_cast<std::size_t>(GateType::kConst1)] = 0;
+  return m;
+}
+
+DelayModel DelayModel::standard() {
+  DelayModel m = unit();
+  m.set_delay(GateType::kBuf, 1);
+  m.set_delay(GateType::kNot, 1);
+  m.set_delay(GateType::kAnd, 2);
+  m.set_delay(GateType::kNand, 2);
+  m.set_delay(GateType::kOr, 2);
+  m.set_delay(GateType::kNor, 2);
+  m.set_delay(GateType::kXor, 3);
+  m.set_delay(GateType::kXnor, 3);
+  return m;
+}
+
+UnitDelaySimulator::UnitDelaySimulator(const Netlist& n,
+                                       std::vector<double> loads_ff,
+                                       DelayModel delays)
+    : netlist_(n), loads_(std::move(loads_ff)), delays_(delays) {
+  CFPM_REQUIRE(loads_.size() == n.num_signals());
+  fanouts_ = n.fanouts();
+}
+
+UnitDelaySimulator::UnitDelaySimulator(const Netlist& n,
+                                       const netlist::GateLibrary& lib,
+                                       DelayModel delays)
+    : UnitDelaySimulator(n, n.annotate_loads(lib), delays) {}
+
+void UnitDelaySimulator::settle(std::span<const std::uint8_t> inputs,
+                                std::vector<std::uint8_t>& values) const {
+  CFPM_REQUIRE(inputs.size() == netlist_.num_inputs());
+  values.resize(netlist_.num_signals());
+  std::size_t next_input = 0;
+  std::vector<std::uint8_t> fanin_vals;
+  for (SignalId s = 0; s < netlist_.num_signals(); ++s) {
+    const auto& sig = netlist_.signal(s);
+    if (sig.is_input) {
+      values[s] = inputs[next_input++] ? 1 : 0;
+      continue;
+    }
+    fanin_vals.clear();
+    for (SignalId f : netlist_.fanins(s)) fanin_vals.push_back(values[f]);
+    values[s] = netlist::eval_gate(sig.type, fanin_vals) ? 1 : 0;
+  }
+}
+
+GlitchBreakdown UnitDelaySimulator::switching_capacitance_ff(
+    std::span<const std::uint8_t> xi, std::span<const std::uint8_t> xf) const {
+  CFPM_REQUIRE(xi.size() == netlist_.num_inputs());
+  CFPM_REQUIRE(xf.size() == netlist_.num_inputs());
+
+  // Start from the x^i steady state.
+  std::vector<std::uint8_t> value;
+  settle(xi, value);
+  std::vector<std::uint8_t> initial = value;
+
+  // Event queue keyed by time; each event re-evaluates one gate.
+  // std::map keeps the wheel sparse and deterministic.
+  std::map<unsigned, std::vector<SignalId>> wheel;
+
+  auto schedule_fanouts = [&](SignalId s, unsigned now) {
+    for (SignalId g : fanouts_[s]) {
+      const unsigned when = now + delays_.delay(netlist_.signal(g).type);
+      wheel[when].push_back(g);
+    }
+  };
+
+  GlitchBreakdown result;
+
+  // Apply the input change at t = 0.
+  std::size_t idx = 0;
+  for (SignalId s : netlist_.inputs()) {
+    const std::uint8_t nv = xf[idx++] ? 1 : 0;
+    if (nv != value[s]) {
+      value[s] = nv;
+      schedule_fanouts(s, 0);
+    }
+  }
+
+  std::vector<std::uint8_t> fanin_vals;
+  std::vector<std::pair<SignalId, std::uint8_t>> commits;
+  while (!wheel.empty()) {
+    const auto it = wheel.begin();
+    const unsigned now = it->first;
+    std::vector<SignalId> batch = std::move(it->second);
+    wheel.erase(it);
+    // De-duplicate same-time evaluations of one gate.
+    std::sort(batch.begin(), batch.end());
+    batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
+    // Two-phase semantics: every gate scheduled at `now` observes the
+    // pre-batch values, then all changes commit simultaneously --
+    // otherwise same-time hazards would silently cancel.
+    commits.clear();
+    for (SignalId g : batch) {
+      const auto& sig = netlist_.signal(g);
+      fanin_vals.clear();
+      for (SignalId f : netlist_.fanins(g)) fanin_vals.push_back(value[f]);
+      const std::uint8_t nv = netlist::eval_gate(sig.type, fanin_vals) ? 1 : 0;
+      if (nv != value[g]) commits.emplace_back(g, nv);
+    }
+    for (const auto& [g, nv] : commits) {
+      if (nv == 1) result.total_ff += loads_[g];  // rising edge, maybe a glitch
+      value[g] = nv;
+      schedule_fanouts(g, now);
+    }
+    // Safety net against (impossible for a DAG) runaway oscillation.
+    CFPM_ASSERT(now < 1u << 20);
+  }
+
+  // Functional part: rising transitions implied by the steady states alone
+  // (exactly the paper's zero-delay structural consumption, Eq. 2/3).
+  for (SignalId s = 0; s < netlist_.num_signals(); ++s) {
+    if (netlist_.signal(s).is_input) continue;
+    if (initial[s] == 0 && value[s] == 1) result.functional_ff += loads_[s];
+  }
+  CFPM_ASSERT(result.total_ff + 1e-9 >= result.functional_ff);
+  return result;
+}
+
+SequenceEnergy UnitDelaySimulator::simulate(const InputSequence& seq) const {
+  CFPM_REQUIRE(seq.num_inputs() == netlist_.num_inputs());
+  SequenceEnergy energy;
+  const std::size_t transitions = seq.num_transitions();
+  energy.per_transition_ff.reserve(transitions);
+  std::vector<std::uint8_t> xi(seq.num_inputs()), xf(seq.num_inputs());
+  for (std::size_t t = 0; t < transitions; ++t) {
+    seq.vector_at(t, xi);
+    seq.vector_at(t + 1, xf);
+    const GlitchBreakdown b = switching_capacitance_ff(xi, xf);
+    energy.per_transition_ff.push_back(b.total_ff);
+    energy.total_ff += b.total_ff;
+    energy.peak_ff = std::max(energy.peak_ff, b.total_ff);
+  }
+  return energy;
+}
+
+GlitchBreakdown UnitDelaySimulator::simulate_breakdown(
+    const InputSequence& seq) const {
+  CFPM_REQUIRE(seq.num_inputs() == netlist_.num_inputs());
+  GlitchBreakdown acc;
+  std::vector<std::uint8_t> xi(seq.num_inputs()), xf(seq.num_inputs());
+  for (std::size_t t = 0; t + 1 < seq.length(); ++t) {
+    seq.vector_at(t, xi);
+    seq.vector_at(t + 1, xf);
+    const GlitchBreakdown b = switching_capacitance_ff(xi, xf);
+    acc.total_ff += b.total_ff;
+    acc.functional_ff += b.functional_ff;
+  }
+  return acc;
+}
+
+}  // namespace cfpm::sim

@@ -1,0 +1,119 @@
+#include "stats/markov.hpp"
+
+#include "support/assert.hpp"
+
+namespace cfpm::stats {
+
+bool feasible(const InputStatistics& s) noexcept {
+  if (s.sp < 0.0 || s.sp > 1.0 || s.st < 0.0 || s.st > 1.0) return false;
+  // st <= 2 sp (1 can only toggle to 0 as often as 1s occur) and symmetric.
+  return s.st <= 2.0 * s.sp + 1e-12 && s.st <= 2.0 * (1.0 - s.sp) + 1e-12;
+}
+
+MarkovSequenceGenerator::MarkovSequenceGenerator(InputStatistics stats,
+                                                 std::uint64_t seed)
+    : stats_(stats), rng_(seed) {
+  CFPM_REQUIRE(feasible(stats));
+  p01_ = (stats.sp >= 1.0) ? 1.0
+         : (stats.st == 0.0) ? 0.0
+                             : stats.st / (2.0 * (1.0 - stats.sp));
+  p10_ = (stats.sp <= 0.0) ? 1.0
+         : (stats.st == 0.0) ? 0.0
+                             : stats.st / (2.0 * stats.sp);
+  CFPM_ASSERT(p01_ <= 1.0 + 1e-12 && p10_ <= 1.0 + 1e-12);
+  p01_ = std::min(p01_, 1.0);
+  p10_ = std::min(p10_, 1.0);
+}
+
+sim::InputSequence MarkovSequenceGenerator::generate(std::size_t num_inputs,
+                                                     std::size_t length) {
+  CFPM_REQUIRE(length >= 1);
+  sim::InputSequence seq(num_inputs, length);
+  for (std::size_t i = 0; i < num_inputs; ++i) {
+    bool v = rng_.next_bool(stats_.sp);  // stationary start
+    seq.set_bit(i, 0, v);
+    for (std::size_t t = 1; t < length; ++t) {
+      const double flip = v ? p10_ : p01_;
+      if (rng_.next_bool(flip)) v = !v;
+      seq.set_bit(i, t, v);
+    }
+  }
+  return seq;
+}
+
+BurstSequenceGenerator::BurstSequenceGenerator(BurstSpec spec,
+                                               std::uint64_t seed)
+    : spec_(spec), rng_(seed) {
+  CFPM_REQUIRE(feasible(spec.idle));
+  CFPM_REQUIRE(feasible(spec.active));
+  CFPM_REQUIRE(spec.enter_active >= 0.0 && spec.enter_active <= 1.0);
+  CFPM_REQUIRE(spec.exit_active >= 0.0 && spec.exit_active <= 1.0);
+}
+
+sim::InputSequence BurstSequenceGenerator::generate(std::size_t num_inputs,
+                                                    std::size_t length) {
+  CFPM_REQUIRE(length >= 1);
+  sim::InputSequence seq(num_inputs, length);
+
+  // Per-phase per-bit transition probabilities (same construction as
+  // MarkovSequenceGenerator).
+  auto flip_probs = [](const InputStatistics& s) {
+    const double p01 = (s.sp >= 1.0)  ? 1.0
+                       : (s.st == 0.0) ? 0.0
+                                       : s.st / (2.0 * (1.0 - s.sp));
+    const double p10 = (s.sp <= 0.0)  ? 1.0
+                       : (s.st == 0.0) ? 0.0
+                                       : s.st / (2.0 * s.sp);
+    return std::pair<double, double>{std::min(p01, 1.0), std::min(p10, 1.0)};
+  };
+  const auto idle = flip_probs(spec_.idle);
+  const auto active = flip_probs(spec_.active);
+
+  std::vector<std::uint8_t> bits(num_inputs);
+  for (std::size_t i = 0; i < num_inputs; ++i) {
+    bits[i] = rng_.next_bool(spec_.idle.sp) ? 1 : 0;
+    seq.set_bit(i, 0, bits[i] != 0);
+  }
+  bool is_active = false;
+  std::size_t active_steps = 0;
+  for (std::size_t t = 1; t < length; ++t) {
+    if (is_active ? rng_.next_bool(spec_.exit_active)
+                  : rng_.next_bool(spec_.enter_active)) {
+      is_active = !is_active;
+    }
+    if (is_active) ++active_steps;
+    const auto [p01, p10] = is_active ? active : idle;
+    for (std::size_t i = 0; i < num_inputs; ++i) {
+      const double flip = bits[i] ? p10 : p01;
+      if (rng_.next_bool(flip)) bits[i] = bits[i] ? 0 : 1;
+      seq.set_bit(i, t, bits[i] != 0);
+    }
+  }
+  last_active_fraction_ =
+      length > 1 ? static_cast<double>(active_steps) / (length - 1) : 0.0;
+  return seq;
+}
+
+std::vector<InputStatistics> evaluation_grid() {
+  std::vector<InputStatistics> grid;
+  for (double sp : {0.2, 0.35, 0.5, 0.65, 0.8}) {
+    // Low transition activities come first: out-of-sample robustness at
+    // small st is exactly where characterized models break down (Fig. 7a).
+    grid.push_back(InputStatistics{sp, 0.05});
+    for (int k = 1; k <= 9; ++k) {
+      const InputStatistics s{sp, 0.1 * k};
+      if (feasible(s)) grid.push_back(s);
+    }
+  }
+  return grid;
+}
+
+std::vector<InputStatistics> fig7a_sweep() {
+  std::vector<InputStatistics> sweep;
+  for (int k = 1; k <= 19; ++k) {
+    sweep.push_back(InputStatistics{0.5, 0.05 * k});
+  }
+  return sweep;
+}
+
+}  // namespace cfpm::stats

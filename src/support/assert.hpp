@@ -1,0 +1,42 @@
+// Lightweight contract-checking macros used across the library.
+//
+// CFPM_REQUIRE  - precondition on public API arguments; always on, throws.
+// CFPM_ASSERT   - internal invariant; compiled out in NDEBUG builds.
+// CFPM_UNREACHABLE - marks logically impossible control flow.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace cfpm {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  throw ContractError(std::string(kind) + " failed: " + expr + " at " + file +
+                      ":" + std::to_string(line));
+}
+
+}  // namespace cfpm
+
+#define CFPM_REQUIRE(expr)                                             \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::cfpm::contract_failure("precondition", #expr, __FILE__, __LINE__); \
+    }                                                                  \
+  } while (false)
+
+#ifdef NDEBUG
+#define CFPM_ASSERT(expr) ((void)0)
+#else
+#define CFPM_ASSERT(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::cfpm::contract_failure("invariant", #expr, __FILE__, __LINE__); \
+    }                                                                  \
+  } while (false)
+#endif
+
+#define CFPM_UNREACHABLE(msg)                                          \
+  ::cfpm::contract_failure("unreachable", msg, __FILE__, __LINE__)

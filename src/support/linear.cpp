@@ -1,0 +1,72 @@
+#include "support/linear.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace cfpm {
+
+std::vector<double> solve_spd(Matrix a, std::vector<double> b, double ridge) {
+  const std::size_t n = a.rows();
+  CFPM_REQUIRE(a.cols() == n);
+  CFPM_REQUIRE(b.size() == n);
+
+  // Scale-aware ridge: relative to the largest diagonal entry.
+  double dmax = 0.0;
+  for (std::size_t i = 0; i < n; ++i) dmax = std::max(dmax, std::abs(a(i, i)));
+  const double eps = ridge * (dmax > 0.0 ? dmax : 1.0);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += eps;
+
+  // In-place LDL^T: L is unit lower triangular stored in the strict lower
+  // part of a, D on the diagonal.
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= a(j, k) * a(j, k) * a(k, k);
+    a(j, j) = d;
+    CFPM_ASSERT(std::isfinite(d));
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) v -= a(i, k) * a(j, k) * a(k, k);
+      a(i, j) = (d != 0.0) ? v / d : 0.0;
+    }
+  }
+
+  // Forward substitution: L z = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < i; ++k) b[i] -= a(i, k) * b[k];
+  }
+  // Diagonal: D w = z.
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = (a(i, i) != 0.0) ? b[i] / a(i, i) : 0.0;
+  }
+  // Back substitution: L^T x = w.
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t k = i + 1; k < n; ++k) b[i] -= a(k, i) * b[k];
+  }
+  return b;
+}
+
+std::vector<double> least_squares(const Matrix& x, const std::vector<double>& y,
+                                  double ridge) {
+  const std::size_t m = x.rows();
+  const std::size_t k = x.cols();
+  CFPM_REQUIRE(y.size() == m);
+  CFPM_REQUIRE(k > 0);
+
+  Matrix xtx(k, k);
+  std::vector<double> xty(k, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const double xi = x(r, i);
+      if (xi == 0.0) continue;
+      xty[i] += xi * y[r];
+      for (std::size_t j = i; j < k; ++j) xtx(i, j) += xi * x(r, j);
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < i; ++j) xtx(i, j) = xtx(j, i);
+  }
+  return solve_spd(std::move(xtx), std::move(xty), ridge);
+}
+
+}  // namespace cfpm

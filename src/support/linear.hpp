@@ -1,0 +1,48 @@
+// Minimal dense linear algebra for least-squares model fitting.
+//
+// The Lin baseline of the paper (P = c0 + sum_j c_j a_j) is fitted by
+// ordinary least squares; we solve the normal equations with an LDL^T
+// factorization plus diagonal (Tikhonov) regularization for rank-deficient
+// designs (e.g. an input bit that never toggles in the training set).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cfpm {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves the symmetric positive semi-definite system A x = b in place via
+/// LDL^T with a small ridge term. A must be square and symmetric.
+/// Returns the solution vector. Throws ContractError on dimension mismatch.
+std::vector<double> solve_spd(Matrix a, std::vector<double> b,
+                              double ridge = 1e-9);
+
+/// Ordinary least squares: given design matrix X (m x k) and targets y (m),
+/// returns coefficients minimizing ||X c - y||^2 (ridge-regularized).
+std::vector<double> least_squares(const Matrix& x, const std::vector<double>& y,
+                                  double ridge = 1e-9);
+
+}  // namespace cfpm

@@ -1,0 +1,380 @@
+// cfpm — command-line front end for the characterization-free power
+// modeling library.
+//
+//   cfpm info <circuit>                         netlist statistics
+//   cfpm build <circuit> [-m MAX] [--bound] -o model.cfpm
+//   cfpm estimate <model.cfpm> [--sp P] [--st P] [--vectors N] [--vdd V]
+//   cfpm worst <model.cfpm>                     worst case + witness
+//   cfpm accuracy <circuit> [-m MAX] [--vectors N]
+//   cfpm trace <circuit> -o out.vcd [--sp P] [--st P] [--vectors N]
+//   cfpm rtl <design.rtl> [--sp P] [--st P] [--vectors N] [--vdd V]
+//   cfpm sensitivity <model.cfpm>               per-input power attribution
+//   cfpm equiv <golden> <candidate>             formal equivalence check
+//
+// <circuit> is a .bench file, a .blif file, or "gen:<name>" for a built-in
+// generator (any Table-1 name, or c17).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.hpp"
+#include "eval/table.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/blif_io.hpp"
+#include "netlist/generators.hpp"
+#include "netlist/transform.hpp"
+#include "netlist/verify.hpp"
+#include "power/add_model.hpp"
+#include "power/baselines.hpp"
+#include "power/rtl_io.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace_io.hpp"
+#include "stats/markov.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace cfpm;
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  cfpm info <circuit>\n"
+      "  cfpm build <circuit> [-m MAX] [--bound] [-o model.cfpm]\n"
+      "  cfpm estimate <model.cfpm> [--sp P] [--st P] [--vectors N] [--vdd V]\n"
+      "  cfpm worst <model.cfpm>\n"
+      "  cfpm accuracy <circuit> [-m MAX] [--vectors N]\n"
+      "  cfpm trace <circuit> -o out.vcd [--sp P] [--st P] [--vectors N]\n"
+      "  cfpm rtl <design.rtl> [--sp P] [--st P] [--vectors N] [--vdd V]\n"
+      "  cfpm sensitivity <model.cfpm>\n"
+      "  cfpm equiv <golden> <candidate>\n"
+      "\n"
+      "<circuit>: path to a .bench or .blif file, or gen:<name> with <name>\n"
+      "one of c17, alu2, alu4, cmb, cm150, cm85, comp, decod, k2, mux,\n"
+      "parity, pcle, x1, x2.\n";
+  return 2;
+}
+
+netlist::Netlist load_circuit(const std::string& spec) {
+  if (spec.rfind("gen:", 0) == 0) {
+    const std::string name = spec.substr(4);
+    if (name == "c17") return netlist::gen::c17();
+    return netlist::gen::mcnc_like(name);
+  }
+  if (spec.size() > 6 && spec.substr(spec.size() - 6) == ".bench") {
+    return netlist::read_bench_file(spec);
+  }
+  if (spec.size() > 5 && spec.substr(spec.size() - 5) == ".blif") {
+    return netlist::read_blif_file(spec);
+  }
+  throw Error("cannot infer circuit format of '" + spec +
+              "' (expect .bench, .blif or gen:<name>)");
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::size_t max_nodes = 1000;
+  bool bound = false;
+  std::string output;
+  double sp = 0.5;
+  double st = 0.5;
+  std::size_t vectors = 10000;
+  double vdd = 3.3;
+};
+
+std::optional<Args> parse(int argc, char** argv) {
+  Args a;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    if (arg == "-m" || arg == "--max-nodes") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      a.max_nodes = std::stoul(*v);
+    } else if (arg == "--bound") {
+      a.bound = true;
+    } else if (arg == "-o" || arg == "--output") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      a.output = *v;
+    } else if (arg == "--sp") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      a.sp = std::stod(*v);
+    } else if (arg == "--st") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      a.st = std::stod(*v);
+    } else if (arg == "--vectors") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      a.vectors = std::stoul(*v);
+    } else if (arg == "--vdd") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      a.vdd = std::stod(*v);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
+      return std::nullopt;
+    } else {
+      a.positional.push_back(arg);
+    }
+  }
+  return a;
+}
+
+const netlist::GateLibrary kLib = netlist::GateLibrary::standard();
+
+int cmd_info(const Args& a) {
+  if (a.positional.size() != 1) return usage();
+  const netlist::Netlist n = load_circuit(a.positional[0]);
+  std::cout << "circuit : " << n.name() << "\n";
+  std::cout << "inputs  : " << n.num_inputs() << "\n";
+  std::cout << "outputs : " << n.outputs().size() << "\n";
+  std::cout << "gates   : " << n.num_gates() << "\n";
+  const auto hist = netlist::gate_histogram(n);
+  std::cout << "by type :";
+  for (std::size_t i = 0; i < netlist::kNumGateTypes; ++i) {
+    if (hist[i] == 0) continue;
+    std::cout << " " << netlist::gate_type_name(static_cast<netlist::GateType>(i))
+              << "=" << hist[i];
+  }
+  std::cout << "\n";
+  const auto loads = n.annotate_loads(kLib);
+  double total = 0.0;
+  for (netlist::SignalId s = 0; s < n.num_signals(); ++s) {
+    if (!n.signal(s).is_input) total += loads[s];
+  }
+  std::cout << "total gate load: " << total << " fF (standard library)\n";
+  return 0;
+}
+
+int cmd_build(const Args& a) {
+  if (a.positional.size() != 1) return usage();
+  const netlist::Netlist n = load_circuit(a.positional[0]);
+  power::AddModelOptions opt;
+  opt.max_nodes = a.max_nodes;
+  opt.mode = a.bound ? dd::ApproxMode::kUpperBound : dd::ApproxMode::kAverage;
+  const auto model = power::AddPowerModel::build(n, kLib, opt);
+  std::cout << "model   : " << model.size() << " nodes ("
+            << (a.bound ? "upper bound" : "average") << " mode, MAX "
+            << a.max_nodes << ")\n";
+  std::cout << "built in " << model.build_info().build_seconds << " s, "
+            << model.build_info().approximations << " approximations, "
+            << model.build_info().reorder_runs << " reorder runs\n";
+  if (!a.output.empty()) {
+    std::ofstream out(a.output);
+    if (!out) throw Error("cannot write " + a.output);
+    model.save(out);
+    std::cout << "saved   : " << a.output << "\n";
+  }
+  return 0;
+}
+
+power::AddPowerModel load_model(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open model file: " + path);
+  return power::AddPowerModel::load(in);
+}
+
+int cmd_estimate(const Args& a) {
+  if (a.positional.size() != 1) return usage();
+  const auto model = load_model(a.positional[0]);
+  if (!stats::feasible({a.sp, a.st})) {
+    throw Error("infeasible statistics: st must be <= 2*min(sp, 1-sp)");
+  }
+  stats::MarkovSequenceGenerator gen({a.sp, a.st}, 0xcf9e);
+  const auto seq = gen.generate(model.num_inputs(), a.vectors);
+  const double avg = model.average_over(seq);
+  const double peak = model.peak_over(seq);
+  const power::SupplyConfig supply{a.vdd};
+  std::cout << "workload: sp=" << a.sp << " st=" << a.st << " (" << a.vectors
+            << " vectors)\n";
+  std::cout << "average : " << avg << " fF/cycle = "
+            << supply.energy_fj(avg) << " fJ/cycle @ " << a.vdd << " V\n";
+  std::cout << "peak    : " << peak << " fF ("
+            << (model.is_upper_bound() ? "conservative bound" : "estimate")
+            << ")\n";
+  return 0;
+}
+
+int cmd_worst(const Args& a) {
+  if (a.positional.size() != 1) return usage();
+  const auto model = load_model(a.positional[0]);
+  const auto t = model.worst_case_transition();
+  std::cout << "worst case: " << model.worst_case_ff() << " fF\n";
+  auto bits = [](const std::vector<std::uint8_t>& v) {
+    std::string s;
+    for (auto b : v) s += b ? '1' : '0';
+    return s;
+  };
+  std::cout << "witness   : x_i=" << bits(t.xi) << " -> x_f=" << bits(t.xf)
+            << "\n";
+  return 0;
+}
+
+int cmd_accuracy(const Args& a) {
+  if (a.positional.size() != 1) return usage();
+  const netlist::Netlist n = load_circuit(a.positional[0]);
+  const sim::GateLevelSimulator golden(n, kLib);
+  stats::MarkovSequenceGenerator gen({0.5, 0.5}, 0xcf9e);
+  const auto train = gen.generate(n.num_inputs(), a.vectors);
+  power::Characterizer chr(golden, train);
+  const auto con = chr.fit_constant();
+  const auto lin = chr.fit_linear();
+  power::AddModelOptions opt;
+  opt.max_nodes = a.max_nodes;
+  const auto add = power::AddPowerModel::build(n, kLib, opt);
+
+  eval::RunConfig config;
+  config.vectors_per_run = a.vectors;
+  const auto grid = stats::evaluation_grid();
+  const power::PowerModel* models[] = {&con, &lin, &add};
+  const auto reports =
+      eval::evaluate_average_accuracy(models, golden, grid, config);
+  eval::TextTable table({"model", "ARE(%)"});
+  table.add_row({"Con (characterized)", eval::TextTable::num(100 * reports[0].are, 1)});
+  table.add_row({"Lin (characterized)", eval::TextTable::num(100 * reports[1].are, 1)});
+  table.add_row({"ADD (analytical)", eval::TextTable::num(100 * reports[2].are, 1)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_trace(const Args& a) {
+  if (a.positional.size() != 1 || a.output.empty()) return usage();
+  const netlist::Netlist n = load_circuit(a.positional[0]);
+  if (!stats::feasible({a.sp, a.st})) {
+    throw Error("infeasible statistics: st must be <= 2*min(sp, 1-sp)");
+  }
+  stats::MarkovSequenceGenerator gen({a.sp, a.st}, 0xcf9e);
+  const auto seq = gen.generate(n.num_inputs(), a.vectors);
+  const sim::GateLevelSimulator simulator(n, kLib);
+  std::ofstream out(a.output);
+  if (!out) throw Error("cannot write " + a.output);
+  sim::write_vcd(out, n, seq, &simulator);
+  const auto energy = simulator.simulate(seq);
+  std::cout << "wrote " << a.output << " (" << a.vectors << " vectors, "
+            << n.num_signals() << " signals)\n";
+  std::cout << "average " << energy.average_ff() << " fF/cycle, peak "
+            << energy.peak_ff << " fF\n";
+  return 0;
+}
+
+int cmd_sensitivity(const Args& a) {
+  if (a.positional.size() != 1) return usage();
+  const auto model = load_model(a.positional[0]);
+  const auto s = model.input_sensitivity_ff();
+  eval::TextTable table({"input", "sensitivity (fF)", ""});
+  double max_s = 0.0;
+  for (double v : s) max_s = std::max(max_s, std::abs(v));
+  for (std::size_t k = 0; k < s.size(); ++k) {
+    const auto width =
+        max_s > 0.0 ? static_cast<std::size_t>(20.0 * std::abs(s[k]) / max_s)
+                    : 0;
+    table.add_row({"x" + std::to_string(k), eval::TextTable::num(s[k], 2),
+                   std::string(width, '#')});
+  }
+  table.print(std::cout);
+  std::cout << "\nsensitivity[k] = E[C | input k toggles] - E[C | stable],\n"
+            << "computed symbolically from the model (no simulation).\n";
+  return 0;
+}
+
+int cmd_equiv(const Args& a) {
+  if (a.positional.size() != 2) return usage();
+  const netlist::Netlist golden = load_circuit(a.positional[0]);
+  const netlist::Netlist candidate = load_circuit(a.positional[1]);
+  const auto r = netlist::check_equivalence(golden, candidate);
+  if (r.equivalent) {
+    std::cout << "EQUIVALENT: all " << golden.outputs().size()
+              << " outputs proven equal (BDD comparison)\n";
+    return 0;
+  }
+  std::cout << "NOT EQUIVALENT: output '" << r.differing_output
+            << "' differs.\ncounterexample:";
+  for (std::size_t i = 0; i < r.counterexample.size(); ++i) {
+    std::cout << " " << golden.signal(golden.inputs()[i]).name << "="
+              << int{r.counterexample[i]};
+  }
+  std::cout << "\n";
+  return 1;
+}
+
+int cmd_rtl(const Args& a) {
+  if (a.positional.size() != 1) return usage();
+  const power::RtlDescription d =
+      power::read_rtl_design_file(a.positional[0], kLib);
+  if (!stats::feasible({a.sp, a.st})) {
+    throw Error("infeasible statistics: st must be <= 2*min(sp, 1-sp)");
+  }
+  stats::MarkovSequenceGenerator gen({a.sp, a.st}, 0xcf9e);
+  const auto trace = gen.generate(d.design.bus_width(), a.vectors);
+
+  std::vector<std::uint8_t> xi(d.design.bus_width()), xf(d.design.bus_width());
+  std::vector<double> per_instance(d.design.num_instances(), 0.0);
+  double total = 0.0, peak = 0.0;
+  for (std::size_t t = 0; t + 1 < trace.length(); ++t) {
+    trace.vector_at(t, xi);
+    trace.vector_at(t + 1, xf);
+    const auto breakdown = d.design.estimate_breakdown_ff(xi, xf);
+    double cycle = 0.0;
+    for (std::size_t i = 0; i < breakdown.size(); ++i) {
+      per_instance[i] += breakdown[i];
+      cycle += breakdown[i];
+    }
+    total += cycle;
+    peak = std::max(peak, cycle);
+  }
+  const double cycles = static_cast<double>(trace.num_transitions());
+  const power::SupplyConfig supply{a.vdd};
+
+  std::cout << "design  : " << d.name << " (" << d.design.num_instances()
+            << " instances, " << d.design.bus_width() << "-bit bus)\n";
+  std::cout << "workload: sp=" << a.sp << " st=" << a.st << " ("
+            << a.vectors << " vectors)\n";
+  std::cout << "average : " << total / cycles << " fF/cycle = "
+            << supply.power_uw(total / cycles, 10.0) << " uW @ 100 MHz, "
+            << a.vdd << " V\n";
+  std::cout << "peak    : " << peak << " fF"
+            << (d.design.is_upper_bound() ? " (conservative bound)" : "")
+            << "\n";
+  eval::TextTable table({"instance", "macro", "fF/cycle", "share(%)"});
+  for (std::size_t i = 0; i < per_instance.size(); ++i) {
+    table.add_row({d.design.instance_name(i), d.instance_macros[i],
+                   eval::TextTable::num(per_instance[i] / cycles, 2),
+                   eval::TextTable::num(100.0 * per_instance[i] / total, 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const auto args = parse(argc, argv);
+  if (!args) return usage();
+  try {
+    if (cmd == "info") return cmd_info(*args);
+    if (cmd == "build") return cmd_build(*args);
+    if (cmd == "estimate") return cmd_estimate(*args);
+    if (cmd == "worst") return cmd_worst(*args);
+    if (cmd == "accuracy") return cmd_accuracy(*args);
+    if (cmd == "trace") return cmd_trace(*args);
+    if (cmd == "rtl") return cmd_rtl(*args);
+    if (cmd == "sensitivity") return cmd_sensitivity(*args);
+    if (cmd == "equiv") return cmd_equiv(*args);
+  } catch (const cfpm::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "unknown command: " << cmd << "\n";
+  return usage();
+}

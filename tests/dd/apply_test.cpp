@@ -1,0 +1,204 @@
+// Exhaustive correctness of BDD/ADD operators against truth-table oracles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "dd/manager.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace cfpm::dd {
+namespace {
+
+constexpr std::size_t kVars = 4;
+
+/// Evaluates a handle for every assignment of kVars variables.
+template <typename H, typename V>
+std::vector<V> truth_table(const H& h,
+                           V (*eval)(const H&, std::span<const std::uint8_t>)) {
+  std::vector<V> table;
+  for (unsigned m = 0; m < (1u << kVars); ++m) {
+    std::uint8_t a[kVars];
+    for (unsigned v = 0; v < kVars; ++v) a[v] = (m >> v) & 1u;
+    table.push_back(eval(h, std::span<const std::uint8_t>(a, kVars)));
+  }
+  return table;
+}
+
+std::vector<bool> bdd_table(const Bdd& f) {
+  std::vector<bool> t;
+  for (unsigned m = 0; m < (1u << kVars); ++m) {
+    std::uint8_t a[kVars];
+    for (unsigned v = 0; v < kVars; ++v) a[v] = (m >> v) & 1u;
+    t.push_back(f.eval(std::span<const std::uint8_t>(a, kVars)));
+  }
+  return t;
+}
+
+std::vector<double> add_table(const Add& f) {
+  std::vector<double> t;
+  for (unsigned m = 0; m < (1u << kVars); ++m) {
+    std::uint8_t a[kVars];
+    for (unsigned v = 0; v < kVars; ++v) a[v] = (m >> v) & 1u;
+    t.push_back(f.eval(std::span<const std::uint8_t>(a, kVars)));
+  }
+  return t;
+}
+
+/// Builds a pseudo-random BDD over kVars variables.
+Bdd random_bdd(DdManager& mgr, Xoshiro256& rng, int depth = 6) {
+  Bdd f = rng.next_bool(0.5) ? mgr.bdd_one() : mgr.bdd_zero();
+  for (int i = 0; i < depth; ++i) {
+    Bdd v = mgr.bdd_var(static_cast<std::uint32_t>(rng.next_below(kVars)));
+    switch (rng.next_below(4)) {
+      case 0:
+        f = f & v;
+        break;
+      case 1:
+        f = f | v;
+        break;
+      case 2:
+        f = f ^ v;
+        break;
+      default:
+        f = !f ^ v;
+        break;
+    }
+  }
+  return f;
+}
+
+class ApplyRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ApplyRandomTest, BooleanOperatorsMatchTruthTables) {
+  DdManager mgr(kVars);
+  Xoshiro256 rng(GetParam());
+  Bdd f = random_bdd(mgr, rng);
+  Bdd g = random_bdd(mgr, rng);
+  const auto tf = bdd_table(f);
+  const auto tg = bdd_table(g);
+
+  const auto t_and = bdd_table(f & g);
+  const auto t_or = bdd_table(f | g);
+  const auto t_xor = bdd_table(f ^ g);
+  const auto t_not = bdd_table(!f);
+  for (std::size_t m = 0; m < tf.size(); ++m) {
+    EXPECT_EQ(t_and[m], tf[m] && tg[m]) << "minterm " << m;
+    EXPECT_EQ(t_or[m], tf[m] || tg[m]) << "minterm " << m;
+    EXPECT_EQ(t_xor[m], tf[m] != tg[m]) << "minterm " << m;
+    EXPECT_EQ(t_not[m], !tf[m]) << "minterm " << m;
+  }
+}
+
+TEST_P(ApplyRandomTest, IteMatchesTruthTables) {
+  DdManager mgr(kVars);
+  Xoshiro256 rng(GetParam() ^ 0xabcdef);
+  Bdd f = random_bdd(mgr, rng);
+  Bdd g = random_bdd(mgr, rng);
+  Bdd h = random_bdd(mgr, rng);
+  const auto tf = bdd_table(f);
+  const auto tg = bdd_table(g);
+  const auto th = bdd_table(h);
+  const auto t_ite = bdd_table(f.ite(g, h));
+  for (std::size_t m = 0; m < tf.size(); ++m) {
+    EXPECT_EQ(t_ite[m], tf[m] ? tg[m] : th[m]) << "minterm " << m;
+  }
+}
+
+TEST_P(ApplyRandomTest, ArithmeticOperatorsMatchTables) {
+  DdManager mgr(kVars);
+  Xoshiro256 rng(GetParam() ^ 0x5555);
+  Add a = Add(random_bdd(mgr, rng)).times(2.5) + Add(random_bdd(mgr, rng));
+  Add b = Add(random_bdd(mgr, rng)).times(-1.25) +
+          Add(random_bdd(mgr, rng)).times(4.0);
+  const auto ta = add_table(a);
+  const auto tb = add_table(b);
+  const auto t_sum = add_table(a + b);
+  const auto t_diff = add_table(a - b);
+  const auto t_prod = add_table(a * b);
+  const auto t_max = add_table(a.max(b));
+  const auto t_min = add_table(a.min(b));
+  for (std::size_t m = 0; m < ta.size(); ++m) {
+    EXPECT_DOUBLE_EQ(t_sum[m], ta[m] + tb[m]) << m;
+    EXPECT_DOUBLE_EQ(t_diff[m], ta[m] - tb[m]) << m;
+    EXPECT_DOUBLE_EQ(t_prod[m], ta[m] * tb[m]) << m;
+    EXPECT_DOUBLE_EQ(t_max[m], std::max(ta[m], tb[m])) << m;
+    EXPECT_DOUBLE_EQ(t_min[m], std::min(ta[m], tb[m])) << m;
+  }
+}
+
+TEST_P(ApplyRandomTest, CofactorShannonExpansion) {
+  DdManager mgr(kVars);
+  Xoshiro256 rng(GetParam() ^ 0x77);
+  Bdd f = random_bdd(mgr, rng);
+  for (std::uint32_t v = 0; v < kVars; ++v) {
+    Bdd f1 = f.cofactor(v, true);
+    Bdd f0 = f.cofactor(v, false);
+    // Shannon: f == ite(v, f1, f0).
+    Bdd rebuilt = mgr.bdd_var(v).ite(f1, f0);
+    EXPECT_EQ(f, rebuilt) << "variable " << v;
+    // Cofactors do not depend on v.
+    for (std::uint32_t s : f1.support()) EXPECT_NE(s, v);
+    for (std::uint32_t s : f0.support()) EXPECT_NE(s, v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApplyRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(Apply, IdempotenceAndIdentities) {
+  DdManager mgr(3);
+  Bdd x = mgr.bdd_var(0);
+  Bdd y = mgr.bdd_var(1);
+  EXPECT_EQ(x & x, x);
+  EXPECT_EQ(x | x, x);
+  EXPECT_TRUE((x ^ x).is_zero());
+  EXPECT_EQ(x & mgr.bdd_one(), x);
+  EXPECT_TRUE((x & mgr.bdd_zero()).is_zero());
+  EXPECT_EQ(x | mgr.bdd_zero(), x);
+  EXPECT_TRUE((x | mgr.bdd_one()).is_one());
+  EXPECT_EQ(!(!x), x);
+  EXPECT_EQ(x & y, y & x);
+  EXPECT_EQ(x | y, y | x);
+}
+
+TEST(Apply, DeMorgan) {
+  DdManager mgr(4);
+  Bdd x = mgr.bdd_var(0);
+  Bdd y = mgr.bdd_var(1);
+  EXPECT_EQ(!(x & y), (!x) | (!y));
+  EXPECT_EQ(!(x | y), (!x) & (!y));
+}
+
+TEST(Apply, AddIdentities) {
+  DdManager mgr(3);
+  Add x = Add(mgr.bdd_var(0));
+  Add zero = mgr.constant(0.0);
+  Add one = mgr.constant(1.0);
+  EXPECT_EQ(x + zero, x);
+  EXPECT_EQ(x * one, x);
+  EXPECT_EQ(x * zero, zero);
+  EXPECT_EQ(x.max(x), x);
+  EXPECT_EQ(x.min(x), x);
+  EXPECT_EQ(x - zero, x);
+  EXPECT_EQ((x - x).max(zero), zero);
+}
+
+TEST(Apply, MixedManagerOperandsRejected) {
+  DdManager m1(2), m2(2);
+  Bdd a = m1.bdd_var(0);
+  Bdd b = m2.bdd_var(0);
+  EXPECT_THROW((void)(a & b), ContractError);
+}
+
+TEST(Apply, TimesDistributesOverPlus) {
+  DdManager mgr(4);
+  Add a = Add(mgr.bdd_var(0)).times(3.0);
+  Add b = Add(mgr.bdd_var(1)).times(7.0);
+  EXPECT_EQ((a + b).times(2.0), a.times(2.0) + b.times(2.0));
+}
+
+}  // namespace
+}  // namespace cfpm::dd

@@ -1,0 +1,158 @@
+#include "dd/manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace cfpm::dd {
+namespace {
+
+TEST(DdManager, ConstantsAreHashConsed) {
+  DdManager mgr(2);
+  Add a = mgr.constant(3.5);
+  Add b = mgr.constant(3.5);
+  EXPECT_EQ(a, b);
+  Add c = mgr.constant(4.0);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(DdManager, NegativeZeroNormalized) {
+  DdManager mgr(1);
+  EXPECT_EQ(mgr.constant(0.0), mgr.constant(-0.0));
+}
+
+TEST(DdManager, ZeroAndOneDistinct) {
+  DdManager mgr(1);
+  EXPECT_FALSE(mgr.bdd_zero() == mgr.bdd_one());
+  EXPECT_TRUE(mgr.bdd_zero().is_zero());
+  EXPECT_TRUE(mgr.bdd_one().is_one());
+}
+
+TEST(DdManager, VarsAreCanonical) {
+  DdManager mgr(3);
+  Bdd x0 = mgr.bdd_var(0);
+  Bdd x0b = mgr.bdd_var(0);
+  EXPECT_EQ(x0, x0b);
+  EXPECT_FALSE(x0 == mgr.bdd_var(1));
+}
+
+TEST(DdManager, NewVarExtends) {
+  DdManager mgr(0);
+  EXPECT_EQ(mgr.num_vars(), 0u);
+  const auto v = mgr.new_var();
+  EXPECT_EQ(v, 0u);
+  EXPECT_EQ(mgr.num_vars(), 1u);
+  Bdd x = mgr.bdd_var(v);
+  EXPECT_FALSE(x.is_zero());
+}
+
+TEST(DdManager, BddVarOutOfRangeThrows) {
+  DdManager mgr(2);
+  EXPECT_THROW(mgr.bdd_var(2), ContractError);
+}
+
+TEST(DdManager, HandleCopySemantics) {
+  DdManager mgr(2);
+  Bdd x = mgr.bdd_var(0);
+  Bdd y = x;  // copy
+  EXPECT_EQ(x, y);
+  Bdd z = std::move(y);
+  EXPECT_EQ(x, z);
+  EXPECT_TRUE(y.is_null());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(DdManager, SelfAssignmentSafe) {
+  DdManager mgr(2);
+  Bdd x = mgr.bdd_var(0);
+  Bdd& ref = x;
+  x = ref;
+  EXPECT_FALSE(x.is_null());
+}
+
+TEST(DdManager, GarbageCollectionReclaimsDeadNodes) {
+  DdManager mgr(8);
+  {
+    Bdd f = mgr.bdd_var(0);
+    for (std::uint32_t v = 1; v < 8; ++v) f = f ^ mgr.bdd_var(v);
+    EXPECT_GT(mgr.live_nodes(), 8u);
+  }
+  // All intermediate results are dead now.
+  EXPECT_GT(mgr.dead_nodes(), 0u);
+  const std::size_t reclaimed = mgr.collect_garbage();
+  EXPECT_GT(reclaimed, 0u);
+  EXPECT_EQ(mgr.dead_nodes(), 0u);
+}
+
+TEST(DdManager, ResurrectionAfterDeath) {
+  DdManager mgr(2);
+  Bdd x0 = mgr.bdd_var(0);
+  Bdd x1 = mgr.bdd_var(1);
+  {
+    Bdd f = x0 & x1;
+    EXPECT_FALSE(f.is_null());
+  }
+  // f is dead but not collected; recreating the same function must
+  // resurrect it without corrupting counts.
+  Bdd g = x0 & x1;
+  Bdd h = x0 & x1;
+  EXPECT_EQ(g, h);
+  mgr.collect_garbage();
+  EXPECT_FALSE(g.is_null());
+  // g still evaluates correctly after GC.
+  const std::uint8_t assign[2] = {1, 1};
+  EXPECT_TRUE(g.eval(assign));
+}
+
+TEST(DdManager, NodeBudgetThrowsResourceError) {
+  DdConfig config;
+  config.max_nodes = 16;
+  DdManager mgr(20, config);
+  Bdd f = mgr.bdd_one();
+  EXPECT_THROW(
+      {
+        for (std::uint32_t v = 0; v < 20; ++v) {
+          f = f ^ mgr.bdd_var(v);  // parity needs a node per variable
+          Bdd keep = f & mgr.bdd_var(0);
+          f = f | keep;  // force growth beyond the budget
+        }
+      },
+      ResourceError);
+}
+
+TEST(DdManager, SetOrderValidation) {
+  DdManager mgr(3);
+  const std::uint32_t good[] = {2, 0, 1};
+  mgr.set_order(good);
+  EXPECT_EQ(mgr.var_at_level(0), 2u);
+  EXPECT_EQ(mgr.level_of_var(2), 0u);
+  const std::uint32_t bad[] = {0, 0, 1};
+  EXPECT_THROW(mgr.set_order(bad), ContractError);
+}
+
+TEST(DdManager, SetOrderAffectsStructure) {
+  // With order (x1, x0), the top node of x0&x1 is labeled x1.
+  DdManager mgr(2);
+  const std::uint32_t order[] = {1, 0};
+  mgr.set_order(order);
+  Bdd f = mgr.bdd_var(0) & mgr.bdd_var(1);
+  const auto sup = f.support();
+  ASSERT_EQ(sup.size(), 2u);
+  // Evaluation is order-independent.
+  const std::uint8_t a11[2] = {1, 1};
+  const std::uint8_t a10[2] = {1, 0};
+  EXPECT_TRUE(f.eval(a11));
+  EXPECT_FALSE(f.eval(a10));
+}
+
+TEST(DdManager, CacheStatisticsAdvance) {
+  DdManager mgr(6);
+  Bdd f = mgr.bdd_var(0);
+  for (std::uint32_t v = 1; v < 6; ++v) f = f & mgr.bdd_var(v);
+  Bdd g = mgr.bdd_var(0);
+  for (std::uint32_t v = 1; v < 6; ++v) g = g & mgr.bdd_var(v);
+  EXPECT_EQ(f, g);
+  EXPECT_GT(mgr.cache_lookups(), 0u);
+}
+
+}  // namespace
+}  // namespace cfpm::dd

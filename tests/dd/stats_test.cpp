@@ -1,0 +1,185 @@
+// avg/var/max/min traversals (Eq. 5-8) against brute-force enumeration.
+#include "dd/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dd/manager.hpp"
+#include "support/rng.hpp"
+
+namespace cfpm::dd {
+namespace {
+
+constexpr std::size_t kVars = 5;
+
+Add random_add(DdManager& mgr, Xoshiro256& rng) {
+  Add f = mgr.constant(0.0);
+  for (int i = 0; i < 5; ++i) {
+    Bdd v = mgr.bdd_var(static_cast<std::uint32_t>(rng.next_below(kVars)));
+    Bdd w = mgr.bdd_var(static_cast<std::uint32_t>(rng.next_below(kVars)));
+    f = f + Add(v & w).times(1.0 + static_cast<double>(rng.next_below(10)));
+  }
+  return f;
+}
+
+struct BruteStats {
+  double avg = 0, var = 0, max = 0, min = 0;
+};
+
+BruteStats brute_force(const Add& f) {
+  std::vector<double> values;
+  for (unsigned m = 0; m < (1u << kVars); ++m) {
+    std::uint8_t a[kVars];
+    for (unsigned v = 0; v < kVars; ++v) a[v] = (m >> v) & 1u;
+    values.push_back(f.eval(std::span<const std::uint8_t>(a, kVars)));
+  }
+  BruteStats s;
+  s.max = values[0];
+  s.min = values[0];
+  for (double v : values) {
+    s.avg += v;
+    s.max = std::max(s.max, v);
+    s.min = std::min(s.min, v);
+  }
+  s.avg /= static_cast<double>(values.size());
+  for (double v : values) s.var += (v - s.avg) * (v - s.avg);
+  s.var /= static_cast<double>(values.size());
+  return s;
+}
+
+class StatsRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatsRandomTest, MatchesBruteForce) {
+  DdManager mgr(kVars);
+  Xoshiro256 rng(GetParam());
+  Add f = random_add(mgr, rng);
+  const BruteStats expect = brute_force(f);
+  EXPECT_NEAR(f.average(), expect.avg, 1e-9);
+  EXPECT_NEAR(f.variance(), expect.var, 1e-9);
+  EXPECT_DOUBLE_EQ(f.max_value(), expect.max);
+  EXPECT_DOUBLE_EQ(f.min_value(), expect.min);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsRandomTest,
+                         ::testing::Values(3, 7, 19, 42, 101, 2024));
+
+TEST(Stats, ConstantFunction) {
+  DdManager mgr(3);
+  Add c = mgr.constant(4.25);
+  EXPECT_DOUBLE_EQ(c.average(), 4.25);
+  EXPECT_DOUBLE_EQ(c.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(c.max_value(), 4.25);
+  EXPECT_DOUBLE_EQ(c.min_value(), 4.25);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Stats, SingleVariable) {
+  DdManager mgr(1);
+  Add x = Add(mgr.bdd_var(0));
+  EXPECT_DOUBLE_EQ(x.average(), 0.5);
+  EXPECT_DOUBLE_EQ(x.variance(), 0.25);
+  EXPECT_DOUBLE_EQ(x.max_value(), 1.0);
+  EXPECT_DOUBLE_EQ(x.min_value(), 0.0);
+}
+
+TEST(Stats, PaperExampleNodeN) {
+  // Fig. 4: node n has children {leaf 10, subtree with avg 5, var 25};
+  // avg(n) = 7.5, var(n) = 18.75, and with max(n)=10, mse = 25 (Ex. 5).
+  // We reconstruct this shape: n = ite(x, child_with_avg5_var25, 10).
+  DdManager mgr(3);
+  // Child: value 10 with prob 1/2, 0 with prob 1/2 over one variable:
+  // avg 5, var 25.
+  Add child = Add(mgr.bdd_var(1)).times(10.0);
+  EXPECT_DOUBLE_EQ(child.average(), 5.0);
+  EXPECT_DOUBLE_EQ(child.variance(), 25.0);
+  Add ten = mgr.constant(10.0);
+  // n tests variable 0: else -> child, then -> 10.
+  Add n = Add(mgr.bdd_var(0)) * ten + Add(!mgr.bdd_var(0)) * child;
+  EXPECT_DOUBLE_EQ(n.average(), 7.5);
+  EXPECT_DOUBLE_EQ(n.variance(), 18.75);
+  EXPECT_DOUBLE_EQ(n.max_value(), 10.0);
+  NodeStats stats(n);
+  EXPECT_DOUBLE_EQ(stats.root().mse_of_max(), 25.0);
+}
+
+TEST(Stats, AverageIsLinear) {
+  DdManager mgr(kVars);
+  Xoshiro256 rng(77);
+  Add a = random_add(mgr, rng);
+  Add b = random_add(mgr, rng);
+  EXPECT_NEAR((a + b).average(), a.average() + b.average(), 1e-9);
+  EXPECT_NEAR(a.times(3.0).average(), 3.0 * a.average(), 1e-9);
+}
+
+TEST(Stats, MaxIsSubadditive) {
+  DdManager mgr(kVars);
+  Xoshiro256 rng(78);
+  for (int trial = 0; trial < 20; ++trial) {
+    Add a = random_add(mgr, rng);
+    Add b = random_add(mgr, rng);
+    EXPECT_LE((a + b).max_value(), a.max_value() + b.max_value() + 1e-12);
+  }
+}
+
+TEST(Stats, SatCountMatchesEnumeration) {
+  DdManager mgr(kVars);
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Bdd f = mgr.bdd_zero();
+    for (int i = 0; i < 4; ++i) {
+      Bdd v = mgr.bdd_var(static_cast<std::uint32_t>(rng.next_below(kVars)));
+      f = rng.next_bool(0.5) ? (f | v) : (f ^ v);
+    }
+    unsigned count = 0;
+    for (unsigned m = 0; m < (1u << kVars); ++m) {
+      std::uint8_t a[kVars];
+      for (unsigned v = 0; v < kVars; ++v) a[v] = (m >> v) & 1u;
+      if (f.eval(std::span<const std::uint8_t>(a, kVars))) ++count;
+    }
+    EXPECT_NEAR(f.sat_count(kVars), static_cast<double>(count), 1e-9);
+  }
+}
+
+TEST(Stats, ArgmaxWitnessesTheMaximum) {
+  DdManager mgr(kVars);
+  Xoshiro256 rng(404);
+  for (int trial = 0; trial < 10; ++trial) {
+    Add f = random_add(mgr, rng);
+    const auto assignment = argmax_assignment(f);
+    ASSERT_EQ(assignment.size(), kVars);
+    EXPECT_DOUBLE_EQ(f.eval(assignment), f.max_value()) << "trial " << trial;
+  }
+}
+
+TEST(Stats, ArgmaxOnConstant) {
+  DdManager mgr(2);
+  Add c = mgr.constant(3.0);
+  const auto assignment = argmax_assignment(c);
+  EXPECT_DOUBLE_EQ(c.eval(assignment), 3.0);
+}
+
+TEST(Stats, SupportListsOnlyDependentVars) {
+  DdManager mgr(6);
+  Bdd f = (mgr.bdd_var(1) & mgr.bdd_var(4)) | mgr.bdd_var(3);
+  const auto sup = f.support();
+  EXPECT_EQ(sup, (std::vector<std::uint32_t>{1, 3, 4}));
+}
+
+TEST(Stats, SizeCountsUniqueNodes) {
+  DdManager mgr(2);
+  // x0 XOR x1: 3 internal (x0 node, two x1 nodes) + 2 terminals.
+  Bdd f = mgr.bdd_var(0) ^ mgr.bdd_var(1);
+  EXPECT_EQ(f.size(), 5u);  // x0 node, two x1 nodes, 0, 1
+}
+
+TEST(Stats, LeafValuesSortedUnique) {
+  DdManager mgr(2);
+  Add f = Add(mgr.bdd_var(0)).times(4.0) + Add(mgr.bdd_var(1)).times(4.0);
+  const auto leaves = f.leaf_values();
+  EXPECT_EQ(leaves, (std::vector<double>{0.0, 4.0, 8.0}));
+}
+
+}  // namespace
+}  // namespace cfpm::dd

@@ -1,0 +1,133 @@
+#include "eval/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "netlist/generators.hpp"
+#include "power/add_model.hpp"
+#include "power/baselines.hpp"
+#include "support/error.hpp"
+
+namespace cfpm::eval {
+namespace {
+
+using netlist::GateLibrary;
+using netlist::Netlist;
+
+struct Fixture {
+  Netlist n = netlist::gen::c17();
+  GateLibrary lib = GateLibrary::standard();
+  sim::GateLevelSimulator golden{n, lib};
+  power::AddPowerModel exact = [this] {
+    power::AddModelOptions opt;
+    opt.max_nodes = 0;
+    return power::AddPowerModel::build(n, lib, opt);
+  }();
+  RunConfig config = [] {
+    RunConfig c;
+    c.vectors_per_run = 400;
+    return c;
+  }();
+};
+
+TEST(Experiment, ExactModelHasZeroError) {
+  Fixture f;
+  const std::vector<stats::InputStatistics> grid = {{0.5, 0.5}, {0.5, 0.1}};
+  const AccuracyReport report =
+      evaluate_average_accuracy(f.exact, f.golden, grid, f.config);
+  EXPECT_EQ(report.points.size(), 2u);
+  EXPECT_NEAR(report.are, 0.0, 1e-12);
+  for (const auto& p : report.points) {
+    EXPECT_NEAR(p.model, p.golden, 1e-9);
+  }
+}
+
+TEST(Experiment, ConstantModelErrorMatchesHandComputation) {
+  Fixture f;
+  const power::ConstantModel con(100.0, f.n.num_inputs());
+  const std::vector<stats::InputStatistics> grid = {{0.5, 0.5}};
+  const AccuracyReport report =
+      evaluate_average_accuracy(con, f.golden, grid, f.config);
+  const AccuracyPoint& p = report.points.at(0);
+  EXPECT_DOUBLE_EQ(p.model, 100.0);
+  EXPECT_NEAR(p.re, std::abs(100.0 - p.golden) / p.golden, 1e-12);
+  EXPECT_NEAR(report.are, p.re, 1e-12);
+}
+
+TEST(Experiment, SharedWorkloadAcrossModels) {
+  // All models in one call see identical sequences: the golden value per
+  // grid point must be byte-identical across the returned reports.
+  Fixture f;
+  const power::ConstantModel con(10.0, f.n.num_inputs());
+  const power::ConstantModel con2(20.0, f.n.num_inputs());
+  const power::PowerModel* models[] = {&con, &con2, &f.exact};
+  const std::vector<stats::InputStatistics> grid = {{0.5, 0.3}, {0.2, 0.2}};
+  const auto reports =
+      evaluate_average_accuracy(models, f.golden, grid, f.config);
+  ASSERT_EQ(reports.size(), 3u);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_DOUBLE_EQ(reports[0].points[i].golden, reports[1].points[i].golden);
+    EXPECT_DOUBLE_EQ(reports[0].points[i].golden, reports[2].points[i].golden);
+  }
+}
+
+TEST(Experiment, BoundAccuracyKeepsSign) {
+  // For peak metrics the signed error is preserved: a conservative bound
+  // has re >= 0, an under-estimator re < 0.
+  Fixture f;
+  const power::ConstantBoundModel big(1e6, f.n.num_inputs());
+  const power::ConstantModel small(0.001, f.n.num_inputs());
+  const power::PowerModel* models[] = {&big, &small};
+  const std::vector<stats::InputStatistics> grid = {{0.5, 0.5}};
+  const auto reports = evaluate_bound_accuracy(models, f.golden, grid, f.config);
+  EXPECT_GT(reports[0].points[0].re, 0.0);
+  EXPECT_LT(reports[1].points[0].re, 0.0);
+  // ARE uses |re|.
+  EXPECT_GT(reports[1].are, 0.0);
+}
+
+TEST(Experiment, DeterministicForFixedSeed) {
+  Fixture f;
+  const std::vector<stats::InputStatistics> grid = {{0.5, 0.4}};
+  const AccuracyReport a =
+      evaluate_average_accuracy(f.exact, f.golden, grid, f.config);
+  const AccuracyReport b =
+      evaluate_average_accuracy(f.exact, f.golden, grid, f.config);
+  EXPECT_DOUBLE_EQ(a.points[0].golden, b.points[0].golden);
+}
+
+TEST(Experiment, RejectsArityMismatch) {
+  Fixture f;
+  const power::ConstantModel wrong(1.0, f.n.num_inputs() + 3);
+  const power::PowerModel* models[] = {&wrong};
+  const std::vector<stats::InputStatistics> grid = {{0.5, 0.5}};
+  EXPECT_THROW(evaluate_average_accuracy(models, f.golden, grid, f.config),
+               ContractError);
+}
+
+TEST(Experiment, RejectsEmptyInputs) {
+  Fixture f;
+  const power::PowerModel* models[] = {&f.exact};
+  const std::vector<stats::InputStatistics> empty;
+  EXPECT_THROW(evaluate_average_accuracy(models, f.golden, empty, f.config),
+               ContractError);
+  const std::vector<stats::InputStatistics> grid = {{0.5, 0.5}};
+  EXPECT_THROW(evaluate_average_accuracy({}, f.golden, grid, f.config),
+               ContractError);
+}
+
+TEST(RunConfig, EnvOverrideParsesPositiveIntegers) {
+  ::setenv("CFPM_VECTORS", "1234", 1);
+  EXPECT_EQ(RunConfig::from_env().vectors_per_run, 1234u);
+  ::setenv("CFPM_VECTORS", "garbage", 1);
+  EXPECT_EQ(RunConfig::from_env().vectors_per_run,
+            RunConfig{}.vectors_per_run);
+  ::setenv("CFPM_VECTORS", "1", 1);  // too small -> default
+  EXPECT_EQ(RunConfig::from_env().vectors_per_run,
+            RunConfig{}.vectors_per_run);
+  ::unsetenv("CFPM_VECTORS");
+}
+
+}  // namespace
+}  // namespace cfpm::eval

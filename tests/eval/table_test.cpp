@@ -1,0 +1,47 @@
+#include "eval/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace cfpm::eval {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "12345"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header present, separator present, rows aligned right.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  // Every line has the same length (fixed-width columns).
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << "line: '" << line << "'";
+  }
+}
+
+TEST(TextTable, RowArityChecked) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractError);
+  EXPECT_THROW(TextTable({}), ContractError);
+}
+
+TEST(TextTable, NumFormatsDigits) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.14159, 0), "3");
+  EXPECT_EQ(TextTable::num(-0.5, 1), "-0.5");
+  EXPECT_EQ(TextTable::num(1234.0, 1), "1234.0");
+}
+
+}  // namespace
+}  // namespace cfpm::eval

@@ -1,0 +1,174 @@
+// Full-pipeline integration: netlist -> model -> concurrent RTL/gate-level
+// evaluation across input statistics. Mini versions of the paper's
+// experiments with reduced vector counts.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "eval/experiment.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/generators.hpp"
+#include "power/add_model.hpp"
+#include "power/baselines.hpp"
+#include "sim/simulator.hpp"
+#include "stats/markov.hpp"
+
+namespace cfpm {
+namespace {
+
+using netlist::GateLibrary;
+using netlist::Netlist;
+
+struct Models {
+  std::unique_ptr<power::ConstantModel> con;
+  std::unique_ptr<power::LinearModel> lin;
+  std::unique_ptr<power::AddPowerModel> add;
+};
+
+Models build_models(const Netlist& n, const sim::GateLevelSimulator& golden,
+                    std::size_t max_nodes) {
+  // Characterize the baselines at sp = st = 0.5, as in the paper.
+  stats::MarkovSequenceGenerator gen({0.5, 0.5}, 4242);
+  const sim::InputSequence train = gen.generate(n.num_inputs(), 3000);
+  power::Characterizer chr(golden, train);
+  Models m;
+  m.con = std::make_unique<power::ConstantModel>(chr.fit_constant());
+  m.lin = std::make_unique<power::LinearModel>(chr.fit_linear());
+  power::AddModelOptions opt;
+  opt.max_nodes = max_nodes;
+  m.add = std::make_unique<power::AddPowerModel>(
+      power::AddPowerModel::build(n, GateLibrary::uniform(5.0, 10.0), opt));
+  return m;
+}
+
+TEST(EndToEnd, AddModelBeatsBaselinesOutOfSample) {
+  const Netlist n = netlist::gen::mcnc_like("cm85");
+  const sim::GateLevelSimulator golden(n, GateLibrary::uniform(5.0, 10.0));
+  const Models m = build_models(n, golden, 500);
+
+  eval::RunConfig config;
+  config.vectors_per_run = 2000;
+  const auto grid = stats::evaluation_grid();
+  const power::PowerModel* models[] = {m.con.get(), m.lin.get(), m.add.get()};
+  const auto reports =
+      eval::evaluate_average_accuracy(models, golden, grid, config);
+
+  const double are_con = reports[0].are;
+  const double are_lin = reports[1].are;
+  const double are_add = reports[2].are;
+  // Table-1 ordering: ADD << Lin << Con.
+  EXPECT_LT(are_add, are_lin);
+  EXPECT_LT(are_lin, are_con);
+  EXPECT_LT(are_add, 0.10);  // paper: 5.7% on cm85
+  EXPECT_GT(are_con, 0.50);  // paper: 518% (we only need "large")
+}
+
+TEST(EndToEnd, AddAccuracyFlatAcrossStatistics) {
+  // Fig. 7a: the ADD curve is flat; Con/Lin blow up at low st.
+  const Netlist n = netlist::gen::mcnc_like("cm85");
+  const sim::GateLevelSimulator golden(n, GateLibrary::uniform(5.0, 10.0));
+  const Models m = build_models(n, golden, 500);
+
+  eval::RunConfig config;
+  config.vectors_per_run = 2000;
+  const auto sweep = stats::fig7a_sweep();
+  const power::PowerModel* models[] = {m.con.get(), m.add.get()};
+  const auto reports =
+      eval::evaluate_average_accuracy(models, golden, sweep, config);
+
+  // Con's error at st = 0.05 is far larger than at st = 0.5.
+  const auto& con_points = reports[0].points;
+  const auto& add_points = reports[1].points;
+  const double con_low = std::abs(con_points.front().re);
+  double con_mid = 0.0, add_max = 0.0;
+  for (std::size_t i = 0; i < con_points.size(); ++i) {
+    if (std::abs(con_points[i].statistics.st - 0.5) < 1e-9) {
+      con_mid = std::abs(con_points[i].re);
+    }
+    add_max = std::max(add_max, std::abs(add_points[i].re));
+  }
+  EXPECT_GT(con_low, 5.0 * (con_mid + 0.01));
+  EXPECT_LT(add_max, 0.15);  // flat and small everywhere
+}
+
+TEST(EndToEnd, BoundsConservativeAndTighterThanConstant) {
+  // Table-1 bound columns: pattern-dependent ADD bound vs constant bound.
+  const Netlist n = netlist::gen::mcnc_like("mux");
+  const sim::GateLevelSimulator golden(n, GateLibrary::uniform(5.0, 10.0));
+
+  power::AddModelOptions opt;
+  opt.max_nodes = 500;
+  opt.mode = dd::ApproxMode::kUpperBound;
+  const auto add_bound = power::AddPowerModel::build(
+      n, GateLibrary::uniform(5.0, 10.0), opt);
+  const power::ConstantBoundModel con_bound(add_bound.max_estimate_ff(),
+                                            n.num_inputs());
+
+  eval::RunConfig config;
+  config.vectors_per_run = 1500;
+  const auto grid = stats::evaluation_grid();
+  const power::PowerModel* models[] = {&con_bound, &add_bound};
+  const auto reports =
+      eval::evaluate_bound_accuracy(models, golden, grid, config);
+
+  // Both conservative: signed RE >= 0 on every run.
+  for (const auto& r : reports) {
+    for (const auto& p : r.points) {
+      EXPECT_GE(p.re, -1e-9) << r.model_name;
+    }
+  }
+  // Pattern-dependent bound at least as tight on average.
+  EXPECT_LE(reports[1].are, reports[0].are + 1e-9);
+}
+
+TEST(EndToEnd, SizeAccuracyTradeoffMonotoneOverall) {
+  // Fig. 7b: ARE grows as the model shrinks (allowing small local noise).
+  const Netlist n = netlist::gen::mcnc_like("cm85");
+  const sim::GateLevelSimulator golden(n, GateLibrary::uniform(5.0, 10.0));
+  power::AddModelOptions opt;
+  opt.max_nodes = 0;
+  const auto exact = power::AddPowerModel::build(n, GateLibrary::uniform(5.0, 10.0), opt);
+
+  eval::RunConfig config;
+  config.vectors_per_run = 1000;
+  const auto grid = stats::evaluation_grid();
+
+  const double are_exact =
+      eval::evaluate_average_accuracy(exact, golden, grid, config).are;
+  std::vector<double> ares;
+  for (std::size_t size : {200u, 20u, 1u}) {
+    const auto small = exact.compress(size);
+    const auto report =
+        eval::evaluate_average_accuracy(small, golden, grid, config);
+    ares.push_back(report.are);
+  }
+  EXPECT_LT(are_exact, 0.02);        // the exact model is the gold standard
+  EXPECT_LE(are_exact, ares[0] + 0.02);
+  EXPECT_LE(ares[0], ares[1] + 0.05);  // smaller models: no better on average
+  EXPECT_LE(ares[1], ares[2] + 0.05);
+}
+
+TEST(EndToEnd, BenchCircuitsFromDiskWorkToo) {
+  const Netlist n =
+      netlist::read_bench_file(std::string(CFPM_DATA_DIR) + "/c17.bench");
+  const sim::GateLevelSimulator golden(n, GateLibrary::uniform(5.0, 10.0));
+  power::AddModelOptions opt;
+  opt.max_nodes = 0;
+  const auto model = power::AddPowerModel::build(n, GateLibrary::uniform(5.0, 10.0), opt);
+  // Exhaustive check against the golden model.
+  std::vector<std::uint8_t> xi(5), xf(5);
+  for (unsigned a = 0; a < 32; ++a) {
+    for (unsigned b = 0; b < 32; ++b) {
+      for (unsigned i = 0; i < 5; ++i) {
+        xi[i] = (a >> i) & 1u;
+        xf[i] = (b >> i) & 1u;
+      }
+      ASSERT_DOUBLE_EQ(model.estimate_ff(xi, xf),
+                       golden.switching_capacitance_ff(xi, xf));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cfpm

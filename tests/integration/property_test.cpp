@@ -1,0 +1,139 @@
+// Cross-module property sweeps, parameterized over benchmark circuits.
+//
+// P1: the unbounded ADD model equals the golden simulator on random pairs.
+// P2: the upper-bound model dominates the golden simulator pointwise.
+// P3: the average-mode model preserves the exact mean at any budget.
+// P4: worst_case_ff() dominates every estimate the model produces.
+// P5: model evaluation is consistent with PowerModel sequence helpers.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "netlist/generators.hpp"
+#include "power/add_model.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace cfpm {
+namespace {
+
+using netlist::GateLibrary;
+using netlist::Netlist;
+
+class CircuitProperty : public ::testing::TestWithParam<const char*> {
+ protected:
+  Netlist circuit() const { return netlist::gen::mcnc_like(GetParam()); }
+};
+
+// Small/medium Table-1 circuits where the exact model is cheap to build.
+INSTANTIATE_TEST_SUITE_P(SmallMcnc, CircuitProperty,
+                         ::testing::Values("cmb", "cm85", "decod", "mux",
+                                           "parity", "pcle", "x2", "cm150"));
+
+TEST_P(CircuitProperty, ExactModelMatchesGolden) {
+  const Netlist n = circuit();
+  const GateLibrary lib = GateLibrary::standard();
+  const sim::GateLevelSimulator golden(n, lib);
+  power::AddModelOptions opt;
+  opt.max_nodes = 0;
+  const auto model = power::AddPowerModel::build(n, lib, opt);
+
+  Xoshiro256 rng(2718);
+  std::vector<std::uint8_t> xi(n.num_inputs()), xf(n.num_inputs());
+  for (int k = 0; k < 400; ++k) {
+    for (std::size_t i = 0; i < n.num_inputs(); ++i) {
+      xi[i] = static_cast<std::uint8_t>(rng.next_below(2));
+      xf[i] = static_cast<std::uint8_t>(rng.next_below(2));
+    }
+    ASSERT_DOUBLE_EQ(model.estimate_ff(xi, xf),
+                     golden.switching_capacitance_ff(xi, xf))
+        << GetParam() << " pair " << k;
+  }
+}
+
+TEST_P(CircuitProperty, BoundDominatesGolden) {
+  const Netlist n = circuit();
+  const GateLibrary lib = GateLibrary::standard();
+  const sim::GateLevelSimulator golden(n, lib);
+  power::AddModelOptions opt;
+  opt.max_nodes = 64;
+  opt.mode = dd::ApproxMode::kUpperBound;
+  const auto bound = power::AddPowerModel::build(n, lib, opt);
+  ASSERT_LE(bound.size(), 64u);
+
+  Xoshiro256 rng(314159);
+  std::vector<std::uint8_t> xi(n.num_inputs()), xf(n.num_inputs());
+  for (int k = 0; k < 400; ++k) {
+    for (std::size_t i = 0; i < n.num_inputs(); ++i) {
+      xi[i] = static_cast<std::uint8_t>(rng.next_below(2));
+      xf[i] = static_cast<std::uint8_t>(rng.next_below(2));
+    }
+    ASSERT_GE(bound.estimate_ff(xi, xf) + 1e-9,
+              golden.switching_capacitance_ff(xi, xf))
+        << GetParam() << " pair " << k;
+  }
+}
+
+TEST_P(CircuitProperty, AverageModePreservesMeanAtAnyBudget) {
+  const Netlist n = circuit();
+  const GateLibrary lib = GateLibrary::standard();
+  power::AddModelOptions opt;
+  opt.max_nodes = 0;
+  const auto exact = power::AddPowerModel::build(n, lib, opt);
+  const double mean = exact.average_estimate_ff();
+  for (std::size_t budget : {64u, 8u, 1u}) {
+    const auto small = exact.compress(budget, dd::ApproxMode::kAverage);
+    EXPECT_NEAR(small.average_estimate_ff(), mean, 1e-6 * (1.0 + mean))
+        << GetParam() << " budget " << budget;
+  }
+}
+
+TEST_P(CircuitProperty, WorstCaseDominatesEstimates) {
+  const Netlist n = circuit();
+  const GateLibrary lib = GateLibrary::standard();
+  power::AddModelOptions opt;
+  opt.max_nodes = 128;
+  const auto model = power::AddPowerModel::build(n, lib, opt);
+  const double wc = model.worst_case_ff();
+  Xoshiro256 rng(8888);
+  std::vector<std::uint8_t> xi(n.num_inputs()), xf(n.num_inputs());
+  for (int k = 0; k < 300; ++k) {
+    for (std::size_t i = 0; i < n.num_inputs(); ++i) {
+      xi[i] = static_cast<std::uint8_t>(rng.next_below(2));
+      xf[i] = static_cast<std::uint8_t>(rng.next_below(2));
+    }
+    ASSERT_LE(model.estimate_ff(xi, xf), wc + 1e-9);
+  }
+}
+
+TEST_P(CircuitProperty, SequenceHelpersConsistent) {
+  const Netlist n = circuit();
+  const GateLibrary lib = GateLibrary::standard();
+  power::AddModelOptions opt;
+  opt.max_nodes = 64;
+  const auto model = power::AddPowerModel::build(n, lib, opt);
+
+  // A deterministic little sequence.
+  sim::InputSequence seq(n.num_inputs(), 50);
+  Xoshiro256 rng(4321);
+  for (std::size_t i = 0; i < n.num_inputs(); ++i) {
+    for (std::size_t t = 0; t < 50; ++t) {
+      seq.set_bit(i, t, rng.next_bool(0.5));
+    }
+  }
+  double total = 0.0, peak = 0.0;
+  std::vector<std::uint8_t> xi(n.num_inputs()), xf(n.num_inputs());
+  for (std::size_t t = 0; t + 1 < 50; ++t) {
+    seq.vector_at(t, xi);
+    seq.vector_at(t + 1, xf);
+    const double e = model.estimate_ff(xi, xf);
+    total += e;
+    peak = std::max(peak, e);
+  }
+  EXPECT_NEAR(model.average_over(seq), total / 49.0, 1e-9);
+  EXPECT_NEAR(model.peak_over(seq), peak, 1e-12);
+}
+
+}  // namespace
+}  // namespace cfpm

@@ -1,0 +1,177 @@
+#include "netlist/bench_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/generators.hpp"
+#include "support/error.hpp"
+
+namespace cfpm::netlist {
+namespace {
+
+constexpr const char* kC17 = R"(# ISCAS-85 c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+
+OUTPUT(22)
+OUTPUT(23)
+
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+
+TEST(BenchIo, ParsesC17) {
+  std::istringstream is(kC17);
+  Netlist n = read_bench(is, "c17");
+  EXPECT_EQ(n.num_inputs(), 5u);
+  EXPECT_EQ(n.num_gates(), 6u);
+  EXPECT_EQ(n.outputs().size(), 2u);
+  EXPECT_EQ(n.signal(n.find("22")).type, GateType::kNand);
+}
+
+TEST(BenchIo, ParsedC17MatchesGenerator) {
+  std::istringstream is(kC17);
+  Netlist parsed = read_bench(is, "c17");
+  Netlist built = gen::c17();
+  EXPECT_EQ(parsed.num_inputs(), built.num_inputs());
+  EXPECT_EQ(parsed.num_gates(), built.num_gates());
+  EXPECT_EQ(parsed.outputs().size(), built.outputs().size());
+}
+
+TEST(BenchIo, OutOfOrderDefinitionsResolved) {
+  std::istringstream is(R"(
+INPUT(a)
+OUTPUT(y)
+y = AND(m, a)
+m = NOT(a)
+)");
+  Netlist n = read_bench(is);
+  EXPECT_EQ(n.num_gates(), 2u);
+  // m must topologically precede y.
+  EXPECT_LT(n.find("m"), n.find("y"));
+}
+
+TEST(BenchIo, RoundTripThroughWriter) {
+  std::istringstream is(kC17);
+  Netlist n = read_bench(is, "c17");
+  std::ostringstream out;
+  write_bench(out, n);
+  std::istringstream is2(out.str());
+  Netlist n2 = read_bench(is2, "c17rt");
+  EXPECT_EQ(n2.num_inputs(), n.num_inputs());
+  EXPECT_EQ(n2.num_gates(), n.num_gates());
+  EXPECT_EQ(n2.outputs().size(), n.outputs().size());
+}
+
+TEST(BenchIo, WriterRoundTripsAllGateTypes) {
+  Netlist n("alltypes");
+  const SignalId a = n.add_input("a");
+  const SignalId b = n.add_input("b");
+  n.add_gate(GateType::kBuf, {a}, "t_buf");
+  n.add_gate(GateType::kNot, {a}, "t_not");
+  n.add_gate(GateType::kAnd, {a, b}, "t_and");
+  n.add_gate(GateType::kNand, {a, b}, "t_nand");
+  n.add_gate(GateType::kOr, {a, b}, "t_or");
+  n.add_gate(GateType::kNor, {a, b}, "t_nor");
+  n.add_gate(GateType::kXor, {a, b}, "t_xor");
+  n.add_gate(GateType::kXnor, {a, b}, "t_xnor");
+  n.add_gate(GateType::kConst0, {}, "t_zero");
+  n.add_gate(GateType::kConst1, {}, "t_one");
+  for (const char* name : {"t_buf", "t_not", "t_and", "t_nand", "t_or",
+                           "t_nor", "t_xor", "t_xnor", "t_zero", "t_one"}) {
+    n.mark_output(n.find(name));
+  }
+  std::ostringstream out;
+  write_bench(out, n);
+  std::istringstream in(out.str());
+  Netlist rt = read_bench(in, "alltypes");
+  ASSERT_EQ(rt.num_gates(), n.num_gates());
+  for (SignalId s = 0; s < n.num_signals(); ++s) {
+    const auto& orig = n.signal(s);
+    const SignalId m = rt.find(orig.name);
+    ASSERT_NE(m, kInvalidSignal) << orig.name;
+    if (!orig.is_input) {
+      EXPECT_EQ(rt.signal(m).type, orig.type) << orig.name;
+    }
+  }
+}
+
+TEST(BenchIo, RejectsDff) {
+  std::istringstream is("INPUT(a)\nq = DFF(a)\nOUTPUT(q)\n");
+  EXPECT_THROW(read_bench(is), ParseError);
+}
+
+TEST(BenchIo, RejectsUnknownGate) {
+  std::istringstream is("INPUT(a)\ny = FROB(a)\nOUTPUT(y)\n");
+  EXPECT_THROW(read_bench(is), ParseError);
+}
+
+TEST(BenchIo, RejectsUndefinedSignal) {
+  std::istringstream is("INPUT(a)\ny = AND(a, ghost)\nOUTPUT(y)\n");
+  EXPECT_THROW(read_bench(is), ParseError);
+}
+
+TEST(BenchIo, RejectsUndefinedOutput) {
+  std::istringstream is("INPUT(a)\nOUTPUT(nope)\ny = NOT(a)\n");
+  EXPECT_THROW(read_bench(is), ParseError);
+}
+
+TEST(BenchIo, RejectsCombinationalCycle) {
+  std::istringstream is(R"(
+INPUT(a)
+OUTPUT(p)
+p = AND(a, q)
+q = NOT(p)
+)");
+  EXPECT_THROW(read_bench(is), ParseError);
+}
+
+TEST(BenchIo, RejectsDoubleDefinition) {
+  std::istringstream is("INPUT(a)\ny = NOT(a)\ny = BUF(a)\nOUTPUT(y)\n");
+  EXPECT_THROW(read_bench(is), ParseError);
+}
+
+TEST(BenchIo, RejectsInputAlsoGate) {
+  std::istringstream is("INPUT(a)\na = NOT(a)\nOUTPUT(a)\n");
+  EXPECT_THROW(read_bench(is), ParseError);
+}
+
+TEST(BenchIo, RejectsBadArity) {
+  std::istringstream is("INPUT(a)\ny = NOT(a, a)\nOUTPUT(y)\n");
+  EXPECT_THROW(read_bench(is), ParseError);
+}
+
+TEST(BenchIo, CommentsAndWhitespaceTolerated) {
+  std::istringstream is(
+      "  # leading comment\n"
+      "INPUT( a )  # inline\n"
+      "\t\n"
+      "OUTPUT( y )\n"
+      "y = not( a )\n");
+  Netlist n = read_bench(is);
+  EXPECT_EQ(n.num_gates(), 1u);
+  EXPECT_EQ(n.signal(n.find("y")).type, GateType::kNot);
+}
+
+TEST(BenchIo, MissingFileThrows) {
+  EXPECT_THROW(read_bench_file("/nonexistent/path.bench"), Error);
+}
+
+TEST(BenchIo, DataFileC17Loads) {
+  // The repository ships c17.bench as sample data.
+  Netlist n = read_bench_file(std::string(CFPM_DATA_DIR) + "/c17.bench");
+  EXPECT_EQ(n.num_inputs(), 5u);
+  EXPECT_EQ(n.num_gates(), 6u);
+  EXPECT_EQ(n.name(), "c17");
+}
+
+}  // namespace
+}  // namespace cfpm::netlist

@@ -1,0 +1,239 @@
+#include "netlist/blif_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/generators.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+#include "support/error.hpp"
+
+namespace cfpm::netlist {
+namespace {
+
+/// Evaluates output `out` of `n` for given primary-input bits.
+bool eval_output(const Netlist& n, const std::string& out,
+                 std::initializer_list<int> bits) {
+  std::vector<double> loads(n.num_signals(), 1.0);
+  sim::GateLevelSimulator simulator(n, loads);
+  std::vector<std::uint8_t> in;
+  for (int b : bits) in.push_back(static_cast<std::uint8_t>(b));
+  const auto values = simulator.eval(in);
+  return values[n.find(out)] != 0;
+}
+
+TEST(BlifIo, MajorityCover) {
+  std::istringstream is(R"(
+.model maj
+.inputs a b c
+.outputs y
+.names a b c y
+11- 1
+1-1 1
+-11 1
+.end
+)");
+  Netlist n = read_blif(is);
+  EXPECT_EQ(n.name(), "maj");
+  EXPECT_EQ(n.num_inputs(), 3u);
+  for (unsigned m = 0; m < 8; ++m) {
+    const int a = m & 1, b = (m >> 1) & 1, c = (m >> 2) & 1;
+    EXPECT_EQ(eval_output(n, "y", {a, b, c}), (a + b + c) >= 2)
+        << "minterm " << m;
+  }
+}
+
+TEST(BlifIo, OffsetCover) {
+  // y is 0 exactly when a=1,b=0 -> y = !(a & !b).
+  std::istringstream is(R"(
+.model offs
+.inputs a b
+.outputs y
+.names a b y
+10 0
+.end
+)");
+  Netlist n = read_blif(is);
+  EXPECT_TRUE(eval_output(n, "y", {0, 0}));
+  EXPECT_TRUE(eval_output(n, "y", {0, 1}));
+  EXPECT_FALSE(eval_output(n, "y", {1, 0}));
+  EXPECT_TRUE(eval_output(n, "y", {1, 1}));
+}
+
+TEST(BlifIo, ConstantCovers) {
+  std::istringstream is(R"(
+.model consts
+.inputs a
+.outputs zero one
+.names zero
+.names one
+ 1
+.end
+)");
+  Netlist n = read_blif(is);
+  EXPECT_FALSE(eval_output(n, "zero", {0}));
+  EXPECT_TRUE(eval_output(n, "one", {0}));
+}
+
+TEST(BlifIo, IntermediateSignalsAndDependencyOrder) {
+  // t defined after its use in y; loader must reorder.
+  std::istringstream is(R"(
+.model deps
+.inputs a b
+.outputs y
+.names t y
+0 1
+.names a b t
+11 1
+.end
+)");
+  Netlist n = read_blif(is);
+  // y = !(a & b)
+  EXPECT_TRUE(eval_output(n, "y", {0, 1}));
+  EXPECT_FALSE(eval_output(n, "y", {1, 1}));
+}
+
+TEST(BlifIo, LineContinuation) {
+  std::istringstream is(
+      ".model cont\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n");
+  Netlist n = read_blif(is);
+  EXPECT_EQ(n.num_inputs(), 2u);
+  EXPECT_TRUE(eval_output(n, "y", {1, 1}));
+}
+
+TEST(BlifIo, SingleLiteralCoverBecomesBufOrNot) {
+  std::istringstream is(R"(
+.model wire
+.inputs a
+.outputs y z
+.names a y
+1 1
+.names a z
+0 1
+.end
+)");
+  Netlist n = read_blif(is);
+  EXPECT_TRUE(eval_output(n, "y", {1}));
+  EXPECT_FALSE(eval_output(n, "y", {0}));
+  EXPECT_FALSE(eval_output(n, "z", {1}));
+  EXPECT_TRUE(eval_output(n, "z", {0}));
+}
+
+TEST(BlifIo, RejectsLatch) {
+  std::istringstream is(".model seq\n.inputs a\n.outputs q\n.latch a q 0\n.end\n");
+  EXPECT_THROW(read_blif(is), ParseError);
+}
+
+TEST(BlifIo, RejectsCycle) {
+  std::istringstream is(R"(
+.model cyc
+.inputs a
+.outputs y
+.names a z y
+11 1
+.names y z
+1 1
+.end
+)");
+  EXPECT_THROW(read_blif(is), ParseError);
+}
+
+TEST(BlifIo, RejectsUndefinedFanin) {
+  std::istringstream is(
+      ".model u\n.inputs a\n.outputs y\n.names a ghost y\n11 1\n.end\n");
+  EXPECT_THROW(read_blif(is), ParseError);
+}
+
+TEST(BlifIo, RejectsMixedOnOffRows) {
+  std::istringstream is(
+      ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end\n");
+  EXPECT_THROW(read_blif(is), ParseError);
+}
+
+TEST(BlifIo, RejectsCubeOutsideNames) {
+  std::istringstream is(".model m\n.inputs a\n.outputs y\n11 1\n.end\n");
+  EXPECT_THROW(read_blif(is), ParseError);
+}
+
+TEST(BlifIo, RejectsDuplicateDefinition) {
+  std::istringstream is(
+      ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.names a y\n0 1\n.end\n");
+  EXPECT_THROW(read_blif(is), ParseError);
+}
+
+TEST(BlifIo, WriterRoundTripsAllGateTypes) {
+  Netlist n("rt");
+  const SignalId a = n.add_input("a");
+  const SignalId b = n.add_input("b");
+  const SignalId c = n.add_input("c");
+  n.add_gate(GateType::kBuf, {a}, "w_buf");
+  n.add_gate(GateType::kNot, {a}, "w_not");
+  n.add_gate(GateType::kAnd, {a, b, c}, "w_and");
+  n.add_gate(GateType::kNand, {a, b}, "w_nand");
+  n.add_gate(GateType::kOr, {a, b, c}, "w_or");
+  n.add_gate(GateType::kNor, {a, b}, "w_nor");
+  n.add_gate(GateType::kXor, {a, b, c}, "w_xor");
+  n.add_gate(GateType::kXnor, {a, b}, "w_xnor");
+  n.add_gate(GateType::kConst0, {}, "w_zero");
+  n.add_gate(GateType::kConst1, {}, "w_one");
+  for (const char* out : {"w_buf", "w_not", "w_and", "w_nand", "w_or",
+                          "w_nor", "w_xor", "w_xnor", "w_zero", "w_one"}) {
+    n.mark_output(n.find(out));
+  }
+
+  std::stringstream ss;
+  write_blif(ss, n);
+  Netlist rt = read_blif(ss);
+  ASSERT_EQ(rt.num_inputs(), 3u);
+  ASSERT_EQ(rt.outputs().size(), n.outputs().size());
+
+  std::vector<double> l1(n.num_signals(), 0.0), l2(rt.num_signals(), 0.0);
+  sim::GateLevelSimulator s1(n, l1), s2(rt, l2);
+  for (unsigned m = 0; m < 8; ++m) {
+    const std::vector<std::uint8_t> in = {
+        static_cast<std::uint8_t>(m & 1), static_cast<std::uint8_t>((m >> 1) & 1),
+        static_cast<std::uint8_t>((m >> 2) & 1)};
+    const auto v1 = s1.eval(in);
+    const auto v2 = s2.eval(in);
+    for (std::size_t o = 0; o < n.outputs().size(); ++o) {
+      ASSERT_EQ(v1[n.outputs()[o]], v2[rt.outputs()[o]])
+          << "output " << o << " minterm " << m;
+    }
+  }
+}
+
+TEST(BlifIo, WriterRoundTripsGeneratedCircuits) {
+  for (const char* name : {"decod", "x2", "cm85"}) {
+    Netlist n = netlist::gen::mcnc_like(name);
+    std::stringstream ss;
+    write_blif(ss, n);
+    Netlist rt = read_blif(ss);
+    ASSERT_EQ(rt.num_inputs(), n.num_inputs()) << name;
+    ASSERT_EQ(rt.outputs().size(), n.outputs().size()) << name;
+    std::vector<double> l1(n.num_signals(), 0.0), l2(rt.num_signals(), 0.0);
+    sim::GateLevelSimulator s1(n, l1), s2(rt, l2);
+    cfpm::Xoshiro256 rng(5);
+    std::vector<std::uint8_t> in(n.num_inputs());
+    for (int k = 0; k < 256; ++k) {
+      for (auto& bit : in) bit = static_cast<std::uint8_t>(rng.next_below(2));
+      const auto v1 = s1.eval(in);
+      const auto v2 = s2.eval(in);
+      for (std::size_t o = 0; o < n.outputs().size(); ++o) {
+        ASSERT_EQ(v1[n.outputs()[o]], v2[rt.outputs()[o]])
+            << name << " output " << o << " trial " << k;
+      }
+    }
+  }
+}
+
+TEST(BlifIo, DataFileLoads) {
+  Netlist n = read_blif_file(std::string(CFPM_DATA_DIR) + "/majority.blif");
+  EXPECT_EQ(n.name(), "majority");
+  EXPECT_EQ(n.num_inputs(), 3u);
+  EXPECT_TRUE(eval_output(n, "y", {1, 1, 0}));
+  EXPECT_FALSE(eval_output(n, "y", {1, 0, 0}));
+}
+
+}  // namespace
+}  // namespace cfpm::netlist

@@ -1,0 +1,131 @@
+#include "power/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netlist/generators.hpp"
+#include "sim/simulator.hpp"
+#include "stats/markov.hpp"
+#include "support/error.hpp"
+
+namespace cfpm::power {
+namespace {
+
+using netlist::GateLibrary;
+using netlist::Netlist;
+
+struct Fixture {
+  Netlist n = netlist::gen::ripple_carry_adder(4);
+  GateLibrary lib = GateLibrary::standard();
+  sim::GateLevelSimulator simulator{n, lib};
+  sim::InputSequence seq = stats::MarkovSequenceGenerator({0.5, 0.5}, 77)
+                               .generate(n.num_inputs(), 4000);
+  Characterizer chr{simulator, seq};
+};
+
+TEST(ConstantModel, MatchesObservedMean) {
+  Fixture f;
+  const ConstantModel con = f.chr.fit_constant();
+  const sim::SequenceEnergy energy = f.simulator.simulate(f.seq);
+  EXPECT_DOUBLE_EQ(con.value_ff(), energy.average_ff());
+  // Constant everywhere.
+  std::vector<std::uint8_t> a(f.n.num_inputs(), 0), b(f.n.num_inputs(), 1);
+  EXPECT_DOUBLE_EQ(con.estimate_ff(a, b), con.value_ff());
+  EXPECT_DOUBLE_EQ(con.estimate_ff(b, a), con.value_ff());
+  EXPECT_DOUBLE_EQ(con.worst_case_ff(), con.value_ff());
+  EXPECT_FALSE(con.is_upper_bound());
+}
+
+TEST(ConstantModel, AverageOverAnySequenceIsConstant) {
+  Fixture f;
+  const ConstantModel con = f.chr.fit_constant();
+  const auto other =
+      stats::MarkovSequenceGenerator({0.5, 0.1}, 5).generate(f.n.num_inputs(), 500);
+  EXPECT_NEAR(con.average_over(other), con.value_ff(),
+              1e-9 * con.value_ff());
+  EXPECT_DOUBLE_EQ(con.peak_over(other), con.value_ff());
+}
+
+TEST(LinearModel, InSampleBetterThanConstant) {
+  Fixture f;
+  const ConstantModel con = f.chr.fit_constant();
+  const LinearModel lin = f.chr.fit_linear();
+  const sim::SequenceEnergy energy = f.simulator.simulate(f.seq);
+  // In-sample RMS error of Lin <= Con (least squares with intercept).
+  double se_con = 0.0, se_lin = 0.0;
+  std::vector<std::uint8_t> xi(f.n.num_inputs()), xf(f.n.num_inputs());
+  for (std::size_t t = 0; t + 1 < f.seq.length(); ++t) {
+    f.seq.vector_at(t, xi);
+    f.seq.vector_at(t + 1, xf);
+    const double truth = energy.per_transition_ff[t];
+    const double ec = con.estimate_ff(xi, xf) - truth;
+    const double el = lin.estimate_ff(xi, xf) - truth;
+    se_con += ec * ec;
+    se_lin += el * el;
+  }
+  EXPECT_LE(se_lin, se_con * (1.0 + 1e-9));
+}
+
+TEST(LinearModel, EstimateUsesTransitionBits) {
+  // On a buffer chain with unit loads, the switched cap of a rising input
+  // is strictly more than a falling one, but Lin only sees |toggle|; still
+  // the fitted coefficient must be positive for a toggling input.
+  Fixture f;
+  const LinearModel lin = f.chr.fit_linear();
+  EXPECT_EQ(lin.num_inputs(), f.n.num_inputs());
+  // More toggles must not decrease the estimate by much: coefficient sum
+  // positive.
+  double sum = 0.0;
+  for (std::size_t j = 1; j < lin.coefficients().size(); ++j) {
+    sum += lin.coefficients()[j];
+  }
+  EXPECT_GT(sum, 0.0);
+}
+
+TEST(LinearModel, RejectsTooFewCoefficients) {
+  EXPECT_THROW(LinearModel(std::vector<double>{1.0}), ContractError);
+}
+
+TEST(LinearModel, WorstCaseSumsPositiveCoefficients) {
+  LinearModel lin(std::vector<double>{2.0, 3.0, -1.0, 0.5});
+  EXPECT_DOUBLE_EQ(lin.worst_case_ff(), 5.5);
+}
+
+TEST(ConstantBoundModel, IsUpperBoundFlagged) {
+  ConstantBoundModel bound(123.0, 4);
+  EXPECT_TRUE(bound.is_upper_bound());
+  EXPECT_DOUBLE_EQ(bound.worst_case_ff(), 123.0);
+  std::vector<std::uint8_t> v(4, 0);
+  EXPECT_DOUBLE_EQ(bound.estimate_ff(v, v), 123.0);
+}
+
+TEST(Characterizer, RequiresTransitions) {
+  Fixture f;
+  sim::InputSequence one(f.n.num_inputs(), 1);
+  EXPECT_THROW(Characterizer(f.simulator, one), ContractError);
+}
+
+TEST(Characterizer, ObservedStatsExposed) {
+  Fixture f;
+  const sim::SequenceEnergy energy = f.simulator.simulate(f.seq);
+  EXPECT_DOUBLE_EQ(f.chr.observed_average_ff(), energy.average_ff());
+  EXPECT_DOUBLE_EQ(f.chr.observed_peak_ff(), energy.peak_ff);
+  EXPECT_GT(f.chr.observed_peak_ff(), f.chr.observed_average_ff());
+}
+
+TEST(Baselines, OutOfSampleErrorGrowsForCon) {
+  // The paper's central criticism: characterize at st = 0.5, evaluate at
+  // st = 0.1 -> Con grossly overestimates.
+  Fixture f;
+  const ConstantModel con = f.chr.fit_constant();
+  const auto low_st =
+      stats::MarkovSequenceGenerator({0.5, 0.1}, 9).generate(f.n.num_inputs(), 4000);
+  const sim::SequenceEnergy energy = f.simulator.simulate(low_st);
+  const double golden = energy.average_ff();
+  const double re = std::abs(con.value_ff() - golden) / golden;
+  EXPECT_GT(re, 0.5);  // large out-of-sample relative error
+}
+
+}  // namespace
+}  // namespace cfpm::power

@@ -1,0 +1,45 @@
+#include "power/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "power/baselines.hpp"
+#include "support/error.hpp"
+
+namespace cfpm::power {
+namespace {
+
+TEST(SupplyConfig, EnergyScalesWithVddSquared) {
+  const SupplyConfig v33{3.3};
+  const SupplyConfig v50{5.0};
+  EXPECT_DOUBLE_EQ(v33.energy_fj(10.0), 3.3 * 3.3 * 10.0);
+  EXPECT_DOUBLE_EQ(v50.energy_fj(10.0), 250.0);
+  EXPECT_GT(v50.energy_fj(1.0), v33.energy_fj(1.0));
+}
+
+TEST(SupplyConfig, PowerIsEnergyPerPeriod) {
+  const SupplyConfig v{2.0};
+  // 25 fF/cycle at Vdd=2V -> 100 fJ; at 10 ns -> 10 uW.
+  EXPECT_DOUBLE_EQ(v.power_uw(25.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(v.power_uw(25.0, 5.0), 20.0);
+}
+
+TEST(PowerModel, SequenceHelpersOnDegenerateSequences) {
+  const ConstantModel con(7.0, 3);
+  sim::InputSequence single(3, 1);  // no transitions
+  EXPECT_DOUBLE_EQ(con.average_over(single), 0.0);
+  EXPECT_DOUBLE_EQ(con.peak_over(single), 0.0);
+
+  sim::InputSequence two(3, 2);  // exactly one transition
+  EXPECT_DOUBLE_EQ(con.average_over(two), 7.0);
+  EXPECT_DOUBLE_EQ(con.peak_over(two), 7.0);
+}
+
+TEST(PowerModel, SequenceHelpersRejectArityMismatch) {
+  const ConstantModel con(7.0, 3);
+  sim::InputSequence wrong(5, 4);
+  EXPECT_THROW(con.average_over(wrong), ContractError);
+  EXPECT_THROW(con.peak_over(wrong), ContractError);
+}
+
+}  // namespace
+}  // namespace cfpm::power

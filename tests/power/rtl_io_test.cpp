@@ -1,0 +1,96 @@
+#include "power/rtl_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "netlist/generators.hpp"
+#include "power/add_model.hpp"
+#include "support/error.hpp"
+
+namespace cfpm::power {
+namespace {
+
+using netlist::GateLibrary;
+
+const GateLibrary kLib = GateLibrary::uniform(5.0, 10.0);
+
+TEST(RtlIo, ParsesGeneratorBackedDesign) {
+  std::istringstream is(R"(
+design soc
+bus 24
+macro alu gen:c17 max=200
+inst u0 alu 0-4
+inst u1 alu 5 6 7 8 9
+inst u2 alu 0 2 4 6 8
+)");
+  const RtlDescription d = read_rtl_design(is, kLib);
+  EXPECT_EQ(d.name, "soc");
+  EXPECT_EQ(d.design.num_instances(), 3u);
+  EXPECT_EQ(d.design.bus_width(), 10u);
+  EXPECT_EQ(d.instance_macros[0], "alu");
+  EXPECT_EQ(d.design.instance_name(2), "u2");
+
+  // The design estimates like three c17 models on shared bits.
+  std::vector<std::uint8_t> xi(10, 0), xf(10, 1);
+  EXPECT_GT(d.design.estimate_ff(xi, xf), 0.0);
+}
+
+TEST(RtlIo, LoadsSavedModels) {
+  const std::string path = ::testing::TempDir() + "/rtl_io_c17.cfpm";
+  {
+    AddModelOptions opt;
+    opt.max_nodes = 0;
+    const auto model =
+        AddPowerModel::build(netlist::gen::c17(), kLib, opt);
+    std::ofstream out(path);
+    model.save(out);
+  }
+  std::istringstream is("macro m " + path + "\ninst u m 0 1 2 3 4\n");
+  const RtlDescription d = read_rtl_design(is, kLib);
+  EXPECT_EQ(d.design.num_instances(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(RtlIo, BoundMacrosComposeConservatively) {
+  std::istringstream is(R"(
+macro m gen:c17 max=100 bound
+inst a m 0-4
+inst b m 5-9
+)");
+  const RtlDescription d = read_rtl_design(is, kLib);
+  EXPECT_TRUE(d.design.is_upper_bound());
+  EXPECT_GT(d.design.sum_of_worst_cases_ff(), 0.0);
+}
+
+TEST(RtlIo, ErrorsAreSpecific) {
+  auto expect_error = [&](const std::string& text, const char* what) {
+    std::istringstream is(text);
+    try {
+      read_rtl_design(is, kLib);
+      FAIL() << "expected failure: " << what;
+    } catch (const ParseError&) {
+    }
+  };
+  expect_error("inst u m 0 1\n", "undefined macro");
+  expect_error("macro m gen:c17\ninst u m 0 1\n", "arity mismatch");
+  expect_error("macro m gen:c17\nmacro m gen:c17\ninst u m 0-4\n",
+               "duplicate macro");
+  expect_error("macro m gen:c17\ninst u m 0-4\ninst u m 0-4\n",
+               "duplicate instance");
+  expect_error("macro m gen:c17\ninst u m 4-0\n", "empty range");
+  expect_error("macro m gen:c17\ninst u m zero 1 2 3 4\n", "bad bit");
+  expect_error("bus 3\nmacro m gen:c17\ninst u m 0-4\n", "narrow bus");
+  expect_error("frobnicate\n", "unknown directive");
+  expect_error("# empty\n", "no instances");
+  expect_error("macro m nope.xyz\ninst u m 0-4\n", "unknown source");
+}
+
+TEST(RtlIo, MissingModelFileThrows) {
+  std::istringstream is("macro m /does/not/exist.cfpm\ninst u m 0-4\n");
+  EXPECT_THROW(read_rtl_design(is, kLib), Error);
+}
+
+}  // namespace
+}  // namespace cfpm::power

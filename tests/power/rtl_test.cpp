@@ -1,0 +1,138 @@
+#include "power/rtl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "netlist/generators.hpp"
+#include "power/add_model.hpp"
+#include "power/baselines.hpp"
+#include "sim/simulator.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace cfpm::power {
+namespace {
+
+using netlist::GateLibrary;
+using netlist::Netlist;
+
+std::shared_ptr<AddPowerModel> make_model(const Netlist& n,
+                                          dd::ApproxMode mode,
+                                          std::size_t max_nodes = 0) {
+  AddModelOptions opt;
+  opt.max_nodes = max_nodes;
+  opt.mode = mode;
+  return std::make_shared<AddPowerModel>(
+      AddPowerModel::build(n, GateLibrary::standard(), opt));
+}
+
+TEST(RtlDesign, SumsInstanceEstimates) {
+  const Netlist adder = netlist::gen::ripple_carry_adder(2);  // 5 inputs
+  auto model = make_model(adder, dd::ApproxMode::kAverage);
+  RtlDesign design;
+  design.add_instance("u0", model, {0, 1, 2, 3, 4});
+  design.add_instance("u1", model, {5, 6, 7, 8, 9});
+  EXPECT_EQ(design.num_instances(), 2u);
+  EXPECT_EQ(design.bus_width(), 10u);
+
+  std::vector<std::uint8_t> xi(10, 0), xf(10, 1);
+  const auto breakdown = design.estimate_breakdown_ff(xi, xf);
+  ASSERT_EQ(breakdown.size(), 2u);
+  EXPECT_DOUBLE_EQ(design.estimate_ff(xi, xf), breakdown[0] + breakdown[1]);
+
+  // Same bits on both instances -> identical per-instance estimates.
+  EXPECT_DOUBLE_EQ(breakdown[0], breakdown[1]);
+}
+
+TEST(RtlDesign, SharedModelAcrossInstances) {
+  // One library model backs many instances: the paper's library-macro flow.
+  const Netlist cmp = netlist::gen::magnitude_comparator(3);
+  auto model = make_model(cmp, dd::ApproxMode::kAverage);
+  RtlDesign design;
+  for (int i = 0; i < 8; ++i) {
+    std::vector<std::size_t> map;
+    for (std::size_t k = 0; k < cmp.num_inputs(); ++k) {
+      map.push_back(i * cmp.num_inputs() + k);
+    }
+    design.add_instance("cmp" + std::to_string(i), model, std::move(map));
+  }
+  EXPECT_EQ(design.num_instances(), 8u);
+  EXPECT_EQ(design.bus_width(), 8 * cmp.num_inputs());
+}
+
+TEST(RtlDesign, InputMapMustMatchModelArity) {
+  const Netlist adder = netlist::gen::ripple_carry_adder(2);
+  auto model = make_model(adder, dd::ApproxMode::kAverage);
+  RtlDesign design;
+  EXPECT_THROW(design.add_instance("bad", model, {0, 1}), ContractError);
+  EXPECT_THROW(design.add_instance("null", nullptr, {}), ContractError);
+}
+
+TEST(RtlDesign, UpperBoundFlagRequiresAllBounds) {
+  const Netlist adder = netlist::gen::ripple_carry_adder(2);
+  auto avg_model = make_model(adder, dd::ApproxMode::kAverage, 20);
+  auto bound_model = make_model(adder, dd::ApproxMode::kUpperBound, 20);
+  RtlDesign design;
+  design.add_instance("b0", bound_model, {0, 1, 2, 3, 4});
+  EXPECT_TRUE(design.is_upper_bound());
+  design.add_instance("a0", avg_model, {0, 1, 2, 3, 4});
+  EXPECT_FALSE(design.is_upper_bound());
+}
+
+TEST(RtlDesign, PatternDependentBoundTighterThanWorstCaseSum) {
+  // Section 1.2: summing pattern-dependent bounds beats summing the
+  // components' global worst cases.
+  const Netlist adder = netlist::gen::ripple_carry_adder(3);  // 7 inputs
+  auto bound = make_model(adder, dd::ApproxMode::kUpperBound, 100);
+  RtlDesign design;
+  design.add_instance("u0", bound, {0, 1, 2, 3, 4, 5, 6});
+  design.add_instance("u1", bound, {7, 8, 9, 10, 11, 12, 13});
+  design.add_instance("u2", bound, {0, 2, 4, 6, 8, 10, 12});
+
+  const sim::GateLevelSimulator golden(adder, GateLibrary::standard());
+  Xoshiro256 rng(41);
+  std::vector<std::uint8_t> xi(14), xf(14);
+  double sum_pattern_bound = 0.0;
+  const int trials = 300;
+  const std::vector<std::vector<std::size_t>> maps = {
+      {0, 1, 2, 3, 4, 5, 6}, {7, 8, 9, 10, 11, 12, 13},
+      {0, 2, 4, 6, 8, 10, 12}};
+  for (int t = 0; t < trials; ++t) {
+    for (auto& b : xi) b = static_cast<std::uint8_t>(rng.next_below(2));
+    for (auto& b : xf) b = static_cast<std::uint8_t>(rng.next_below(2));
+    const double pat = design.estimate_ff(xi, xf);
+    sum_pattern_bound += pat;
+    // Conservativeness of the composed bound versus the golden sum.
+    double golden_sum = 0.0;
+    for (const auto& map : maps) {
+      std::vector<std::uint8_t> mi(7), mf(7);
+      for (int k = 0; k < 7; ++k) {
+        mi[k] = xi[map[k]];
+        mf[k] = xf[map[k]];
+      }
+      golden_sum += golden.switching_capacitance_ff(mi, mf);
+    }
+    EXPECT_GE(pat + 1e-9, golden_sum);
+    // And it never exceeds the loose worst-case sum.
+    EXPECT_LE(pat, design.sum_of_worst_cases_ff() + 1e-9);
+  }
+  // On average, strictly tighter than the worst-case sum.
+  EXPECT_LT(sum_pattern_bound / trials, design.sum_of_worst_cases_ff());
+}
+
+TEST(RtlDesign, MixedModelTypes) {
+  const Netlist adder = netlist::gen::ripple_carry_adder(2);
+  auto add_model = make_model(adder, dd::ApproxMode::kAverage);
+  auto con = std::make_shared<ConstantModel>(42.0, 3);
+  RtlDesign design;
+  design.add_instance("macro", add_model, {0, 1, 2, 3, 4});
+  design.add_instance("legacy", con, {5, 6, 7});
+  std::vector<std::uint8_t> xi(8, 0), xf(8, 0);
+  // Idle bus: ADD model contributes 0, Con contributes its constant.
+  EXPECT_DOUBLE_EQ(design.estimate_ff(xi, xf), 42.0);
+}
+
+}  // namespace
+}  // namespace cfpm::power

@@ -1,0 +1,170 @@
+// Reproduces the paper's worked example end to end (Figs. 2-5, Ex. 1-5).
+//
+// Unit U: g1 = NOT x1 (C1 = 40 fF), g2 = NOT x2 (C2 = 50 fF),
+//         g3 = OR(x1, x2) (C3 = 10 fF).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dd/approx.hpp"
+#include "dd/stats.hpp"
+#include "netlist/netlist.hpp"
+#include "power/add_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace cfpm::power {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SignalId;
+
+Netlist unit_u() {
+  Netlist n("U");
+  const SignalId x1 = n.add_input("x1");
+  const SignalId x2 = n.add_input("x2");
+  n.add_gate(GateType::kNot, {x1}, "g1");
+  n.add_gate(GateType::kNot, {x2}, "g2");
+  n.add_gate(GateType::kOr, {x1, x2}, "g3");
+  return n;
+}
+
+std::vector<double> unit_loads(const Netlist& n) {
+  std::vector<double> loads(n.num_signals(), 0.0);
+  loads[n.find("g1")] = 40.0;
+  loads[n.find("g2")] = 50.0;
+  loads[n.find("g3")] = 10.0;
+  return loads;
+}
+
+AddPowerModel exact_model() {
+  Netlist n = unit_u();
+  AddModelOptions opt;
+  opt.max_nodes = 0;
+  return AddPowerModel::build(n, unit_loads(n), opt);
+}
+
+double lut(const AddPowerModel& m, int xi1, int xi2, int xf1, int xf2) {
+  const std::uint8_t xi[2] = {static_cast<std::uint8_t>(xi1),
+                              static_cast<std::uint8_t>(xi2)};
+  const std::uint8_t xf[2] = {static_cast<std::uint8_t>(xf1),
+                              static_cast<std::uint8_t>(xf2)};
+  return m.estimate_ff(xi, xf);
+}
+
+TEST(WorkedExample, Example1SingleTransition) {
+  // Ex. 1: C(11 -> 00) = 40 + 50 = 90 fF.
+  const AddPowerModel m = exact_model();
+  EXPECT_DOUBLE_EQ(lut(m, 1, 1, 0, 0), 90.0);
+}
+
+TEST(WorkedExample, Example2FullLookupTable) {
+  // Fig. 2.b: the full 16-row LUT of C(x^i, x^f).
+  const AddPowerModel m = exact_model();
+  Netlist n = unit_u();
+  const sim::GateLevelSimulator golden(n, unit_loads(n));
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      for (int c = 0; c <= 1; ++c) {
+        for (int d = 0; d <= 1; ++d) {
+          const std::uint8_t xi[2] = {static_cast<std::uint8_t>(a),
+                                      static_cast<std::uint8_t>(b)};
+          const std::uint8_t xf[2] = {static_cast<std::uint8_t>(c),
+                                      static_cast<std::uint8_t>(d)};
+          EXPECT_DOUBLE_EQ(m.estimate_ff(xi, xf),
+                           golden.switching_capacitance_ff(xi, xf));
+        }
+      }
+    }
+  }
+  // Selected rows quoted in the paper figure.
+  EXPECT_DOUBLE_EQ(lut(m, 0, 0, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(lut(m, 1, 1, 0, 0), 90.0);
+}
+
+TEST(WorkedExample, Fig3AddLeafValues) {
+  // The exact ADD's leaves are exactly the distinct LUT values.
+  const AddPowerModel m = exact_model();
+  const auto leaves = m.function().leaf_values();
+  // g3 (10 fF) can only rise from x^i = 00, where neither inverter can
+  // rise, so the reachable values are exactly {0, 10, 40, 50, 90}.
+  EXPECT_EQ(leaves, (std::vector<double>{0.0, 10.0, 40.0, 50.0, 90.0}));
+}
+
+TEST(WorkedExample, Examples3And4AverageCollapse) {
+  // The sub-function for x^i = 00 over x^f is {0, 10, 10, 10}: avg 7.5,
+  // var 18.75 (Ex. 4). After average-collapse the estimate for x^i = 00
+  // becomes 7.5 regardless of x^f (Ex. 3).
+  const AddPowerModel m = exact_model();
+
+  // Extract the x^i = 00 sub-function by direct evaluation.
+  double values[4];
+  for (int c = 0; c <= 1; ++c) {
+    for (int d = 0; d <= 1; ++d) values[2 * c + d] = lut(m, 0, 0, c, d);
+  }
+  EXPECT_DOUBLE_EQ(values[0], 0.0);
+  EXPECT_DOUBLE_EQ(values[1], 10.0);
+  EXPECT_DOUBLE_EQ(values[2], 10.0);
+  EXPECT_DOUBLE_EQ(values[3], 10.0);
+  const double avg = (0.0 + 10.0 + 10.0 + 10.0) / 4.0;
+  EXPECT_DOUBLE_EQ(avg, 7.5);
+  double var = 0.0;
+  for (double v : values) var += (v - avg) * (v - avg);
+  var /= 4.0;
+  EXPECT_DOUBLE_EQ(var, 18.75);
+
+  // Average collapse: global mean is preserved at every budget.
+  const double exact_avg = m.function().average();
+  for (std::size_t budget : {7u, 5u, 3u, 1u}) {
+    const AddPowerModel small = m.compress(budget, dd::ApproxMode::kAverage);
+    EXPECT_NEAR(small.function().average(), exact_avg, 1e-9);
+  }
+}
+
+TEST(WorkedExample, Example5MaxCollapse) {
+  // Ex. 5: max of the x^i = 00 sub-function is 10 and
+  // mse = var + (max - avg)^2 = 18.75 + 6.25 = 25.
+  const AddPowerModel m = exact_model();
+  EXPECT_DOUBLE_EQ(18.75 + (10.0 - 7.5) * (10.0 - 7.5), 25.0);
+
+  // Max collapse keeps the model conservative at every budget.
+  for (std::size_t budget : {7u, 5u, 3u, 1u}) {
+    const AddPowerModel bound = m.compress(budget, dd::ApproxMode::kUpperBound);
+    for (int a = 0; a <= 1; ++a) {
+      for (int b = 0; b <= 1; ++b) {
+        for (int c = 0; c <= 1; ++c) {
+          for (int d = 0; d <= 1; ++d) {
+            EXPECT_GE(lut(bound, a, b, c, d) + 1e-12, lut(m, a, b, c, d))
+                << budget;
+          }
+        }
+      }
+    }
+  }
+  // Full collapse to a single leaf gives the true worst case, 90 fF
+  // (tighter than the 100 fF sum of all loads, which is unreachable).
+  const AddPowerModel worst = m.compress(1, dd::ApproxMode::kUpperBound);
+  EXPECT_DOUBLE_EQ(worst.max_estimate_ff(), 90.0);
+}
+
+TEST(WorkedExample, CollapsedModelLosesPatternDependenceGracefully) {
+  // Fig. 4.b: after collapsing, estimates for x^i = 00 no longer depend on
+  // x^f; the chosen constant is between the sub-function's min and max.
+  const AddPowerModel m = exact_model();
+  const AddPowerModel small = m.compress(5, dd::ApproxMode::kAverage);
+  EXPECT_LE(small.size(), 5u);
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      for (int c = 0; c <= 1; ++c) {
+        for (int d = 0; d <= 1; ++d) {
+          const double v = lut(small, a, b, c, d);
+          EXPECT_GE(v, 0.0 - 1e-12);
+          EXPECT_LE(v, 90.0 + 1e-12);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cfpm::power

@@ -1,0 +1,188 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netlist/generators.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace cfpm::sim {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SignalId;
+
+/// The paper's Fig. 2 unit with its example capacitances C1=40, C2=50, C3=10.
+Netlist fig2_unit() {
+  Netlist n("fig2");
+  const SignalId x1 = n.add_input("x1");
+  const SignalId x2 = n.add_input("x2");
+  n.add_gate(GateType::kNot, {x1}, "g1");
+  n.add_gate(GateType::kNot, {x2}, "g2");
+  n.add_gate(GateType::kOr, {x1, x2}, "g3");
+  return n;
+}
+
+std::vector<double> fig2_loads(const Netlist& n) {
+  std::vector<double> loads(n.num_signals(), 0.0);
+  loads[n.find("g1")] = 40.0;
+  loads[n.find("g2")] = 50.0;
+  loads[n.find("g3")] = 10.0;
+  return loads;
+}
+
+TEST(Simulator, PaperExample1) {
+  // Ex. 1: C(11 -> 00) = C1 + C2 = 90 fF.
+  Netlist n = fig2_unit();
+  GateLevelSimulator s(n, fig2_loads(n));
+  const std::uint8_t xi[2] = {1, 1};
+  const std::uint8_t xf[2] = {0, 0};
+  EXPECT_DOUBLE_EQ(s.switching_capacitance_ff(xi, xf), 90.0);
+}
+
+TEST(Simulator, Fig2LookupTableRows) {
+  // Spot-check more rows of the Fig. 2.b LUT.
+  Netlist n = fig2_unit();
+  GateLevelSimulator s(n, fig2_loads(n));
+  auto cap = [&](int a, int b, int c, int d) {
+    const std::uint8_t xi[2] = {static_cast<std::uint8_t>(a),
+                                static_cast<std::uint8_t>(b)};
+    const std::uint8_t xf[2] = {static_cast<std::uint8_t>(c),
+                                static_cast<std::uint8_t>(d)};
+    return s.switching_capacitance_ff(xi, xf);
+  };
+  EXPECT_DOUBLE_EQ(cap(0, 0, 0, 0), 0.0);   // no transition
+  EXPECT_DOUBLE_EQ(cap(0, 0, 1, 0), 10.0);  // g3 rises
+  EXPECT_DOUBLE_EQ(cap(0, 0, 1, 1), 10.0);  // g3 rises, g1/g2 fall
+  EXPECT_DOUBLE_EQ(cap(1, 0, 0, 1), 40.0);  // g1 rises (g2 falls, g3 stays)
+  EXPECT_DOUBLE_EQ(cap(0, 1, 1, 0), 50.0);  // g2 rises
+  EXPECT_DOUBLE_EQ(cap(1, 1, 0, 0), 90.0);  // g1+g2 rise
+}
+
+TEST(Simulator, NoRisingMeansZero) {
+  Netlist n = fig2_unit();
+  GateLevelSimulator s(n, fig2_loads(n));
+  // Same vector twice: zero switched capacitance.
+  for (unsigned m = 0; m < 4; ++m) {
+    const std::uint8_t v[2] = {static_cast<std::uint8_t>(m & 1),
+                               static_cast<std::uint8_t>((m >> 1) & 1)};
+    EXPECT_DOUBLE_EQ(s.switching_capacitance_ff(v, v), 0.0);
+  }
+}
+
+TEST(Simulator, SequenceMatchesPairwise) {
+  // simulate() over a sequence must equal the scalar pairwise API.
+  Netlist n = netlist::gen::ripple_carry_adder(4);
+  netlist::GateLibrary lib = netlist::GateLibrary::standard();
+  GateLevelSimulator s(n, lib);
+  cfpm::Xoshiro256 rng(17);
+  const std::size_t len = 200;  // crosses word boundaries
+  InputSequence seq(n.num_inputs(), len);
+  for (std::size_t i = 0; i < n.num_inputs(); ++i) {
+    for (std::size_t t = 0; t < len; ++t) {
+      seq.set_bit(i, t, rng.next_bool(0.5));
+    }
+  }
+  const SequenceEnergy energy = s.simulate(seq);
+  ASSERT_EQ(energy.per_transition_ff.size(), len - 1);
+  std::vector<std::uint8_t> xi(n.num_inputs()), xf(n.num_inputs());
+  double total = 0.0, peak = 0.0;
+  for (std::size_t t = 0; t + 1 < len; ++t) {
+    seq.vector_at(t, xi);
+    seq.vector_at(t + 1, xf);
+    const double expect = s.switching_capacitance_ff(xi, xf);
+    ASSERT_DOUBLE_EQ(energy.per_transition_ff[t], expect) << "t=" << t;
+    total += expect;
+    peak = std::max(peak, expect);
+  }
+  EXPECT_DOUBLE_EQ(energy.total_ff, total);
+  EXPECT_DOUBLE_EQ(energy.peak_ff, peak);
+}
+
+TEST(Simulator, ExactWordBoundaryLengths) {
+  Netlist n = netlist::gen::parity_tree(4, 2);
+  netlist::GateLibrary lib = netlist::GateLibrary::uniform(1.0);
+  GateLevelSimulator s(n, lib);
+  cfpm::Xoshiro256 rng(23);
+  for (std::size_t len : {2u, 63u, 64u, 65u, 128u, 129u}) {
+    InputSequence seq(n.num_inputs(), len);
+    for (std::size_t i = 0; i < n.num_inputs(); ++i) {
+      for (std::size_t t = 0; t < len; ++t) {
+        seq.set_bit(i, t, rng.next_bool(0.5));
+      }
+    }
+    const SequenceEnergy energy = s.simulate(seq);
+    ASSERT_EQ(energy.per_transition_ff.size(), len - 1) << "len=" << len;
+    std::vector<std::uint8_t> xi(n.num_inputs()), xf(n.num_inputs());
+    for (std::size_t t = 0; t + 1 < len; ++t) {
+      seq.vector_at(t, xi);
+      seq.vector_at(t + 1, xf);
+      ASSERT_DOUBLE_EQ(energy.per_transition_ff[t],
+                       s.switching_capacitance_ff(xi, xf))
+          << "len=" << len << " t=" << t;
+    }
+  }
+}
+
+TEST(Simulator, TotalGateLoadIsWorstCase) {
+  Netlist n = netlist::gen::magnitude_comparator(4);
+  netlist::GateLibrary lib = netlist::GateLibrary::standard();
+  GateLevelSimulator s(n, lib);
+  cfpm::Xoshiro256 rng(29);
+  std::vector<std::uint8_t> xi(n.num_inputs()), xf(n.num_inputs());
+  for (int trial = 0; trial < 500; ++trial) {
+    for (auto& b : xi) b = static_cast<std::uint8_t>(rng.next_below(2));
+    for (auto& b : xf) b = static_cast<std::uint8_t>(rng.next_below(2));
+    EXPECT_LE(s.switching_capacitance_ff(xi, xf), s.total_gate_load_ff());
+  }
+}
+
+TEST(Simulator, InputTransitionsDoNotCount) {
+  // Only gate outputs contribute; toggling inputs that reach no rising gate
+  // output must yield zero.
+  Netlist n("buf");
+  const SignalId a = n.add_input("a");
+  n.add_gate(GateType::kBuf, {a}, "y");
+  n.mark_output(n.find("y"));
+  std::vector<double> loads(n.num_signals(), 0.0);
+  loads[n.find("a")] = 100.0;  // input load is externally driven
+  loads[n.find("y")] = 5.0;
+  GateLevelSimulator s(n, loads);
+  const std::uint8_t hi[1] = {1};
+  const std::uint8_t lo[1] = {0};
+  EXPECT_DOUBLE_EQ(s.switching_capacitance_ff(lo, hi), 5.0);   // y rises
+  EXPECT_DOUBLE_EQ(s.switching_capacitance_ff(hi, lo), 0.0);   // y falls
+}
+
+TEST(Simulator, ConstGatesNeverSwitch) {
+  Netlist n("consts");
+  n.add_input("a");
+  n.add_gate(GateType::kConst1, {}, "one");
+  n.add_gate(GateType::kConst0, {}, "zero");
+  std::vector<double> loads(n.num_signals(), 10.0);
+  GateLevelSimulator s(n, loads);
+  const std::uint8_t hi[1] = {1};
+  const std::uint8_t lo[1] = {0};
+  EXPECT_DOUBLE_EQ(s.switching_capacitance_ff(lo, hi), 0.0);
+}
+
+TEST(Simulator, MismatchedLoadVectorRejected) {
+  Netlist n = fig2_unit();
+  std::vector<double> wrong(2, 1.0);
+  EXPECT_THROW(GateLevelSimulator(n, wrong), ContractError);
+}
+
+TEST(Simulator, EvalExposesInternalSignals) {
+  Netlist n = fig2_unit();
+  GateLevelSimulator s(n, fig2_loads(n));
+  const auto vals = s.eval(std::vector<std::uint8_t>{1, 0});
+  EXPECT_EQ(vals[n.find("g1")], 0);  // NOT x1
+  EXPECT_EQ(vals[n.find("g2")], 1);  // NOT x2
+  EXPECT_EQ(vals[n.find("g3")], 1);  // OR
+}
+
+}  // namespace
+}  // namespace cfpm::sim

@@ -1,0 +1,165 @@
+#include "sim/unit_delay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netlist/generators.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace cfpm::sim {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SignalId;
+
+/// Classic glitch generator: y = a AND (NOT a) settles at 0 but pulses
+/// high for one unit when `a` falls (the inverter lags).
+Netlist glitcher() {
+  Netlist n("glitch");
+  const SignalId a = n.add_input("a");
+  n.add_gate(GateType::kNot, {a}, "na");
+  n.add_gate(GateType::kAnd, {a, n.find("na")}, "y");
+  n.mark_output(n.find("y"));
+  return n;
+}
+
+TEST(UnitDelay, StaticHazardProducesGlitchEnergy) {
+  Netlist n = glitcher();
+  std::vector<double> loads(n.num_signals(), 0.0);
+  loads[n.find("na")] = 3.0;
+  loads[n.find("y")] = 7.0;
+  UnitDelaySimulator s(n, loads);
+
+  // a: 1 -> 0. The AND sees (a=0) immediately but (na=1) only one unit
+  // later, so y stays 0... check the other direction too.
+  const std::uint8_t hi[1] = {1};
+  const std::uint8_t lo[1] = {0};
+
+  // a: 0 -> 1. na lags at 1 for one unit while a is already 1: the AND
+  // output pulses 0->1->0: one rising edge on y (7 fF) + none functional.
+  const GlitchBreakdown up = s.switching_capacitance_ff(lo, hi);
+  EXPECT_DOUBLE_EQ(up.total_ff, 7.0);       // the glitch pulse
+  EXPECT_DOUBLE_EQ(up.functional_ff, 0.0);  // y settles where it started
+  EXPECT_DOUBLE_EQ(up.glitch_ff(), 7.0);
+
+  // a: 1 -> 0: na rises (3 fF functional); y cannot pulse because the AND
+  // sees a=0 first.
+  const GlitchBreakdown down = s.switching_capacitance_ff(hi, lo);
+  EXPECT_DOUBLE_EQ(down.functional_ff, 3.0);
+  EXPECT_DOUBLE_EQ(down.total_ff, 3.0);
+  EXPECT_DOUBLE_EQ(down.glitch_ff(), 0.0);
+}
+
+TEST(UnitDelay, NoInputChangeNoEnergy) {
+  Netlist n = netlist::gen::ripple_carry_adder(3);
+  UnitDelaySimulator s(n, netlist::GateLibrary::standard());
+  std::vector<std::uint8_t> v(n.num_inputs(), 1);
+  const GlitchBreakdown b = s.switching_capacitance_ff(v, v);
+  EXPECT_DOUBLE_EQ(b.total_ff, 0.0);
+  EXPECT_DOUBLE_EQ(b.functional_ff, 0.0);
+}
+
+TEST(UnitDelay, FunctionalPartMatchesZeroDelaySimulator) {
+  // The functional component must equal the zero-delay golden model
+  // exactly, for any circuit and any transition (Eq. 2/3).
+  for (const char* name : {"cm85", "cmb", "decod", "x2"}) {
+    Netlist n = netlist::gen::mcnc_like(name);
+    const netlist::GateLibrary lib = netlist::GateLibrary::standard();
+    UnitDelaySimulator ud(n, lib, DelayModel::standard());
+    GateLevelSimulator zd(n, lib);
+    Xoshiro256 rng(7);
+    std::vector<std::uint8_t> xi(n.num_inputs()), xf(n.num_inputs());
+    for (int k = 0; k < 200; ++k) {
+      for (std::size_t i = 0; i < n.num_inputs(); ++i) {
+        xi[i] = static_cast<std::uint8_t>(rng.next_below(2));
+        xf[i] = static_cast<std::uint8_t>(rng.next_below(2));
+      }
+      const GlitchBreakdown b = ud.switching_capacitance_ff(xi, xf);
+      ASSERT_DOUBLE_EQ(b.functional_ff, zd.switching_capacitance_ff(xi, xf))
+          << name << " pair " << k;
+      ASSERT_GE(b.total_ff + 1e-9, b.functional_ff);
+    }
+  }
+}
+
+TEST(UnitDelay, UniformDelayTreeHasNoGlitches) {
+  // In a fanout-free tree with equal gate delays all paths from any input
+  // to a gate have equal length, so no hazards can form.
+  Netlist n = netlist::gen::parity_tree(8, 8);  // pure XOR tree
+  UnitDelaySimulator s(n, netlist::GateLibrary::uniform(2.0), DelayModel::unit());
+  Xoshiro256 rng(9);
+  std::vector<std::uint8_t> xi(8), xf(8);
+  for (int k = 0; k < 200; ++k) {
+    for (int i = 0; i < 8; ++i) {
+      xi[i] = static_cast<std::uint8_t>(rng.next_below(2));
+      xf[i] = static_cast<std::uint8_t>(rng.next_below(2));
+    }
+    const GlitchBreakdown b = s.switching_capacitance_ff(xi, xf);
+    ASSERT_NEAR(b.glitch_ff(), 0.0, 1e-12) << "pair " << k;
+  }
+}
+
+TEST(UnitDelay, UnbalancedPathsCreateGlitches) {
+  // parity_tree(8, 1) realizes deep xor cells as (a OR b) AND (a NAND b).
+  // The OR-side path costs delay(OR) + delay(AND) = 4; a hazard forms when
+  // the NAND side lags past the AND's first re-evaluation, i.e.
+  // delay(NAND) >= delay(OR) + delay(AND).
+  Netlist n = netlist::gen::parity_tree(8, 1);
+  DelayModel skewed = DelayModel::standard();
+  skewed.set_delay(netlist::GateType::kNand, 4);
+  UnitDelaySimulator s(n, netlist::GateLibrary::uniform(2.0), skewed);
+  double glitch_total = 0.0;
+  Xoshiro256 rng(11);
+  std::vector<std::uint8_t> xi(8), xf(8);
+  for (int k = 0; k < 300; ++k) {
+    for (int i = 0; i < 8; ++i) {
+      xi[i] = static_cast<std::uint8_t>(rng.next_below(2));
+      xf[i] = static_cast<std::uint8_t>(rng.next_below(2));
+    }
+    glitch_total += s.switching_capacitance_ff(xi, xf).glitch_ff();
+  }
+  EXPECT_GT(glitch_total, 0.0);
+}
+
+TEST(UnitDelay, SequenceTotalsAreConsistent) {
+  Netlist n = netlist::gen::mcnc_like("cm85");
+  const netlist::GateLibrary lib = netlist::GateLibrary::uniform(5.0, 10.0);
+  UnitDelaySimulator s(n, lib, DelayModel::standard());
+  InputSequence seq(n.num_inputs(), 80);
+  Xoshiro256 rng(3);
+  for (std::size_t i = 0; i < n.num_inputs(); ++i) {
+    for (std::size_t t = 0; t < 80; ++t) seq.set_bit(i, t, rng.next_bool(0.5));
+  }
+  const SequenceEnergy energy = s.simulate(seq);
+  const GlitchBreakdown breakdown = s.simulate_breakdown(seq);
+  EXPECT_NEAR(energy.total_ff, breakdown.total_ff, 1e-9);
+  EXPECT_GE(breakdown.total_ff + 1e-9, breakdown.functional_ff);
+  ASSERT_EQ(energy.per_transition_ff.size(), 79u);
+}
+
+TEST(UnitDelay, GlitchEnergyIsNonNegativeEverywhere) {
+  Netlist n = netlist::gen::mcnc_like("alu2");
+  UnitDelaySimulator s(n, netlist::GateLibrary::uniform(5.0, 10.0),
+                       DelayModel::standard());
+  Xoshiro256 rng(13);
+  std::vector<std::uint8_t> xi(n.num_inputs()), xf(n.num_inputs());
+  for (int k = 0; k < 300; ++k) {
+    for (std::size_t i = 0; i < n.num_inputs(); ++i) {
+      xi[i] = static_cast<std::uint8_t>(rng.next_below(2));
+      xf[i] = static_cast<std::uint8_t>(rng.next_below(2));
+    }
+    ASSERT_GE(s.switching_capacitance_ff(xi, xf).glitch_ff(), -1e-9);
+  }
+}
+
+TEST(UnitDelay, MismatchedLoadsRejected) {
+  Netlist n = glitcher();
+  std::vector<double> wrong(1, 1.0);
+  EXPECT_THROW(UnitDelaySimulator(n, wrong), ContractError);
+}
+
+}  // namespace
+}  // namespace cfpm::sim

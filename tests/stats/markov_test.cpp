@@ -1,0 +1,153 @@
+#include "stats/markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace cfpm::stats {
+namespace {
+
+TEST(Feasible, Boundary) {
+  EXPECT_TRUE(feasible({0.5, 0.5}));
+  EXPECT_TRUE(feasible({0.5, 1.0}));   // alternating chain
+  EXPECT_TRUE(feasible({0.2, 0.4}));
+  EXPECT_FALSE(feasible({0.2, 0.5}));  // st > 2 sp
+  EXPECT_FALSE(feasible({0.8, 0.5}));  // st > 2 (1 - sp)
+  EXPECT_TRUE(feasible({0.0, 0.0}));
+  EXPECT_TRUE(feasible({1.0, 0.0}));
+  EXPECT_FALSE(feasible({-0.1, 0.1}));
+  EXPECT_FALSE(feasible({0.5, 1.1}));
+}
+
+TEST(Markov, InfeasibleRejected) {
+  EXPECT_THROW(MarkovSequenceGenerator({0.1, 0.9}, 1), ContractError);
+}
+
+struct GridParam {
+  double sp;
+  double st;
+};
+
+class MarkovStatisticsTest
+    : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(MarkovStatisticsTest, EmpiricalStatsMatchTargets) {
+  const auto [sp, st] = GetParam();
+  MarkovSequenceGenerator gen({sp, st}, 12345);
+  const auto seq = gen.generate(16, 20000);
+  EXPECT_NEAR(seq.signal_probability(), sp, 0.02) << "sp target " << sp;
+  EXPECT_NEAR(seq.transition_probability(), st, 0.02) << "st target " << st;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MarkovStatisticsTest,
+    ::testing::Values(GridParam{0.5, 0.5}, GridParam{0.5, 0.1},
+                      GridParam{0.5, 0.9}, GridParam{0.2, 0.1},
+                      GridParam{0.2, 0.4}, GridParam{0.8, 0.3},
+                      GridParam{0.35, 0.6}, GridParam{0.65, 0.2}));
+
+TEST(Markov, DeterministicForSeed) {
+  MarkovSequenceGenerator a({0.5, 0.3}, 7);
+  MarkovSequenceGenerator b({0.5, 0.3}, 7);
+  const auto sa = a.generate(4, 100);
+  const auto sb = b.generate(4, 100);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t t = 0; t < 100; ++t) {
+      ASSERT_EQ(sa.bit(i, t), sb.bit(i, t));
+    }
+  }
+}
+
+TEST(Markov, SuccessiveCallsDiffer) {
+  MarkovSequenceGenerator g({0.5, 0.5}, 11);
+  const auto s1 = g.generate(4, 64);
+  const auto s2 = g.generate(4, 64);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 4 && !any_diff; ++i) {
+    for (std::size_t t = 0; t < 64 && !any_diff; ++t) {
+      any_diff = s1.bit(i, t) != s2.bit(i, t);
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Markov, FrozenChainWhenStZero) {
+  MarkovSequenceGenerator g({0.7, 0.0}, 3);
+  const auto seq = g.generate(8, 500);
+  EXPECT_DOUBLE_EQ(seq.transition_probability(), 0.0);
+  EXPECT_NEAR(seq.signal_probability(), 0.7, 0.2);  // only initial draw varies
+}
+
+TEST(Markov, AlternatingChainWhenStOne) {
+  MarkovSequenceGenerator g({0.5, 1.0}, 3);
+  const auto seq = g.generate(4, 100);
+  EXPECT_DOUBLE_EQ(seq.transition_probability(), 1.0);
+}
+
+TEST(Markov, AllZerosWhenSpZero) {
+  MarkovSequenceGenerator g({0.0, 0.0}, 3);
+  const auto seq = g.generate(4, 100);
+  EXPECT_DOUBLE_EQ(seq.signal_probability(), 0.0);
+}
+
+TEST(Burst, PhaseModulatedActivity) {
+  stats::BurstSpec spec;
+  spec.idle = {0.5, 0.02};
+  spec.active = {0.5, 0.6};
+  spec.enter_active = 0.05;
+  spec.exit_active = 0.05;
+  BurstSequenceGenerator gen(spec, 7);
+  const auto seq = gen.generate(8, 20000);
+  // Roughly half the time active (symmetric phase chain); overall st lies
+  // strictly between the two phases' targets.
+  EXPECT_NEAR(gen.last_active_fraction(), 0.5, 0.15);
+  const double st = seq.transition_probability();
+  EXPECT_GT(st, 0.05);
+  EXPECT_LT(st, 0.55);
+}
+
+TEST(Burst, MostlyIdleWorkloadHasLowActivity) {
+  stats::BurstSpec spec;  // defaults: rare bursts
+  BurstSequenceGenerator gen(spec, 11);
+  const auto seq = gen.generate(8, 20000);
+  EXPECT_LT(gen.last_active_fraction(), 0.4);
+  EXPECT_LT(seq.transition_probability(), 0.3);
+  EXPECT_NEAR(seq.signal_probability(), 0.5, 0.1);
+}
+
+TEST(Burst, DeterministicAndValidated) {
+  stats::BurstSpec spec;
+  BurstSequenceGenerator a(spec, 3), b(spec, 3);
+  const auto sa = a.generate(4, 200);
+  const auto sb = b.generate(4, 200);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t t = 0; t < 200; ++t) {
+      ASSERT_EQ(sa.bit(i, t), sb.bit(i, t));
+    }
+  }
+  stats::BurstSpec bad;
+  bad.active = {0.1, 0.9};  // infeasible phase
+  EXPECT_THROW(BurstSequenceGenerator(bad, 1), ContractError);
+}
+
+TEST(EvaluationGrid, AllFeasibleAndNonEmpty) {
+  const auto grid = evaluation_grid();
+  EXPECT_GE(grid.size(), 25u);
+  for (const auto& s : grid) {
+    EXPECT_TRUE(feasible(s)) << s.sp << "," << s.st;
+  }
+}
+
+TEST(EvaluationGrid, Fig7aSweepIsSpHalf) {
+  const auto sweep = fig7a_sweep();
+  EXPECT_EQ(sweep.size(), 19u);
+  for (const auto& s : sweep) {
+    EXPECT_DOUBLE_EQ(s.sp, 0.5);
+    EXPECT_TRUE(feasible(s));
+  }
+  EXPECT_NEAR(sweep.front().st, 0.05, 1e-12);
+  EXPECT_NEAR(sweep.back().st, 0.95, 1e-12);
+}
+
+}  // namespace
+}  // namespace cfpm::stats

@@ -1,0 +1,100 @@
+#include "support/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace cfpm {
+namespace {
+
+TEST(SolveSpd, Identity) {
+  Matrix a(3, 3);
+  for (int i = 0; i < 3; ++i) a(i, i) = 1.0;
+  std::vector<double> b{1.0, -2.0, 3.0};
+  const auto x = solve_spd(a, b);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(x[i], b[i], 1e-7);
+}
+
+TEST(SolveSpd, KnownSystem) {
+  // A = [[4,2],[2,3]], b = [10, 8] -> x = [1.75, 1.5]
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 3;
+  const auto x = solve_spd(a, {10.0, 8.0});
+  EXPECT_NEAR(x[0], 1.75, 1e-6);
+  EXPECT_NEAR(x[1], 1.5, 1e-6);
+}
+
+TEST(SolveSpd, DimensionMismatchThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(solve_spd(a, {1.0, 2.0}), ContractError);
+  Matrix b(2, 2);
+  EXPECT_THROW(solve_spd(b, {1.0}), ContractError);
+}
+
+TEST(SolveSpd, SingularSystemIsRegularized) {
+  // Rank-1 matrix; ridge keeps it solvable and finite.
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 1;
+  const auto x = solve_spd(a, {2.0, 2.0});
+  EXPECT_TRUE(std::isfinite(x[0]));
+  EXPECT_TRUE(std::isfinite(x[1]));
+  EXPECT_NEAR(x[0] + x[1], 2.0, 1e-3);
+}
+
+TEST(LeastSquares, RecoversExactLinearRelation) {
+  // y = 3 + 2 x1 - x2 over a deterministic design.
+  Xoshiro256 rng(7);
+  const std::size_t m = 64;
+  Matrix x(m, 3);
+  std::vector<double> y(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    const double x1 = rng.next_double();
+    const double x2 = rng.next_double();
+    x(r, 0) = 1.0;
+    x(r, 1) = x1;
+    x(r, 2) = x2;
+    y[r] = 3.0 + 2.0 * x1 - x2;
+  }
+  const auto c = least_squares(x, y);
+  EXPECT_NEAR(c[0], 3.0, 1e-6);
+  EXPECT_NEAR(c[1], 2.0, 1e-6);
+  EXPECT_NEAR(c[2], -1.0, 1e-6);
+}
+
+TEST(LeastSquares, MinimizesResidualVsPerturbation) {
+  Xoshiro256 rng(11);
+  const std::size_t m = 100;
+  Matrix x(m, 2);
+  std::vector<double> y(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    x(r, 0) = 1.0;
+    x(r, 1) = rng.next_double();
+    y[r] = 1.0 + 5.0 * x(r, 1) + (rng.next_double() - 0.5);
+  }
+  const auto c = least_squares(x, y);
+  auto residual = [&](double c0, double c1) {
+    double s = 0.0;
+    for (std::size_t r = 0; r < m; ++r) {
+      const double e = y[r] - c0 - c1 * x(r, 1);
+      s += e * e;
+    }
+    return s;
+  };
+  const double base = residual(c[0], c[1]);
+  EXPECT_LE(base, residual(c[0] + 0.05, c[1]));
+  EXPECT_LE(base, residual(c[0] - 0.05, c[1]));
+  EXPECT_LE(base, residual(c[0], c[1] + 0.05));
+  EXPECT_LE(base, residual(c[0], c[1] - 0.05));
+}
+
+}  // namespace
+}  // namespace cfpm

@@ -1,0 +1,79 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cfpm {
+namespace {
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro, DoubleInUnitInterval) {
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro, DoubleMeanNearHalf) {
+  Xoshiro256 rng(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro, BernoulliMatchesProbability) {
+  Xoshiro256 rng(17);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.next_bool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Xoshiro, NextBelowRespectsBound) {
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Xoshiro, NextBelowRoughlyUniform) {
+  Xoshiro256 rng(31);
+  int counts[8] = {};
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(8)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.125, 0.01);
+  }
+}
+
+TEST(SplitMix, KnownSequenceIsStable) {
+  SplitMix64 sm(0);
+  const std::uint64_t first = sm.next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(sm2.next(), first);
+  EXPECT_NE(sm.next(), first);
+}
+
+}  // namespace
+}  // namespace cfpm

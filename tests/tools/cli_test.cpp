@@ -1,0 +1,156 @@
+// End-to-end tests of the `cfpm` command-line tool (spawned as a process).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult run(const std::string& args) {
+  const std::string cmd = std::string(CFPM_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return {};
+  CommandResult result;
+  std::array<char, 512> buf;
+  while (std::fgets(buf.data(), buf.size(), pipe) != nullptr) {
+    result.output += buf.data();
+  }
+  const int status = ::pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+TEST(Cli, UsageOnNoArguments) {
+  const auto r = run("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const auto r = run("frobnicate");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, InfoOnGenerator) {
+  const auto r = run("info gen:c17");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("inputs  : 5"), std::string::npos);
+  EXPECT_NE(r.output.find("gates   : 6"), std::string::npos);
+  EXPECT_NE(r.output.find("NAND=6"), std::string::npos);
+}
+
+TEST(Cli, InfoOnBenchFile) {
+  const auto r = run(std::string("info ") + CFPM_DATA_DIR + "/c17.bench");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("circuit : c17"), std::string::npos);
+}
+
+TEST(Cli, InfoRejectsUnknownFormat) {
+  const auto r = run("info whatever.txt");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+}
+
+TEST(Cli, BuildEstimateWorstPipeline) {
+  const std::string model = ::testing::TempDir() + "/cli_cm85.cfpm";
+  const auto build = run("build gen:cm85 -m 500 -o " + model);
+  ASSERT_EQ(build.exit_code, 0) << build.output;
+  EXPECT_NE(build.output.find("saved"), std::string::npos);
+
+  const auto est = run("estimate " + model + " --st 0.2 --vectors 2000");
+  ASSERT_EQ(est.exit_code, 0) << est.output;
+  EXPECT_NE(est.output.find("average :"), std::string::npos);
+  EXPECT_NE(est.output.find("fF/cycle"), std::string::npos);
+
+  const auto worst = run("worst " + model);
+  ASSERT_EQ(worst.exit_code, 0) << worst.output;
+  EXPECT_NE(worst.output.find("worst case:"), std::string::npos);
+  EXPECT_NE(worst.output.find("witness"), std::string::npos);
+  std::remove(model.c_str());
+}
+
+TEST(Cli, EstimateRejectsInfeasibleStatistics) {
+  const std::string model = ::testing::TempDir() + "/cli_c17.cfpm";
+  ASSERT_EQ(run("build gen:c17 -m 100 -o " + model).exit_code, 0);
+  const auto r = run("estimate " + model + " --sp 0.1 --st 0.9");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("infeasible"), std::string::npos);
+  std::remove(model.c_str());
+}
+
+TEST(Cli, TraceWritesVcd) {
+  const std::string vcd = ::testing::TempDir() + "/cli_c17.vcd";
+  const auto r = run("trace gen:c17 -o " + vcd + " --st 0.3 --vectors 40");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  std::FILE* f = std::fopen(vcd.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::array<char, 64> head;
+  ASSERT_NE(std::fgets(head.data(), head.size(), f), nullptr);
+  EXPECT_EQ(std::string(head.data()).rfind("$date", 0), 0u);
+  std::fclose(f);
+  std::remove(vcd.c_str());
+}
+
+
+
+TEST(Cli, SensitivityRanksInputs) {
+  const std::string model = ::testing::TempDir() + "/cli_sens.cfpm";
+  ASSERT_EQ(run("build gen:c17 -m 0 -o " + model).exit_code, 0);
+  const auto r = run("sensitivity " + model);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("x0"), std::string::npos);
+  EXPECT_NE(r.output.find("x4"), std::string::npos);
+  EXPECT_NE(r.output.find("sensitivity (fF)"), std::string::npos);
+  std::remove(model.c_str());
+}
+
+
+TEST(Cli, EquivalenceCheck) {
+  const auto same = run("equiv gen:c17 gen:c17");
+  EXPECT_EQ(same.exit_code, 0) << same.output;
+  EXPECT_NE(same.output.find("EQUIVALENT"), std::string::npos);
+
+  // c17 vs a different 5-input circuit with 2 outputs... use cm85? different
+  // interface. Compare c17 against itself decomposed via files instead:
+  // write c17 to a temp bench, mutate one gate, expect NOT EQUIVALENT.
+  const std::string path = ::testing::TempDir() + "/cli_equiv.bench";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs(
+      "INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\n"
+      "OUTPUT(22)\nOUTPUT(23)\n"
+      "10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n"
+      "19 = NAND(11, 7)\n22 = AND(10, 16)\n23 = NAND(16, 19)\n",
+      f);
+  std::fclose(f);
+  const auto diff = run("equiv gen:c17 " + path);
+  EXPECT_EQ(diff.exit_code, 1);
+  EXPECT_NE(diff.output.find("NOT EQUIVALENT"), std::string::npos);
+  EXPECT_NE(diff.output.find("counterexample"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, RtlDesignEstimate) {
+  const auto r = run(std::string("rtl ") + CFPM_DATA_DIR +
+                     "/datapath.rtl --st 0.2 --vectors 500");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("design  : sample_datapath"), std::string::npos);
+  EXPECT_NE(r.output.find("alu0"), std::string::npos);
+  EXPECT_NE(r.output.find("share(%)"), std::string::npos);
+}
+
+TEST(Cli, RtlMissingFileFails) {
+  const auto r = run("rtl /does/not/exist.rtl");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+}
+
+}  // namespace
