@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_quantize.dir/ablation_quantize.cpp.o"
+  "CMakeFiles/ablation_quantize.dir/ablation_quantize.cpp.o.d"
+  "ablation_quantize"
+  "ablation_quantize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_quantize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

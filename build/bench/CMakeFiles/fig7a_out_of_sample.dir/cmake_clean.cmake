@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_out_of_sample.dir/fig7a_out_of_sample.cpp.o"
+  "CMakeFiles/fig7a_out_of_sample.dir/fig7a_out_of_sample.cpp.o.d"
+  "fig7a_out_of_sample"
+  "fig7a_out_of_sample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_out_of_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

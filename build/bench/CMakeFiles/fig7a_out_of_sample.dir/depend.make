@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7a_out_of_sample.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_size_tradeoff.dir/fig7b_size_tradeoff.cpp.o"
+  "CMakeFiles/fig7b_size_tradeoff.dir/fig7b_size_tradeoff.cpp.o.d"
+  "fig7b_size_tradeoff"
+  "fig7b_size_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_size_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dd.dir/micro_dd.cpp.o"
+  "CMakeFiles/micro_dd.dir/micro_dd.cpp.o.d"
+  "micro_dd"
+  "micro_dd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

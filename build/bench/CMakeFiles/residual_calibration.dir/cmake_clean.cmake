@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/residual_calibration.dir/residual_calibration.cpp.o"
+  "CMakeFiles/residual_calibration.dir/residual_calibration.cpp.o.d"
+  "residual_calibration"
+  "residual_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/residual_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

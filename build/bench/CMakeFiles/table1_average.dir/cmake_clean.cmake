@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_average.dir/table1_average.cpp.o"
+  "CMakeFiles/table1_average.dir/table1_average.cpp.o.d"
+  "table1_average"
+  "table1_average.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_average.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

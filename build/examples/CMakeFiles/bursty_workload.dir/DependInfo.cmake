@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/bursty_workload.cpp" "examples/CMakeFiles/bursty_workload.dir/bursty_workload.cpp.o" "gcc" "examples/CMakeFiles/bursty_workload.dir/bursty_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/cfpm_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/cfpm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cfpm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cfpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/cfpm_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/dd/CMakeFiles/cfpm_dd.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cfpm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

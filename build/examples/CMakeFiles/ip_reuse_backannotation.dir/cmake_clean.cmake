@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_reuse_backannotation.dir/ip_reuse_backannotation.cpp.o"
+  "CMakeFiles/ip_reuse_backannotation.dir/ip_reuse_backannotation.cpp.o.d"
+  "ip_reuse_backannotation"
+  "ip_reuse_backannotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_reuse_backannotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

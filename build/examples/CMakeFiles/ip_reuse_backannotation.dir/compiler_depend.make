@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ip_reuse_backannotation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peak_power_bound.dir/peak_power_bound.cpp.o"
+  "CMakeFiles/peak_power_bound.dir/peak_power_bound.cpp.o.d"
+  "peak_power_bound"
+  "peak_power_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peak_power_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl_datapath_power.dir/rtl_datapath_power.cpp.o"
+  "CMakeFiles/rtl_datapath_power.dir/rtl_datapath_power.cpp.o.d"
+  "rtl_datapath_power"
+  "rtl_datapath_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl_datapath_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dd/apply.cpp" "src/dd/CMakeFiles/cfpm_dd.dir/apply.cpp.o" "gcc" "src/dd/CMakeFiles/cfpm_dd.dir/apply.cpp.o.d"
+  "/root/repo/src/dd/approx.cpp" "src/dd/CMakeFiles/cfpm_dd.dir/approx.cpp.o" "gcc" "src/dd/CMakeFiles/cfpm_dd.dir/approx.cpp.o.d"
+  "/root/repo/src/dd/manager.cpp" "src/dd/CMakeFiles/cfpm_dd.dir/manager.cpp.o" "gcc" "src/dd/CMakeFiles/cfpm_dd.dir/manager.cpp.o.d"
+  "/root/repo/src/dd/reorder.cpp" "src/dd/CMakeFiles/cfpm_dd.dir/reorder.cpp.o" "gcc" "src/dd/CMakeFiles/cfpm_dd.dir/reorder.cpp.o.d"
+  "/root/repo/src/dd/serialize.cpp" "src/dd/CMakeFiles/cfpm_dd.dir/serialize.cpp.o" "gcc" "src/dd/CMakeFiles/cfpm_dd.dir/serialize.cpp.o.d"
+  "/root/repo/src/dd/stats.cpp" "src/dd/CMakeFiles/cfpm_dd.dir/stats.cpp.o" "gcc" "src/dd/CMakeFiles/cfpm_dd.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cfpm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfpm_dd.dir/apply.cpp.o"
+  "CMakeFiles/cfpm_dd.dir/apply.cpp.o.d"
+  "CMakeFiles/cfpm_dd.dir/approx.cpp.o"
+  "CMakeFiles/cfpm_dd.dir/approx.cpp.o.d"
+  "CMakeFiles/cfpm_dd.dir/manager.cpp.o"
+  "CMakeFiles/cfpm_dd.dir/manager.cpp.o.d"
+  "CMakeFiles/cfpm_dd.dir/reorder.cpp.o"
+  "CMakeFiles/cfpm_dd.dir/reorder.cpp.o.d"
+  "CMakeFiles/cfpm_dd.dir/serialize.cpp.o"
+  "CMakeFiles/cfpm_dd.dir/serialize.cpp.o.d"
+  "CMakeFiles/cfpm_dd.dir/stats.cpp.o"
+  "CMakeFiles/cfpm_dd.dir/stats.cpp.o.d"
+  "libcfpm_dd.a"
+  "libcfpm_dd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfpm_dd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfpm_eval.dir/experiment.cpp.o"
+  "CMakeFiles/cfpm_eval.dir/experiment.cpp.o.d"
+  "CMakeFiles/cfpm_eval.dir/table.cpp.o"
+  "CMakeFiles/cfpm_eval.dir/table.cpp.o.d"
+  "libcfpm_eval.a"
+  "libcfpm_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfpm_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/bench_io.cpp" "src/netlist/CMakeFiles/cfpm_netlist.dir/bench_io.cpp.o" "gcc" "src/netlist/CMakeFiles/cfpm_netlist.dir/bench_io.cpp.o.d"
+  "/root/repo/src/netlist/blif_io.cpp" "src/netlist/CMakeFiles/cfpm_netlist.dir/blif_io.cpp.o" "gcc" "src/netlist/CMakeFiles/cfpm_netlist.dir/blif_io.cpp.o.d"
+  "/root/repo/src/netlist/gate.cpp" "src/netlist/CMakeFiles/cfpm_netlist.dir/gate.cpp.o" "gcc" "src/netlist/CMakeFiles/cfpm_netlist.dir/gate.cpp.o.d"
+  "/root/repo/src/netlist/generators.cpp" "src/netlist/CMakeFiles/cfpm_netlist.dir/generators.cpp.o" "gcc" "src/netlist/CMakeFiles/cfpm_netlist.dir/generators.cpp.o.d"
+  "/root/repo/src/netlist/library.cpp" "src/netlist/CMakeFiles/cfpm_netlist.dir/library.cpp.o" "gcc" "src/netlist/CMakeFiles/cfpm_netlist.dir/library.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/cfpm_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/cfpm_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/transform.cpp" "src/netlist/CMakeFiles/cfpm_netlist.dir/transform.cpp.o" "gcc" "src/netlist/CMakeFiles/cfpm_netlist.dir/transform.cpp.o.d"
+  "/root/repo/src/netlist/verify.cpp" "src/netlist/CMakeFiles/cfpm_netlist.dir/verify.cpp.o" "gcc" "src/netlist/CMakeFiles/cfpm_netlist.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dd/CMakeFiles/cfpm_dd.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cfpm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

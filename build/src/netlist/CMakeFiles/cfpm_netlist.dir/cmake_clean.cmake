@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfpm_netlist.dir/bench_io.cpp.o"
+  "CMakeFiles/cfpm_netlist.dir/bench_io.cpp.o.d"
+  "CMakeFiles/cfpm_netlist.dir/blif_io.cpp.o"
+  "CMakeFiles/cfpm_netlist.dir/blif_io.cpp.o.d"
+  "CMakeFiles/cfpm_netlist.dir/gate.cpp.o"
+  "CMakeFiles/cfpm_netlist.dir/gate.cpp.o.d"
+  "CMakeFiles/cfpm_netlist.dir/generators.cpp.o"
+  "CMakeFiles/cfpm_netlist.dir/generators.cpp.o.d"
+  "CMakeFiles/cfpm_netlist.dir/library.cpp.o"
+  "CMakeFiles/cfpm_netlist.dir/library.cpp.o.d"
+  "CMakeFiles/cfpm_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/cfpm_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/cfpm_netlist.dir/transform.cpp.o"
+  "CMakeFiles/cfpm_netlist.dir/transform.cpp.o.d"
+  "CMakeFiles/cfpm_netlist.dir/verify.cpp.o"
+  "CMakeFiles/cfpm_netlist.dir/verify.cpp.o.d"
+  "libcfpm_netlist.a"
+  "libcfpm_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfpm_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

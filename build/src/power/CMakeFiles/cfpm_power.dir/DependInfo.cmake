@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/add_model.cpp" "src/power/CMakeFiles/cfpm_power.dir/add_model.cpp.o" "gcc" "src/power/CMakeFiles/cfpm_power.dir/add_model.cpp.o.d"
+  "/root/repo/src/power/baselines.cpp" "src/power/CMakeFiles/cfpm_power.dir/baselines.cpp.o" "gcc" "src/power/CMakeFiles/cfpm_power.dir/baselines.cpp.o.d"
+  "/root/repo/src/power/power_model.cpp" "src/power/CMakeFiles/cfpm_power.dir/power_model.cpp.o" "gcc" "src/power/CMakeFiles/cfpm_power.dir/power_model.cpp.o.d"
+  "/root/repo/src/power/residual.cpp" "src/power/CMakeFiles/cfpm_power.dir/residual.cpp.o" "gcc" "src/power/CMakeFiles/cfpm_power.dir/residual.cpp.o.d"
+  "/root/repo/src/power/rtl.cpp" "src/power/CMakeFiles/cfpm_power.dir/rtl.cpp.o" "gcc" "src/power/CMakeFiles/cfpm_power.dir/rtl.cpp.o.d"
+  "/root/repo/src/power/rtl_io.cpp" "src/power/CMakeFiles/cfpm_power.dir/rtl_io.cpp.o" "gcc" "src/power/CMakeFiles/cfpm_power.dir/rtl_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dd/CMakeFiles/cfpm_dd.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/cfpm_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cfpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cfpm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cfpm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

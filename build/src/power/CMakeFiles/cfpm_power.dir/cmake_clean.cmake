@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfpm_power.dir/add_model.cpp.o"
+  "CMakeFiles/cfpm_power.dir/add_model.cpp.o.d"
+  "CMakeFiles/cfpm_power.dir/baselines.cpp.o"
+  "CMakeFiles/cfpm_power.dir/baselines.cpp.o.d"
+  "CMakeFiles/cfpm_power.dir/power_model.cpp.o"
+  "CMakeFiles/cfpm_power.dir/power_model.cpp.o.d"
+  "CMakeFiles/cfpm_power.dir/residual.cpp.o"
+  "CMakeFiles/cfpm_power.dir/residual.cpp.o.d"
+  "CMakeFiles/cfpm_power.dir/rtl.cpp.o"
+  "CMakeFiles/cfpm_power.dir/rtl.cpp.o.d"
+  "CMakeFiles/cfpm_power.dir/rtl_io.cpp.o"
+  "CMakeFiles/cfpm_power.dir/rtl_io.cpp.o.d"
+  "libcfpm_power.a"
+  "libcfpm_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfpm_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

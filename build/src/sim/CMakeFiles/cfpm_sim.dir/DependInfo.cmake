@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/sequence.cpp" "src/sim/CMakeFiles/cfpm_sim.dir/sequence.cpp.o" "gcc" "src/sim/CMakeFiles/cfpm_sim.dir/sequence.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/cfpm_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/cfpm_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace_io.cpp" "src/sim/CMakeFiles/cfpm_sim.dir/trace_io.cpp.o" "gcc" "src/sim/CMakeFiles/cfpm_sim.dir/trace_io.cpp.o.d"
+  "/root/repo/src/sim/unit_delay.cpp" "src/sim/CMakeFiles/cfpm_sim.dir/unit_delay.cpp.o" "gcc" "src/sim/CMakeFiles/cfpm_sim.dir/unit_delay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/cfpm_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cfpm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/dd/CMakeFiles/cfpm_dd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

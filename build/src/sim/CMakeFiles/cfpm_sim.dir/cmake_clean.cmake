@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfpm_sim.dir/sequence.cpp.o"
+  "CMakeFiles/cfpm_sim.dir/sequence.cpp.o.d"
+  "CMakeFiles/cfpm_sim.dir/simulator.cpp.o"
+  "CMakeFiles/cfpm_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/cfpm_sim.dir/trace_io.cpp.o"
+  "CMakeFiles/cfpm_sim.dir/trace_io.cpp.o.d"
+  "CMakeFiles/cfpm_sim.dir/unit_delay.cpp.o"
+  "CMakeFiles/cfpm_sim.dir/unit_delay.cpp.o.d"
+  "libcfpm_sim.a"
+  "libcfpm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfpm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfpm_stats.dir/markov.cpp.o"
+  "CMakeFiles/cfpm_stats.dir/markov.cpp.o.d"
+  "libcfpm_stats.a"
+  "libcfpm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfpm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfpm_support.dir/linear.cpp.o"
+  "CMakeFiles/cfpm_support.dir/linear.cpp.o.d"
+  "libcfpm_support.a"
+  "libcfpm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfpm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

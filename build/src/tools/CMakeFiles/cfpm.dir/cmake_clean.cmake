@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfpm.dir/cfpm_cli.cpp.o"
+  "CMakeFiles/cfpm.dir/cfpm_cli.cpp.o.d"
+  "cfpm"
+  "cfpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfpm_cli_tests.dir/tools/cli_test.cpp.o"
+  "CMakeFiles/cfpm_cli_tests.dir/tools/cli_test.cpp.o.d"
+  "cfpm_cli_tests"
+  "cfpm_cli_tests.pdb"
+  "cfpm_cli_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfpm_cli_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfpm_dd_tests.dir/dd/apply_test.cpp.o"
+  "CMakeFiles/cfpm_dd_tests.dir/dd/apply_test.cpp.o.d"
+  "CMakeFiles/cfpm_dd_tests.dir/dd/approx_test.cpp.o"
+  "CMakeFiles/cfpm_dd_tests.dir/dd/approx_test.cpp.o.d"
+  "CMakeFiles/cfpm_dd_tests.dir/dd/manager_test.cpp.o"
+  "CMakeFiles/cfpm_dd_tests.dir/dd/manager_test.cpp.o.d"
+  "CMakeFiles/cfpm_dd_tests.dir/dd/reorder_test.cpp.o"
+  "CMakeFiles/cfpm_dd_tests.dir/dd/reorder_test.cpp.o.d"
+  "CMakeFiles/cfpm_dd_tests.dir/dd/serialize_test.cpp.o"
+  "CMakeFiles/cfpm_dd_tests.dir/dd/serialize_test.cpp.o.d"
+  "CMakeFiles/cfpm_dd_tests.dir/dd/stats_test.cpp.o"
+  "CMakeFiles/cfpm_dd_tests.dir/dd/stats_test.cpp.o.d"
+  "CMakeFiles/cfpm_dd_tests.dir/dd/stress_test.cpp.o"
+  "CMakeFiles/cfpm_dd_tests.dir/dd/stress_test.cpp.o.d"
+  "cfpm_dd_tests"
+  "cfpm_dd_tests.pdb"
+  "cfpm_dd_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfpm_dd_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfpm_eval_tests.dir/eval/experiment_test.cpp.o"
+  "CMakeFiles/cfpm_eval_tests.dir/eval/experiment_test.cpp.o.d"
+  "CMakeFiles/cfpm_eval_tests.dir/eval/table_test.cpp.o"
+  "CMakeFiles/cfpm_eval_tests.dir/eval/table_test.cpp.o.d"
+  "cfpm_eval_tests"
+  "cfpm_eval_tests.pdb"
+  "cfpm_eval_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfpm_eval_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

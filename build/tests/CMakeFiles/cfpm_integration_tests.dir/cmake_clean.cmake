@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfpm_integration_tests.dir/integration/end_to_end_test.cpp.o"
+  "CMakeFiles/cfpm_integration_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "CMakeFiles/cfpm_integration_tests.dir/integration/property_test.cpp.o"
+  "CMakeFiles/cfpm_integration_tests.dir/integration/property_test.cpp.o.d"
+  "cfpm_integration_tests"
+  "cfpm_integration_tests.pdb"
+  "cfpm_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfpm_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

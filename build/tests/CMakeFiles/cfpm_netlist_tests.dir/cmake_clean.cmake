@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfpm_netlist_tests.dir/netlist/bench_io_test.cpp.o"
+  "CMakeFiles/cfpm_netlist_tests.dir/netlist/bench_io_test.cpp.o.d"
+  "CMakeFiles/cfpm_netlist_tests.dir/netlist/blif_io_test.cpp.o"
+  "CMakeFiles/cfpm_netlist_tests.dir/netlist/blif_io_test.cpp.o.d"
+  "CMakeFiles/cfpm_netlist_tests.dir/netlist/generators_test.cpp.o"
+  "CMakeFiles/cfpm_netlist_tests.dir/netlist/generators_test.cpp.o.d"
+  "CMakeFiles/cfpm_netlist_tests.dir/netlist/netlist_test.cpp.o"
+  "CMakeFiles/cfpm_netlist_tests.dir/netlist/netlist_test.cpp.o.d"
+  "CMakeFiles/cfpm_netlist_tests.dir/netlist/pipeline_property_test.cpp.o"
+  "CMakeFiles/cfpm_netlist_tests.dir/netlist/pipeline_property_test.cpp.o.d"
+  "CMakeFiles/cfpm_netlist_tests.dir/netlist/transform_test.cpp.o"
+  "CMakeFiles/cfpm_netlist_tests.dir/netlist/transform_test.cpp.o.d"
+  "CMakeFiles/cfpm_netlist_tests.dir/netlist/verify_test.cpp.o"
+  "CMakeFiles/cfpm_netlist_tests.dir/netlist/verify_test.cpp.o.d"
+  "cfpm_netlist_tests"
+  "cfpm_netlist_tests.pdb"
+  "cfpm_netlist_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfpm_netlist_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

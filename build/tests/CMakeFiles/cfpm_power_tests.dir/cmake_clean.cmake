@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfpm_power_tests.dir/power/add_model_test.cpp.o"
+  "CMakeFiles/cfpm_power_tests.dir/power/add_model_test.cpp.o.d"
+  "CMakeFiles/cfpm_power_tests.dir/power/baselines_test.cpp.o"
+  "CMakeFiles/cfpm_power_tests.dir/power/baselines_test.cpp.o.d"
+  "CMakeFiles/cfpm_power_tests.dir/power/power_model_test.cpp.o"
+  "CMakeFiles/cfpm_power_tests.dir/power/power_model_test.cpp.o.d"
+  "CMakeFiles/cfpm_power_tests.dir/power/residual_test.cpp.o"
+  "CMakeFiles/cfpm_power_tests.dir/power/residual_test.cpp.o.d"
+  "CMakeFiles/cfpm_power_tests.dir/power/rtl_io_test.cpp.o"
+  "CMakeFiles/cfpm_power_tests.dir/power/rtl_io_test.cpp.o.d"
+  "CMakeFiles/cfpm_power_tests.dir/power/rtl_test.cpp.o"
+  "CMakeFiles/cfpm_power_tests.dir/power/rtl_test.cpp.o.d"
+  "CMakeFiles/cfpm_power_tests.dir/power/serialization_test.cpp.o"
+  "CMakeFiles/cfpm_power_tests.dir/power/serialization_test.cpp.o.d"
+  "CMakeFiles/cfpm_power_tests.dir/power/worked_example_test.cpp.o"
+  "CMakeFiles/cfpm_power_tests.dir/power/worked_example_test.cpp.o.d"
+  "cfpm_power_tests"
+  "cfpm_power_tests.pdb"
+  "cfpm_power_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfpm_power_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfpm_sim_tests.dir/sim/sequence_test.cpp.o"
+  "CMakeFiles/cfpm_sim_tests.dir/sim/sequence_test.cpp.o.d"
+  "CMakeFiles/cfpm_sim_tests.dir/sim/simulator_test.cpp.o"
+  "CMakeFiles/cfpm_sim_tests.dir/sim/simulator_test.cpp.o.d"
+  "CMakeFiles/cfpm_sim_tests.dir/sim/trace_io_test.cpp.o"
+  "CMakeFiles/cfpm_sim_tests.dir/sim/trace_io_test.cpp.o.d"
+  "CMakeFiles/cfpm_sim_tests.dir/sim/unit_delay_test.cpp.o"
+  "CMakeFiles/cfpm_sim_tests.dir/sim/unit_delay_test.cpp.o.d"
+  "cfpm_sim_tests"
+  "cfpm_sim_tests.pdb"
+  "cfpm_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfpm_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

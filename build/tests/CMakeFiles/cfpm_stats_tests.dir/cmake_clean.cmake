@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfpm_stats_tests.dir/stats/markov_test.cpp.o"
+  "CMakeFiles/cfpm_stats_tests.dir/stats/markov_test.cpp.o.d"
+  "cfpm_stats_tests"
+  "cfpm_stats_tests.pdb"
+  "cfpm_stats_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfpm_stats_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfpm_support_tests.dir/support/linear_test.cpp.o"
+  "CMakeFiles/cfpm_support_tests.dir/support/linear_test.cpp.o.d"
+  "CMakeFiles/cfpm_support_tests.dir/support/rng_test.cpp.o"
+  "CMakeFiles/cfpm_support_tests.dir/support/rng_test.cpp.o.d"
+  "cfpm_support_tests"
+  "cfpm_support_tests.pdb"
+  "cfpm_support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfpm_support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/cfpm_support_tests[1]_include.cmake")
+include("/root/repo/build/tests/cfpm_dd_tests[1]_include.cmake")
+include("/root/repo/build/tests/cfpm_netlist_tests[1]_include.cmake")
+include("/root/repo/build/tests/cfpm_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/cfpm_stats_tests[1]_include.cmake")
+include("/root/repo/build/tests/cfpm_power_tests[1]_include.cmake")
+include("/root/repo/build/tests/cfpm_eval_tests[1]_include.cmake")
+include("/root/repo/build/tests/cfpm_integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/cfpm_cli_tests[1]_include.cmake")
