@@ -2,6 +2,7 @@
 #include <benchmark/benchmark.h>
 
 #include "dd/approx.hpp"
+#include "dd/compiled.hpp"
 #include "dd/manager.hpp"
 #include "dd/stats.hpp"
 
@@ -29,17 +30,23 @@ BENCHMARK(BM_BddAndChain)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_BddParity(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
+  double hit_rate = 0.0, occupancy = 0.0;
   for (auto _ : state) {
     DdManager mgr(n);
     Bdd f = parity(mgr, n);
     benchmark::DoNotOptimize(f.size());
+    hit_rate = mgr.cache_hit_rate();
+    occupancy = mgr.unique_table_occupancy();
   }
+  state.counters["cache_hit_rate"] = hit_rate;
+  state.counters["unique_occupancy"] = occupancy;
 }
 BENCHMARK(BM_BddParity)->Arg(16)->Arg(64)->Arg(128);
 
 void BM_AddWeightedSum(benchmark::State& state) {
   // Mimics the Fig. 6 inner loop: sum of weighted 0/1 functions.
   const auto terms = static_cast<std::uint32_t>(state.range(0));
+  double hit_rate = 0.0, occupancy = 0.0;
   for (auto _ : state) {
     DdManager mgr(16);
     Add total = mgr.constant(0.0);
@@ -48,29 +55,84 @@ void BM_AddWeightedSum(benchmark::State& state) {
       total = total + Add(prod).times(1.0 + i);
     }
     benchmark::DoNotOptimize(total.size());
+    hit_rate = mgr.cache_hit_rate();
+    occupancy = mgr.unique_table_occupancy();
   }
+  // Kernel-tuning observability: computed-cache effectiveness and
+  // unique-table pressure of the construction workload.
+  state.counters["cache_hit_rate"] = hit_rate;
+  state.counters["unique_occupancy"] = occupancy;
 }
 BENCHMARK(BM_AddWeightedSum)->Arg(32)->Arg(128);
 
-void BM_AddEval(benchmark::State& state) {
-  DdManager mgr(32);
+/// Eval-benchmark workload. Weights cycle through a small set (i % 7) so
+/// the sum's value diversity -- and hence the ADD's terminal count -- stays
+/// bounded; with 64 distinct weights the diagram grows combinatorially.
+Add eval_workload(DdManager& mgr) {
   Add f = mgr.constant(0.0);
-  for (std::uint32_t i = 0; i < 64; ++i) {
-    Bdd prod = mgr.bdd_var(i % 32) & mgr.bdd_var((i * 7 + 3) % 32);
-    f = f + Add(prod).times(1.0 + i);
+  for (std::uint32_t i = 0; i < 96; ++i) {
+    Bdd prod = mgr.bdd_var(i % 24) & !mgr.bdd_var((i * 5 + 1) % 24);
+    f = f + Add(prod).times(1.0 + (i % 7));
   }
-  std::vector<std::uint8_t> assignment(32);
+  return f;
+}
+
+void BM_AddEval(benchmark::State& state) {
+  DdManager mgr(24);
+  Add f = eval_workload(mgr);
+  std::vector<std::uint8_t> assignment(24);
   std::uint64_t counter = 0;
   for (auto _ : state) {
-    for (std::size_t v = 0; v < 32; ++v) {
+    for (std::size_t v = 0; v < 24; ++v) {
       assignment[v] = static_cast<std::uint8_t>((counter >> v) & 1u);
     }
     ++counter;
     benchmark::DoNotOptimize(f.eval(assignment));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["nodes"] = static_cast<double>(f.size());
 }
 BENCHMARK(BM_AddEval);
+
+void BM_CompiledAddEval(benchmark::State& state) {
+  // Same diagram as BM_AddEval, evaluated on the flat-array snapshot.
+  DdManager mgr(24);
+  const CompiledDd compiled = CompiledDd::compile(eval_workload(mgr));
+  std::vector<std::uint8_t> assignment(24);
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    for (std::size_t v = 0; v < 24; ++v) {
+      assignment[v] = static_cast<std::uint8_t>((counter >> v) & 1u);
+    }
+    ++counter;
+    benchmark::DoNotOptimize(compiled.eval(assignment));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["nodes"] = static_cast<double>(compiled.num_nodes());
+}
+BENCHMARK(BM_CompiledAddEval);
+
+void BM_CompiledPackedEval(benchmark::State& state) {
+  // Same diagram again, 64 assignments per bit-parallel sweep.
+  DdManager mgr(24);
+  const CompiledDd compiled = CompiledDd::compile(eval_workload(mgr));
+  std::vector<std::uint64_t> bits(24);
+  std::vector<std::uint64_t> scratch;
+  double out[64];
+  std::uint64_t counter = 0x9e3779b97f4a7c15ull;
+  for (auto _ : state) {
+    for (std::size_t v = 0; v < 24; ++v) {
+      counter ^= counter << 13;
+      counter ^= counter >> 7;
+      bits[v] = counter;
+    }
+    compiled.eval_packed(bits.data(), 64, out, scratch);
+    benchmark::DoNotOptimize(out[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+  state.counters["nodes"] = static_cast<double>(compiled.num_nodes());
+}
+BENCHMARK(BM_CompiledPackedEval);
 
 void BM_NodeStatsTraversal(benchmark::State& state) {
   DdManager mgr(24);

@@ -1,0 +1,230 @@
+#include "dd/compiled.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dd/dd_internal.hpp"
+#include "support/assert.hpp"
+
+namespace cfpm::dd {
+
+CompiledDd CompiledDd::compile(const Add& f) {
+  CFPM_REQUIRE(!f.is_null());
+  const DdManager* mgr = f.manager();
+  const DdNode* root = DdInternal::node(f);
+
+  // Collect the reachable DAG (iterative DFS; the diagram may be deep).
+  std::vector<const DdNode*> internals;
+  std::vector<const DdNode*> terminals;
+  std::unordered_set<const DdNode*> seen;
+  std::vector<const DdNode*> stack{root};
+  seen.insert(root);
+  while (!stack.empty()) {
+    const DdNode* n = stack.back();
+    stack.pop_back();
+    if (n->is_terminal()) {
+      terminals.push_back(n);
+      continue;
+    }
+    internals.push_back(n);
+    for (const DdNode* child : {n->then_child, n->else_child}) {
+      if (seen.insert(child).second) stack.push_back(child);
+    }
+  }
+
+  // Deterministic layout: internal nodes by (level, creation id), terminal
+  // values ascending. A child is always at a strictly deeper level than its
+  // parent, so every walk moves forward through the array.
+  std::sort(internals.begin(), internals.end(),
+            [&](const DdNode* a, const DdNode* b) {
+              const std::uint32_t la = mgr->level_of_var(a->var);
+              const std::uint32_t lb = mgr->level_of_var(b->var);
+              return la != lb ? la < lb : a->id < b->id;
+            });
+  std::sort(terminals.begin(), terminals.end(),
+            [](const DdNode* a, const DdNode* b) { return a->value < b->value; });
+
+  CompiledDd c;
+  c.first_terminal_ = static_cast<std::uint32_t>(internals.size());
+
+  std::unordered_map<const DdNode*, std::uint32_t> index;
+  index.reserve(internals.size() + terminals.size());
+  for (std::uint32_t i = 0; i < internals.size(); ++i) index[internals[i]] = i;
+  for (std::uint32_t i = 0; i < terminals.size(); ++i) {
+    index[terminals[i]] = c.first_terminal_ + i;
+    c.values_.push_back(terminals[i]->value);
+  }
+
+  c.nodes_.reserve(internals.size() + terminals.size());
+  std::uint32_t distinct_levels = 0;
+  std::uint32_t prev_level = DdNode::kTerminalVar;
+  for (const DdNode* n : internals) {
+    c.nodes_.push_back(Node{n->var, index.at(n->then_child),
+                            index.at(n->else_child)});
+    c.num_vars_needed_ = std::max(c.num_vars_needed_, n->var + 1);
+    const std::uint32_t level = mgr->level_of_var(n->var);
+    if (level != prev_level) {
+      ++distinct_levels;
+      prev_level = level;
+    }
+  }
+  // Terminal sinks self-loop on a variable every caller must provide anyway
+  // (var 0 is always < min_assignment_size() when internal nodes exist; for
+  // a constant diagram depth_ is 0 and the sink is never stepped).
+  for (std::uint32_t i = 0; i < terminals.size(); ++i) {
+    const std::uint32_t self = c.first_terminal_ + i;
+    c.nodes_.push_back(Node{0, self, self});
+  }
+  c.depth_ = distinct_levels;
+  c.root_ = index.at(root);
+
+  // Mark each node's first incoming edge in sweep order (ascending parent
+  // index, hi before lo). The packed evaluators assign through these edges
+  // and OR through the rest; since the branchless sweep traverses every
+  // static edge, every non-root mask is (re)initialized each batch and the
+  // mask array never has to be cleared. kIndexMask must leave room.
+  CFPM_REQUIRE(c.nodes_.size() <= kIndexMask);
+  std::vector<bool> edge_seen(c.nodes_.size(), false);
+  for (std::uint32_t i = 0; i < c.first_terminal_; ++i) {
+    for (std::uint32_t* child : {&c.nodes_[i].hi, &c.nodes_[i].lo}) {
+      if (!edge_seen[*child]) {
+        edge_seen[*child] = true;
+        *child |= kFirstEdge;
+      }
+    }
+  }
+  return c;
+}
+
+CompiledDd CompiledDd::compile(const Bdd& f) { return compile(Add(f)); }
+
+void CompiledDd::eval_block(const std::uint8_t* assignments, std::size_t stride,
+                            std::size_t count, double* out) const {
+  CFPM_REQUIRE(stride >= num_vars_needed_);
+  constexpr std::size_t kLanes = 16;
+  const Node* const nodes = nodes_.data();
+  for (std::size_t base = 0; base < count; base += kLanes) {
+    const std::size_t lanes = std::min(kLanes, count - base);
+    std::uint32_t idx[kLanes];
+    const std::uint8_t* a[kLanes];
+    for (std::size_t l = 0; l < lanes; ++l) {
+      idx[l] = root_;
+      a[l] = assignments + (base + l) * stride;
+    }
+    for (std::uint32_t step = 0; step < depth_; ++step) {
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const Node& n = nodes[idx[l]];
+        idx[l] = (a[l][n.var] ? n.hi : n.lo) & kIndexMask;
+      }
+    }
+    for (std::size_t l = 0; l < lanes; ++l) {
+      out[base + l] = values_[idx[l] - first_terminal_];
+    }
+  }
+}
+
+void CompiledDd::eval_packed(const std::uint64_t* bits, std::size_t count,
+                             double* out,
+                             std::vector<std::uint64_t>& scratch) const {
+  CFPM_REQUIRE(count >= 1 && count <= 64);
+  const std::uint64_t all =
+      count == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << count) - 1;
+  if (root_ >= first_terminal_) {
+    const double v = values_[root_ - first_terminal_];
+    for (std::size_t k = 0; k < count; ++k) out[k] = v;
+    return;
+  }
+  if (scratch.size() < nodes_.size()) scratch.assign(nodes_.size(), 0);
+  std::uint64_t* const reach = scratch.data();
+  reach[root_] = all;
+  const Node* const nodes = nodes_.data();
+  // Children always sit at higher indices, so reach[i] is final when the
+  // sweep arrives at i; each assignment's bit flows root -> one sink.
+  // Unconditionally updating (no skip of unreached nodes) keeps the loop
+  // free of data-dependent branches, which is worth far more than the
+  // saved ORs: reach masks are unpredictable, and ~1000 mispredicted
+  // skips per 64-assignment block would dominate the sweep. First-edge
+  // stores (keep mask 0) reinitialize every child, so stale masks from the
+  // previous batch never survive and scratch is never cleared.
+  for (std::uint32_t i = 0; i < first_terminal_; ++i) {
+    const std::uint64_t m = reach[i];
+    const Node& n = nodes[i];
+    const std::uint64_t b = bits[n.var];
+    const std::uint64_t keep_hi = static_cast<std::uint64_t>(n.hi >> 31) - 1;
+    const std::uint64_t keep_lo = static_cast<std::uint64_t>(n.lo >> 31) - 1;
+    std::uint64_t* const hi = reach + (n.hi & kIndexMask);
+    std::uint64_t* const lo = reach + (n.lo & kIndexMask);
+    *hi = (*hi & keep_hi) | (m & b);
+    *lo = (*lo & keep_lo) | (m & ~b);
+  }
+  const std::uint32_t num_nodes = static_cast<std::uint32_t>(nodes_.size());
+  for (std::uint32_t i = first_terminal_; i < num_nodes; ++i) {
+    std::uint64_t m = reach[i];
+    if (m == 0) continue;
+    const double v = values_[i - first_terminal_];
+    do {
+      out[std::countr_zero(m)] = v;
+      m &= m - 1;
+    } while (m != 0);
+  }
+}
+
+void CompiledDd::eval_packed_wide(const std::uint64_t* bits, std::size_t count,
+                                  double* out,
+                                  std::vector<std::uint64_t>& scratch) const {
+  constexpr std::size_t W = kPackedGroups;
+  CFPM_REQUIRE(count >= 1 && count <= 64 * W);
+  std::uint64_t all[W];
+  for (std::size_t w = 0; w < W; ++w) {
+    const std::size_t base = 64 * w;
+    all[w] = count >= base + 64 ? ~std::uint64_t{0}
+             : count > base     ? (std::uint64_t{1} << (count - base)) - 1
+                                : 0;
+  }
+  if (root_ >= first_terminal_) {
+    const double v = values_[root_ - first_terminal_];
+    for (std::size_t k = 0; k < count; ++k) out[k] = v;
+    return;
+  }
+  if (scratch.size() < W * nodes_.size()) scratch.assign(W * nodes_.size(), 0);
+  std::uint64_t* const __restrict__ reach = scratch.data();
+  const std::uint64_t* const __restrict__ b = bits;
+  for (std::size_t w = 0; w < W; ++w) reach[W * root_ + w] = all[w];
+  const Node* const nodes = nodes_.data();
+  for (std::uint32_t i = 0; i < first_terminal_; ++i) {
+    const Node& n = nodes[i];
+    // Local mask copy so the child stores cannot alias the source reads.
+    std::uint64_t m[W];
+    for (std::size_t w = 0; w < W; ++w) m[w] = reach[W * i + w];
+    const std::uint64_t keep_hi = static_cast<std::uint64_t>(n.hi >> 31) - 1;
+    const std::uint64_t keep_lo = static_cast<std::uint64_t>(n.lo >> 31) - 1;
+    std::uint64_t* const hi = reach + W * (n.hi & kIndexMask);
+    std::uint64_t* const lo = reach + W * (n.lo & kIndexMask);
+    const std::uint64_t* const bv = b + W * n.var;
+    for (std::size_t w = 0; w < W; ++w) {
+      hi[w] = (hi[w] & keep_hi) | (m[w] & bv[w]);
+    }
+    for (std::size_t w = 0; w < W; ++w) {
+      lo[w] = (lo[w] & keep_lo) | (m[w] & ~bv[w]);
+    }
+  }
+  const std::uint32_t num_nodes = static_cast<std::uint32_t>(nodes_.size());
+  for (std::uint32_t i = first_terminal_; i < num_nodes; ++i) {
+    const std::uint64_t* const m = reach + W * i;
+    std::uint64_t any = 0;
+    for (std::size_t w = 0; w < W; ++w) any |= m[w];
+    if (any == 0) continue;
+    const double v = values_[i - first_terminal_];
+    for (std::size_t w = 0; w < W; ++w) {
+      std::uint64_t mm = m[w];
+      while (mm != 0) {
+        out[64 * w + std::countr_zero(mm)] = v;
+        mm &= mm - 1;
+      }
+    }
+  }
+}
+
+}  // namespace cfpm::dd

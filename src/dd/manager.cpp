@@ -239,6 +239,18 @@ void DdManager::maybe_gc() {
   if (dead_ > threshold) collect_garbage();
 }
 
+std::size_t DdManager::unique_table_buckets() const noexcept {
+  std::size_t buckets = terminals_.buckets.size();
+  for (const UniqueTable& table : unique_) buckets += table.buckets.size();
+  return buckets;
+}
+
+std::size_t DdManager::unique_table_nodes() const noexcept {
+  std::size_t nodes = terminals_.count;
+  for (const UniqueTable& table : unique_) nodes += table.count;
+  return nodes;
+}
+
 std::size_t DdManager::collect_garbage() {
   if (dead_ == 0) return 0;
   ++gc_runs_;

@@ -95,6 +95,25 @@ class DdManager {
   std::uint64_t cache_lookups() const noexcept { return cache_lookups_; }
   std::uint64_t gc_runs() const noexcept { return gc_runs_; }
 
+  /// Fraction of computed-cache lookups (apply + ite) answered from the
+  /// cache; 0 when no lookup has happened yet.
+  double cache_hit_rate() const noexcept {
+    return cache_lookups_ == 0 ? 0.0
+                               : static_cast<double>(cache_hits_) /
+                                     static_cast<double>(cache_lookups_);
+  }
+  /// Buckets across all unique tables (per-variable tables + terminals).
+  std::size_t unique_table_buckets() const noexcept;
+  /// Nodes chained in the unique tables, live and dead alike.
+  std::size_t unique_table_nodes() const noexcept;
+  /// Average unique-table load factor (nodes per bucket).
+  double unique_table_occupancy() const noexcept {
+    const std::size_t buckets = unique_table_buckets();
+    return buckets == 0 ? 0.0
+                        : static_cast<double>(unique_table_nodes()) /
+                              static_cast<double>(buckets);
+  }
+
   /// Forces a garbage collection; returns the number of nodes reclaimed.
   std::size_t collect_garbage();
 

@@ -210,6 +210,8 @@ AddPowerModel::AddPowerModel(std::shared_ptr<dd::DdManager> mgr,
                              std::string circuit_name)
     : mgr_(std::move(mgr)),
       function_(std::move(function)),
+      compiled_(std::make_shared<const dd::CompiledDd>(
+          dd::CompiledDd::compile(function_))),
       num_inputs_(num_inputs),
       order_(order),
       mode_(mode),
@@ -253,6 +255,42 @@ double AddPowerModel::estimate_ff(std::span<const std::uint8_t> xi,
     assignment[var_of_xf(k)] = xf[k];
   }
   return function_.eval(assignment);
+}
+
+TraceEstimate AddPowerModel::estimate_trace(const sim::InputSequence& seq,
+                                            ThreadPool* pool) const {
+  CFPM_REQUIRE(seq.num_inputs() == num_inputs_);
+  const dd::CompiledDd& compiled = *compiled_;
+  // Hoist the input -> diagram-variable mapping out of the hot loop.
+  std::vector<std::uint32_t> vi(num_inputs_), vf(num_inputs_);
+  for (std::uint32_t k = 0; k < num_inputs_; ++k) {
+    vi[k] = var_of_xi(k);
+    vf[k] = var_of_xf(k);
+  }
+  return reduce_trace(
+      seq.num_transitions(), pool,
+      [&](std::size_t begin, std::size_t end, double& total, double& peak) {
+        // The sequence's bit-packed streams ARE the word-transposed
+        // assignment blocks the packed evaluator consumes — transition t's
+        // initial state of input k is bit t of stream k and its final
+        // state is bit t+1 — so the whole gather is two window64 reads
+        // per input per 64 transitions.
+        std::vector<std::uint64_t> bits(2 * num_inputs_);
+        std::vector<std::uint64_t> scratch;
+        double values[64];
+        for (std::size_t base = begin; base < end; base += 64) {
+          const std::size_t m = std::min<std::size_t>(64, end - base);
+          for (std::uint32_t k = 0; k < num_inputs_; ++k) {
+            bits[vi[k]] = seq.window64(k, base);
+            bits[vf[k]] = seq.window64(k, base + 1);
+          }
+          compiled.eval_packed(bits.data(), m, values, scratch);
+          for (std::size_t t = 0; t < m; ++t) {
+            total += values[t];
+            peak = std::max(peak, values[t]);
+          }
+        }
+      });
 }
 
 std::vector<double> AddPowerModel::input_sensitivity_ff() const {

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "dd/approx.hpp"
+#include "dd/compiled.hpp"
 #include "dd/manager.hpp"
 #include "netlist/library.hpp"
 #include "netlist/netlist.hpp"
@@ -84,7 +85,16 @@ class AddPowerModel final : public PowerModel {
   std::size_t num_inputs() const override { return num_inputs_; }
   double worst_case_ff() const override { return function_.max_value(); }
 
+  /// Batch evaluation on the compiled flat-array snapshot of the ADD:
+  /// per-pattern values are bit-identical to estimate_ff, chunk order is
+  /// fixed, so the result matches the scalar path exactly for any pool.
+  TraceEstimate estimate_trace(const sim::InputSequence& seq,
+                               ThreadPool* pool = nullptr) const override;
+
   // Model introspection --------------------------------------------------------
+  /// The flattened evaluation snapshot (compiled once at construction;
+  /// immutable, shared by copies, safe for concurrent evaluation).
+  const dd::CompiledDd& compiled() const { return *compiled_; }
   /// Node count of the ADD (terminals included).
   std::size_t size() const { return function_.size(); }
   const dd::Add& function() const { return function_; }
@@ -137,6 +147,9 @@ class AddPowerModel final : public PowerModel {
   // copies cheap (they share the manager).
   std::shared_ptr<dd::DdManager> mgr_;
   dd::Add function_;
+  // Frozen flat-array copy of function_, detached from mgr_ (manager GC or
+  // reordering cannot invalidate it). Shared so the model stays copyable.
+  std::shared_ptr<const dd::CompiledDd> compiled_;
   std::size_t num_inputs_ = 0;
   VariableOrder order_ = VariableOrder::kInterleaved;
   dd::ApproxMode mode_ = dd::ApproxMode::kAverage;

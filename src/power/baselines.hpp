@@ -36,6 +36,10 @@ class ConstantModel final : public PowerModel {
   double worst_case_ff() const override { return value_ff_; }
   double value_ff() const { return value_ff_; }
 
+  /// Pattern-independent: chunks reduce without touching the sequence bits.
+  TraceEstimate estimate_trace(const sim::InputSequence& seq,
+                               ThreadPool* pool = nullptr) const override;
+
  private:
   double value_ff_;
   std::size_t num_inputs_;
@@ -55,6 +59,9 @@ class ConstantBoundModel final : public PowerModel {
   std::size_t num_inputs() const override { return num_inputs_; }
   double worst_case_ff() const override { return bound_ff_; }
 
+  TraceEstimate estimate_trace(const sim::InputSequence& seq,
+                               ThreadPool* pool = nullptr) const override;
+
  private:
   double bound_ff_;
   std::size_t num_inputs_;
@@ -71,6 +78,11 @@ class LinearModel final : public PowerModel {
   std::size_t num_inputs() const override { return coeffs_.size() - 1; }
   double worst_case_ff() const override;
   std::span<const double> coefficients() const { return coeffs_; }
+
+  /// Batch path reading toggle bits straight off the packed sequence
+  /// (no per-transition vector materialization or virtual dispatch).
+  TraceEstimate estimate_trace(const sim::InputSequence& seq,
+                               ThreadPool* pool = nullptr) const override;
 
  private:
   std::vector<double> coeffs_;

@@ -7,34 +7,51 @@
 
 namespace cfpm::power {
 
-double PowerModel::average_over(const sim::InputSequence& seq) const {
-  CFPM_REQUIRE(seq.num_inputs() == num_inputs());
-  const std::size_t transitions = seq.num_transitions();
-  if (transitions == 0) return 0.0;
-  std::vector<std::uint8_t> xi(seq.num_inputs()), xf(seq.num_inputs());
-  seq.vector_at(0, xi);
-  double total = 0.0;
-  for (std::size_t t = 0; t < transitions; ++t) {
-    seq.vector_at(t + 1, xf);
-    total += estimate_ff(xi, xf);
-    xi.swap(xf);
+TraceEstimate PowerModel::reduce_trace(
+    std::size_t transitions, ThreadPool* pool,
+    const std::function<void(std::size_t, std::size_t, double&, double&)>&
+        chunk_fn) const {
+  TraceEstimate est;
+  est.transitions = transitions;
+  if (transitions == 0) return est;
+
+  const std::size_t chunks = (transitions + kTraceChunk - 1) / kTraceChunk;
+  std::vector<double> totals(chunks, 0.0);
+  std::vector<double> peaks(chunks, 0.0);
+  auto run_chunk = [&](std::size_t c) {
+    const std::size_t begin = c * kTraceChunk;
+    const std::size_t end = std::min(begin + kTraceChunk, transitions);
+    chunk_fn(begin, end, totals[c], peaks[c]);
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && chunks > 1) {
+    pool->run_indexed(chunks, run_chunk);
+  } else {
+    for (std::size_t c = 0; c < chunks; ++c) run_chunk(c);
   }
-  return total / static_cast<double>(transitions);
+  // Ordered reduction: identical association regardless of thread count.
+  for (std::size_t c = 0; c < chunks; ++c) {
+    est.total_ff += totals[c];
+    est.peak_ff = std::max(est.peak_ff, peaks[c]);
+  }
+  return est;
 }
 
-double PowerModel::peak_over(const sim::InputSequence& seq) const {
+TraceEstimate PowerModel::estimate_trace(const sim::InputSequence& seq,
+                                         ThreadPool* pool) const {
   CFPM_REQUIRE(seq.num_inputs() == num_inputs());
-  const std::size_t transitions = seq.num_transitions();
-  std::vector<std::uint8_t> xi(seq.num_inputs()), xf(seq.num_inputs());
-  double peak = 0.0;
-  if (transitions == 0) return peak;
-  seq.vector_at(0, xi);
-  for (std::size_t t = 0; t < transitions; ++t) {
-    seq.vector_at(t + 1, xf);
-    peak = std::max(peak, estimate_ff(xi, xf));
-    xi.swap(xf);
-  }
-  return peak;
+  return reduce_trace(
+      seq.num_transitions(), pool,
+      [&](std::size_t begin, std::size_t end, double& total, double& peak) {
+        std::vector<std::uint8_t> xi(seq.num_inputs()), xf(seq.num_inputs());
+        seq.vector_at(begin, xi);
+        for (std::size_t t = begin; t < end; ++t) {
+          seq.vector_at(t + 1, xf);
+          const double v = estimate_ff(xi, xf);
+          total += v;
+          peak = std::max(peak, v);
+          xi.swap(xf);
+        }
+      });
 }
 
 }  // namespace cfpm::power

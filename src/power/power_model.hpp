@@ -6,12 +6,27 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 
 #include "sim/sequence.hpp"
+#include "support/thread_pool.hpp"
 
 namespace cfpm::power {
+
+/// One-pass summary of a model evaluated over every transition of a
+/// sequence (the per-cycle RTL simulation loop, batched).
+struct TraceEstimate {
+  double total_ff = 0.0;        ///< sum of per-transition estimates
+  double peak_ff = 0.0;         ///< maximum estimate (0 for empty traces)
+  std::size_t transitions = 0;  ///< transitions evaluated
+
+  double average_ff() const {
+    return transitions == 0 ? 0.0
+                            : total_ff / static_cast<double>(transitions);
+  }
+};
 
 class PowerModel {
  public:
@@ -36,11 +51,38 @@ class PowerModel {
 
   // ----- sequence-level evaluation (RTL simulation loop) -------------------
 
+  /// Transitions per work chunk of estimate_trace. Chunk boundaries depend
+  /// only on the sequence (never on the thread count) and chunk partials
+  /// are reduced in chunk order, so estimate_trace is bit-identical for
+  /// any pool size — including no pool at all.
+  static constexpr std::size_t kTraceChunk = 4096;
+
+  /// Evaluates every transition of `seq` in one pass, sharding fixed
+  /// kTraceChunk-sized chunks across `pool` when one is given. The default
+  /// implementation loops estimate_ff; models with a batch evaluator
+  /// (the compiled ADD model, Con, Lin) override it.
+  virtual TraceEstimate estimate_trace(const sim::InputSequence& seq,
+                                       ThreadPool* pool = nullptr) const;
+
   /// Average estimated capacitance per transition over a sequence.
-  double average_over(const sim::InputSequence& seq) const;
+  double average_over(const sim::InputSequence& seq) const {
+    return estimate_trace(seq).average_ff();
+  }
 
   /// Maximum estimated capacitance over the transitions of a sequence.
-  double peak_over(const sim::InputSequence& seq) const;
+  double peak_over(const sim::InputSequence& seq) const {
+    return estimate_trace(seq).peak_ff;
+  }
+
+ protected:
+  /// Shared sharding/reduction skeleton for estimate_trace implementations:
+  /// chunk_fn(begin, end, total, peak) evaluates transitions [begin, end)
+  /// into zero-initialized per-chunk slots (possibly on a pool thread);
+  /// partials are then combined in chunk order on the calling thread.
+  TraceEstimate reduce_trace(
+      std::size_t transitions, ThreadPool* pool,
+      const std::function<void(std::size_t, std::size_t, double&, double&)>&
+          chunk_fn) const;
 };
 
 /// Supply voltage context to convert capacitance to energy/power.

@@ -51,6 +51,20 @@ class InputSequence {
 
   std::size_t words_per_input() const noexcept { return words_per_input_; }
 
+  /// 64 consecutive timesteps of input `i` starting at `t` (bit k = value
+  /// at time t + k), zero-padded past length(). This is the gather primitive
+  /// of the bit-parallel trace evaluator: one call replaces 64 bit() reads.
+  std::uint64_t window64(std::size_t input, std::size_t t) const {
+    CFPM_ASSERT(input < num_inputs_ && t < length_);
+    const std::size_t k = t / 64;
+    const std::size_t s = t % 64;
+    std::uint64_t w = word(input, k) >> s;
+    if (s != 0 && k + 1 < words_per_input_) {
+      w |= word(input, k + 1) << (64 - s);
+    }
+    return w;
+  }
+
   /// Copies vector `t` into `out[0..num_inputs)` (one byte per input).
   void vector_at(std::size_t t, std::span<std::uint8_t> out) const {
     CFPM_REQUIRE(out.size() >= num_inputs_);

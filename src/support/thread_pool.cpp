@@ -1,0 +1,80 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace cfpm {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads - 1);
+  for (std::size_t i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_ready_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    drain_indices_locked(lock);
+  }
+}
+
+void ThreadPool::drain_indices_locked(std::unique_lock<std::mutex>& lock) {
+  while (next_index_ < job_count_) {
+    const std::size_t i = next_index_++;
+    const std::function<void(std::size_t)>* job = job_;
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+      (*job)(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lock.lock();
+    if (err && !error_) error_ = err;
+    if (++completed_ == job_count_) batch_done_.notify_all();
+  }
+}
+
+void ThreadPool::run_indexed(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_ = &fn;
+  job_count_ = count;
+  next_index_ = 0;
+  completed_ = 0;
+  error_ = nullptr;
+  ++generation_;
+  work_ready_.notify_all();
+  drain_indices_locked(lock);
+  batch_done_.wait(lock, [&] { return completed_ == job_count_; });
+  job_ = nullptr;
+  job_count_ = 0;
+  if (error_) {
+    std::exception_ptr err = error_;
+    error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace cfpm

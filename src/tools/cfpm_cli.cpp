@@ -34,6 +34,8 @@
 #include "sim/trace_io.hpp"
 #include "stats/markov.hpp"
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
 
 namespace {
 
@@ -45,6 +47,7 @@ int usage() {
       "  cfpm info <circuit>\n"
       "  cfpm build <circuit> [-m MAX] [--bound] [-o model.cfpm]\n"
       "  cfpm estimate <model.cfpm> [--sp P] [--st P] [--vectors N] [--vdd V]\n"
+      "                [--threads N] [--compiled]\n"
       "  cfpm worst <model.cfpm>\n"
       "  cfpm accuracy <circuit> [-m MAX] [--vectors N]\n"
       "  cfpm trace <circuit> -o out.vcd [--sp P] [--st P] [--vectors N]\n"
@@ -54,7 +57,11 @@ int usage() {
       "\n"
       "<circuit>: path to a .bench or .blif file, or gen:<name> with <name>\n"
       "one of c17, alu2, alu4, cmb, cm150, cm85, comp, decod, k2, mux,\n"
-      "parity, pcle, x1, x2.\n";
+      "parity, pcle, x1, x2.\n"
+      "\n"
+      "--threads N shards trace evaluation over a pool of N threads\n"
+      "(0 = all hardware threads); results are bit-identical for any N.\n"
+      "--compiled prints compiled-evaluator diagnostics and throughput.\n";
   return 2;
 }
 
@@ -83,6 +90,8 @@ struct Args {
   double st = 0.5;
   std::size_t vectors = 10000;
   double vdd = 3.3;
+  std::size_t threads = 1;  // 0 = hardware concurrency
+  bool compiled = false;
 };
 
 std::optional<Args> parse(int argc, char** argv) {
@@ -119,6 +128,12 @@ std::optional<Args> parse(int argc, char** argv) {
       auto v = next();
       if (!v) return std::nullopt;
       a.vdd = std::stod(*v);
+    } else if (arg == "--threads") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      a.threads = std::stoul(*v);
+    } else if (arg == "--compiled") {
+      a.compiled = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option: " << arg << "\n";
       return std::nullopt;
@@ -191,11 +206,32 @@ int cmd_estimate(const Args& a) {
   }
   stats::MarkovSequenceGenerator gen({a.sp, a.st}, 0xcf9e);
   const auto seq = gen.generate(model.num_inputs(), a.vectors);
-  const double avg = model.average_over(seq);
-  const double peak = model.peak_over(seq);
+
+  // One batched pass over the trace (compiled flat-array evaluation),
+  // sharded over a pool when --threads asks for one. Results are
+  // bit-identical for every thread count.
+  cfpm::ThreadPool pool(a.threads == 0 ? 0 : a.threads);
+  cfpm::Timer timer;
+  const power::TraceEstimate est = model.estimate_trace(seq, &pool);
+  const double eval_seconds = timer.seconds();
+  const double avg = est.average_ff();
+  const double peak = est.peak_ff;
   const power::SupplyConfig supply{a.vdd};
   std::cout << "workload: sp=" << a.sp << " st=" << a.st << " (" << a.vectors
             << " vectors)\n";
+  if (a.compiled) {
+    const dd::CompiledDd& c = model.compiled();
+    std::cout << "engine  : compiled ADD (" << c.num_internal_nodes()
+              << " internal + " << c.num_terminals() << " terminal records, "
+              << "depth " << c.depth() << "), " << pool.num_threads()
+              << " thread(s)\n";
+    std::cout << "eval    : " << est.transitions << " patterns in "
+              << 1e3 * eval_seconds << " ms ("
+              << (eval_seconds > 0.0
+                      ? static_cast<double>(est.transitions) / eval_seconds
+                      : 0.0)
+              << " patterns/s)\n";
+  }
   std::cout << "average : " << avg << " fF/cycle = "
             << supply.energy_fj(avg) << " fJ/cycle @ " << a.vdd << " V\n";
   std::cout << "peak    : " << peak << " fF ("
