@@ -135,8 +135,14 @@ DdNode* DdManager::apply_rec(Op op, DdNode* f, DdNode* g) {
   DdNode* ge = (lg == level) ? g->else_child : g;
 
   DdNode* t = apply_rec(op, ft, gt);
-  DdNode* e = apply_rec(op, fe, ge);
-  DdNode* r = make_node(var, t, e);  // consumes t, e
+  DdNode* e;
+  try {
+    e = apply_rec(op, fe, ge);
+  } catch (...) {
+    deref_node(t);  // keep the manager consistent when the recursion unwinds
+    throw;
+  }
+  DdNode* r = make_node(var, t, e);  // consumes t, e (also on throw)
   cache_insert(op, f, g, r);
   return r;
 }
@@ -179,8 +185,14 @@ DdNode* DdManager::ite_rec(DdNode* f, DdNode* g, DdNode* h) {
     return then_side ? n->then_child : n->else_child;
   };
   DdNode* t = ite_rec(split(f, true), split(g, true), split(h, true));
-  DdNode* e = ite_rec(split(f, false), split(g, false), split(h, false));
-  DdNode* r = make_node(var, t, e);
+  DdNode* e;
+  try {
+    e = ite_rec(split(f, false), split(g, false), split(h, false));
+  } catch (...) {
+    deref_node(t);
+    throw;
+  }
+  DdNode* r = make_node(var, t, e);  // consumes t, e (also on throw)
   ite_cache_insert(f, g, h, r);
   return r;
 }
@@ -197,8 +209,14 @@ DdNode* DdManager::cofactor_rec(DdNode* f, std::uint32_t var, bool phase) {
     return r;
   }
   DdNode* t = cofactor_rec(f->then_child, var, phase);
-  DdNode* e = cofactor_rec(f->else_child, var, phase);
-  return make_node(f->var, t, e);
+  DdNode* e;
+  try {
+    e = cofactor_rec(f->else_child, var, phase);
+  } catch (...) {
+    deref_node(t);
+    throw;
+  }
+  return make_node(f->var, t, e);  // consumes t, e (also on throw)
 }
 
 // ---------------------------------------------------------------------------

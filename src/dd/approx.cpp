@@ -34,8 +34,14 @@ class Rebuilder {
       return it->second;
     }
     DdNode* t = rebuild(n->then_child);
-    DdNode* e = rebuild(n->else_child);
-    DdNode* r = DdInternal::make_node(*mgr_, n->var, t, e);
+    DdNode* e;
+    try {
+      e = rebuild(n->else_child);
+    } catch (...) {
+      DdInternal::deref(*mgr_, t);
+      throw;
+    }
+    DdNode* r = DdInternal::make_node(*mgr_, n->var, t, e);  // consumes t, e
     memo_.emplace(n, r);
     return r;
   }
@@ -279,8 +285,14 @@ class LeafRemapper {
       return it->second;
     }
     DdNode* t = rebuild(n->then_child);
-    DdNode* e = rebuild(n->else_child);
-    DdNode* r = DdInternal::make_node(*mgr_, n->var, t, e);
+    DdNode* e;
+    try {
+      e = rebuild(n->else_child);
+    } catch (...) {
+      DdInternal::deref(*mgr_, t);
+      throw;
+    }
+    DdNode* r = DdInternal::make_node(*mgr_, n->var, t, e);  // consumes t, e
     memo_.emplace(n, r);
     return r;
   }

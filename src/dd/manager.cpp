@@ -6,6 +6,7 @@
 
 #include "support/assert.hpp"
 #include "support/error.hpp"
+#include "support/governor.hpp"
 
 namespace cfpm::dd {
 
@@ -126,12 +127,21 @@ void DdManager::deref_node(DdNode* n) noexcept {
 // ---------------------------------------------------------------------------
 
 DdNode* DdManager::allocate_node() {
+  // Governor ticks fire here — the one point every growing operation must
+  // pass through — except during in-place reordering, where an unwound
+  // exception would leave a level half-relabeled (swaps checkpoint the
+  // governor between whole swaps instead).
+  if (config_.governor != nullptr && !in_reorder_) {
+    config_.governor->note_live_nodes(live_);
+    config_.governor->on_allocation();  // may throw
+  }
   if (free_list_ != nullptr) {
     DdNode* n = free_list_;
     free_list_ = n->next;
     return n;
   }
-  if (config_.max_nodes != 0 && allocated_ >= config_.max_nodes) {
+  if (config_.max_nodes != 0 && allocated_ >= config_.max_nodes &&
+      !in_reorder_) {
     collect_garbage();
     if (free_list_ != nullptr) {
       DdNode* n = free_list_;
@@ -192,11 +202,19 @@ DdNode* DdManager::make_node(std::uint32_t var, DdNode* t, DdNode* e) {
       return p;
     }
   }
-  maybe_resize_table(var);
+  // Strong guarantee: a throw past this point (table growth, node budget,
+  // governor fault) must not leak the child references this call consumes.
+  DdNode* n;
+  try {
+    maybe_resize_table(var);
+    n = allocate_node();
+  } catch (...) {
+    deref_node(t);
+    deref_node(e);
+    throw;
+  }
   mask = table.buckets.size() - 1;
   slot = child_slot(t, e, mask);
-
-  DdNode* n = allocate_node();
   n->var = var;
   n->ref = 1;  // caller's reference
   n->id = next_id_++;

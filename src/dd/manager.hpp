@@ -20,11 +20,16 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "dd/dd_node.hpp"
+
+namespace cfpm {
+class Governor;
+}  // namespace cfpm
 
 namespace cfpm::dd {
 
@@ -54,6 +59,12 @@ struct DdConfig {
   /// Hard ceiling on allocated nodes; 0 means unlimited. Exceeding it
   /// throws cfpm::ResourceError (after attempting a GC).
   std::size_t max_nodes = 0;
+  /// Optional build governor polled once per node allocation (outside
+  /// in-place reordering) and at every adjacent-level swap; may throw
+  /// DeadlineExceeded / CancelledError from those points. Shared, not
+  /// owned: several managers (e.g. successive degradation-ladder attempts)
+  /// may answer to one governor and its single deadline.
+  std::shared_ptr<Governor> governor;
 };
 
 class DdManager {
@@ -158,7 +169,9 @@ class DdManager {
 
   // --- node construction ---------------------------------------------------
   DdNode* terminal(double value);                 // referenced-return
-  /// Consumes one reference each from t and e; referenced-return.
+  /// Consumes one reference each from t and e; referenced-return. On an
+  /// exception (node budget, governor fault) both references are released
+  /// before the throw propagates, so callers never leak them.
   DdNode* make_node(std::uint32_t var, DdNode* t, DdNode* e);
   DdNode* allocate_node();
   void maybe_gc();
@@ -192,6 +205,12 @@ class DdManager {
 
   // --- storage --------------------------------------------------------------
   DdConfig config_;
+  /// Set for the duration of an in-place adjacent-level swap: the node cap
+  /// and governor polling are suspended there because a half-relabeled
+  /// level cannot be unwound (swaps only ever shrink-or-hold the diagram
+  /// modulo transient nodes, so the suspension is bounded). The governor is
+  /// instead checkpointed between swaps.
+  bool in_reorder_ = false;
   std::deque<DdNode> arena_;
   DdNode* free_list_ = nullptr;
   std::size_t live_ = 0;

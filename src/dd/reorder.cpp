@@ -9,11 +9,33 @@
 
 #include "dd/manager.hpp"
 #include "support/assert.hpp"
+#include "support/governor.hpp"
 
 namespace cfpm::dd {
 
+namespace {
+
+/// Suspends node-cap enforcement and governor polling for the duration of
+/// an in-place swap: a throw from allocate_node mid-swap would leave the
+/// level half-relabeled with no way to unwind. The governor is instead
+/// checkpointed between whole swaps (sift loops below), so a stuck sift
+/// still stops within one swap's worth of work.
+class ReorderScope {
+ public:
+  explicit ReorderScope(bool& flag) : flag_(flag) { flag_ = true; }
+  ~ReorderScope() { flag_ = false; }
+  ReorderScope(const ReorderScope&) = delete;
+  ReorderScope& operator=(const ReorderScope&) = delete;
+
+ private:
+  bool& flag_;
+};
+
+}  // namespace
+
 std::size_t DdManager::swap_adjacent_levels(std::uint32_t level) {
   CFPM_REQUIRE(level + 1 < num_vars());
+  ReorderScope scope(in_reorder_);
   const std::uint32_t u = var_at_level_[level];      // moves down
   const std::uint32_t v = var_at_level_[level + 1];  // moves up
 
@@ -114,9 +136,14 @@ std::size_t DdManager::sift_variable(std::uint32_t var, double max_growth) {
   std::uint32_t best_pos = pos;
   const std::size_t limit =
       static_cast<std::size_t>(static_cast<double>(live_) * max_growth);
+  // Between swaps the diagram is structurally consistent, so deadline and
+  // cancellation may fire here; the exploratory phases simply stop where
+  // they are (every intermediate position denotes the same functions).
+  Governor* governor = config_.governor.get();
 
   // Phase 1: sift down to the bottom (abort on excessive growth).
   while (pos + 1 < levels) {
+    if (governor != nullptr) governor->checkpoint();
     const std::size_t size = swap_adjacent_levels(pos);
     ++pos;
     if (size < best_size) {
@@ -127,6 +154,7 @@ std::size_t DdManager::sift_variable(std::uint32_t var, double max_growth) {
   }
   // Phase 2: sift up to the top.
   while (pos > 0) {
+    if (governor != nullptr) governor->checkpoint();
     const std::size_t size = swap_adjacent_levels(pos - 1);
     --pos;
     if (size < best_size) {

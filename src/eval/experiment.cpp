@@ -38,23 +38,45 @@ std::vector<AccuracyReport> evaluate(
 
   // Grid points are independent (deterministic per-point seeds), so they
   // evaluate in parallel. Models and the golden reference are only read.
+  // A cell that throws (a blown circuit/config, an OOM in one model) is
+  // recorded as failed and the rest of the grid continues; exceptions must
+  // never escape evaluate_point, which may run on a worker thread.
   std::vector<std::vector<AccuracyPoint>> points(
       grid.size(), std::vector<AccuracyPoint>(models.size()));
   auto evaluate_point = [&](std::size_t gi) {
     const stats::InputStatistics& s = grid[gi];
+    auto fail_cell = [&](std::size_t m, const char* what) {
+      AccuracyPoint p;
+      p.statistics = s;
+      p.failed = true;
+      p.error = what;
+      points[gi][m] = p;
+    };
     stats::MarkovSequenceGenerator gen(s, config.seed + gi);
     const sim::InputSequence seq = gen.generate(n, config.vectors_per_run);
-    const sim::SequenceEnergy energy = golden(seq);
-    const double golden_value =
-        metric == Metric::kAverage ? energy.average_ff() : energy.peak_ff;
+    double golden_value = 0.0;
+    try {
+      const sim::SequenceEnergy energy = golden(seq);
+      golden_value =
+          metric == Metric::kAverage ? energy.average_ff() : energy.peak_ff;
+    } catch (const std::exception& e) {
+      // No reference for this grid point: every model's cell fails.
+      for (std::size_t m = 0; m < models.size(); ++m) fail_cell(m, e.what());
+      return;
+    }
     for (std::size_t m = 0; m < models.size(); ++m) {
       AccuracyPoint p;
       p.statistics = s;
       p.golden = golden_value;
-      // One batched pass over the trace yields average and peak together
-      // (the compiled fast path for ADD models, chunked loops otherwise).
-      const power::TraceEstimate est = models[m]->estimate_trace(seq);
-      p.model = metric == Metric::kAverage ? est.average_ff() : est.peak_ff;
+      try {
+        // One batched pass over the trace yields average and peak together
+        // (the compiled fast path for ADD models, chunked loops otherwise).
+        const power::TraceEstimate est = models[m]->estimate_trace(seq);
+        p.model = metric == Metric::kAverage ? est.average_ff() : est.peak_ff;
+      } catch (const std::exception& e) {
+        fail_cell(m, e.what());
+        continue;
+      }
       if (golden_value > 0.0) {
         const double diff = metric == Metric::kAverage
                                 ? std::abs(p.model - golden_value)
@@ -91,8 +113,16 @@ std::vector<AccuracyReport> evaluate(
 
   for (AccuracyReport& r : reports) {
     double sum = 0.0;
-    for (const AccuracyPoint& p : r.points) sum += std::abs(p.re);
-    r.are = sum / static_cast<double>(r.points.size());
+    std::size_t counted = 0;
+    for (const AccuracyPoint& p : r.points) {
+      if (p.failed) {
+        ++r.failed_points;
+        continue;
+      }
+      sum += std::abs(p.re);
+      ++counted;
+    }
+    r.are = counted == 0 ? 0.0 : sum / static_cast<double>(counted);
   }
   return reports;
 }

@@ -34,13 +34,21 @@ struct AccuracyPoint {
   double golden = 0.0;  ///< simulated average (or peak) capacitance, fF
   double model = 0.0;   ///< model estimate on the same sequence
   double re = 0.0;      ///< relative error (bound RE keeps its sign)
+  /// Per-cell recovery: a cell whose golden reference or model evaluation
+  /// threw is marked failed (with the error text) instead of killing the
+  /// whole grid; failed cells are excluded from the ARE.
+  bool failed = false;
+  std::string error;
 };
 
 struct AccuracyReport {
   std::string model_name;
   std::vector<AccuracyPoint> points;
-  /// Average of |re| over all points, as a fraction (0.057 = 5.7%).
+  /// Average of |re| over the non-failed points, as a fraction
+  /// (0.057 = 5.7%); 0 when every point failed.
   double are = 0.0;
+  /// Cells that threw and were skipped (see AccuracyPoint::failed).
+  std::size_t failed_points = 0;
 };
 
 /// Any golden reference: maps a workload to per-sequence energy. Adapters

@@ -28,6 +28,25 @@ struct PendingGate {
   std::size_t line;
 };
 
+/// Hostile-input guard (mirrors the BLIF reader): NUL bytes and absurdly
+/// long signal names get a located ParseError instead of propagating into
+/// name tables.
+constexpr std::size_t kMaxNameLength = 4096;
+
+void check_line_sane(const std::string& raw, std::size_t lineno) {
+  if (raw.find('\0') != std::string::npos) {
+    throw ParseError("bench: NUL byte in input (binary file?)", lineno);
+  }
+}
+
+void check_name_sane(const std::string& name, std::size_t lineno) {
+  if (name.size() > kMaxNameLength) {
+    throw ParseError("bench: signal name longer than " +
+                         std::to_string(kMaxNameLength) + " characters",
+                     lineno);
+  }
+}
+
 }  // namespace
 
 Netlist read_bench(std::istream& is, std::string circuit_name) {
@@ -41,6 +60,7 @@ Netlist read_bench(std::istream& is, std::string circuit_name) {
   std::size_t lineno = 0;
   while (std::getline(is, raw)) {
     ++lineno;
+    check_line_sane(raw, lineno);
     const auto hash = raw.find('#');
     if (hash != std::string::npos) raw.erase(hash);
     std::string line = strip(raw);
@@ -59,6 +79,7 @@ Netlist read_bench(std::istream& is, std::string circuit_name) {
       const std::string kw = strip(line.substr(0, open));
       const std::string arg = strip(line.substr(open + 1, close - open - 1));
       if (arg.empty()) throw ParseError("bench: empty signal name", lineno);
+      check_name_sane(arg, lineno);
       if (kw == "INPUT") {
         input_names.push_back(arg);
       } else if (kw == "OUTPUT") {
@@ -71,6 +92,7 @@ Netlist read_bench(std::istream& is, std::string circuit_name) {
 
     // name = GATE(a, b, ...)
     const std::string lhs = strip(line.substr(0, eq));
+    check_name_sane(lhs, lineno);
     const std::string rhs = strip(line.substr(eq + 1));
     const auto open = rhs.find('(');
     const auto close = rhs.rfind(')');
@@ -94,6 +116,7 @@ Netlist read_bench(std::istream& is, std::string circuit_name) {
     while (std::getline(ss, tok, ',')) {
       tok = strip(tok);
       if (tok.empty()) throw ParseError("bench: empty fanin name", lineno);
+      check_name_sane(tok, lineno);
       g.fanins.push_back(tok);
     }
     if (g.fanins.size() < min_arity(type) || g.fanins.size() > max_arity(type)) {

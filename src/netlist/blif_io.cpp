@@ -29,6 +29,28 @@ std::vector<std::string> tokenize(const std::string& s) {
   return toks;
 }
 
+/// Hostile-input guard: binary junk (NUL bytes) and absurdly long tokens
+/// are rejected up front with a located ParseError instead of being carried
+/// through name tables and error messages.
+constexpr std::size_t kMaxTokenLength = 4096;
+
+void check_line_sane(const std::string& raw, std::size_t lineno) {
+  if (raw.find('\0') != std::string::npos) {
+    throw ParseError("blif: NUL byte in input (binary file?)", lineno);
+  }
+}
+
+void check_tokens_sane(const std::vector<std::string>& toks,
+                       std::size_t lineno) {
+  for (const std::string& t : toks) {
+    if (t.size() > kMaxTokenLength) {
+      throw ParseError("blif: token longer than " +
+                           std::to_string(kMaxTokenLength) + " characters",
+                       lineno);
+    }
+  }
+}
+
 /// Builds gates realizing one SOP cover; returns the id of the signal that
 /// carries the cover's output function.
 class CoverSynthesizer {
@@ -143,6 +165,7 @@ Netlist read_blif(std::istream& is) {
   auto handle_directive = [&](const std::string& line, std::size_t ln) {
     auto toks = tokenize(line);
     CFPM_ASSERT(!toks.empty());
+    check_tokens_sane(toks, ln);
     const std::string& kw = toks[0];
     if (kw == ".model") {
       if (toks.size() >= 2) model_name = toks[1];
@@ -191,6 +214,7 @@ Netlist read_blif(std::istream& is) {
 
   while (std::getline(is, raw)) {
     ++lineno;
+    check_line_sane(raw, lineno);
     const auto hash = raw.find('#');
     if (hash != std::string::npos) raw.erase(hash);
     // Continuation lines.
@@ -200,6 +224,7 @@ Netlist read_blif(std::istream& is) {
       std::string next;
       if (!std::getline(is, next)) break;
       ++lineno;
+      check_line_sane(next, lineno);
       const auto h2 = next.find('#');
       if (h2 != std::string::npos) next.erase(h2);
       line += next;

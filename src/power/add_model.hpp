@@ -16,6 +16,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "dd/approx.hpp"
 #include "dd/compiled.hpp"
@@ -23,6 +24,7 @@
 #include "netlist/library.hpp"
 #include "netlist/netlist.hpp"
 #include "power/power_model.hpp"
+#include "support/governor.hpp"
 
 namespace cfpm::power {
 
@@ -52,6 +54,30 @@ struct AddModelOptions {
   /// model needs no approximation at all.
   unsigned reorder_passes = 2;
   dd::DdConfig dd_config;
+  /// Walk the degradation ladder on ResourceError/DeadlineExceeded instead
+  /// of propagating: retry with in-construction approximation forced on,
+  /// then with repeatedly halved budgets down to `degrade_floor`, then
+  /// surrender to a constant (Con-style) estimator. Every rung taken is
+  /// recorded in AddModelBuildInfo::rungs; CancelledError always
+  /// propagates. With `degrade` false the first failure is rethrown.
+  bool degrade = true;
+  /// Smallest MAX the ladder will retry with before the constant fallback.
+  std::size_t degrade_floor = 16;
+};
+
+/// How the model left the builder (see AddModelOptions::degrade).
+enum class BuildOutcome {
+  kClean,     ///< first attempt succeeded; no ladder rung taken
+  kDegraded,  ///< a retry rung (forced/halved approximation) produced it
+  kFallback,  ///< every retry failed; constant Con-style estimator
+};
+
+/// One rung of the degradation ladder, recorded so a degraded result is
+/// never silently mistaken for a clean one.
+struct BuildRung {
+  std::string action;     ///< e.g. "force-approximate", "halve-max-nodes"
+  std::string reason;     ///< what() of the error that forced this rung
+  std::size_t max_nodes;  ///< MAX in force for the retry (0 = n/a)
 };
 
 /// Build-time metadata (reported in the Table-1 CPU/MAX columns).
@@ -61,6 +87,10 @@ struct AddModelBuildInfo {
   std::size_t peak_live_nodes = 0;  ///< manager high-water mark
   std::size_t exact_if_zero = 0;    ///< 0 when no approximation ever ran
   std::size_t reorder_runs = 0;     ///< sifting invocations during build
+  BuildOutcome outcome = BuildOutcome::kClean;
+  std::vector<BuildRung> rungs;     ///< ladder rungs taken, in order
+  /// Total attempts across the ladder (1 for a clean build).
+  std::size_t attempts = 1;
 };
 
 class AddPowerModel final : public PowerModel {
@@ -142,6 +172,13 @@ class AddPowerModel final : public PowerModel {
   AddPowerModel(std::shared_ptr<dd::DdManager> mgr, dd::Add function,
                 std::size_t num_inputs, VariableOrder order,
                 dd::ApproxMode mode, std::string circuit_name);
+
+  /// Last ladder rung: a constant (Con-style) estimator built on a fresh,
+  /// ungoverned manager -- total driven load in bound mode, its
+  /// balanced-gate expectation in average mode.
+  static AddPowerModel constant_fallback(const netlist::Netlist& n,
+                                         std::span<const double> loads_ff,
+                                         const AddModelOptions& options);
 
   // The manager must outlive the Add handle; shared_ptr keeps compress()d
   // copies cheap (they share the manager).

@@ -1,0 +1,41 @@
+#include "support/governor.hpp"
+
+#include <limits>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace cfpm {
+
+double Governor::remaining_seconds() const {
+  if (!has_deadline_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(deadline_ - Clock::now()).count();
+}
+
+void Governor::check() {
+  ++checks_;
+  if (cancellation_requested()) {
+    throw CancelledError("construction cancelled (after " +
+                         std::to_string(allocations_) + " allocations)");
+  }
+  if (deadline_expired()) {
+    throw DeadlineExceeded("construction deadline exceeded (after " +
+                           std::to_string(allocations_) + " allocations, " +
+                           std::to_string(peak_live_nodes_) +
+                           " peak live nodes)");
+  }
+}
+
+void Governor::fire_fault() {
+  const FaultKind kind = fault_kind_;
+  fault_kind_ = FaultKind::kNone;  // one-shot
+  if (kind == FaultKind::kCancel) {
+    request_cancellation();
+    throw CancelledError("injected cancellation at allocation " +
+                         std::to_string(allocations_));
+  }
+  throw ResourceError("injected resource fault at allocation " +
+                      std::to_string(allocations_));
+}
+
+}  // namespace cfpm

@@ -13,9 +13,11 @@
 //
 // <circuit> is a .bench file, a .blif file, or "gen:<name>" for a built-in
 // generator (any Table-1 name, or c17).
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -34,6 +36,7 @@
 #include "sim/trace_io.hpp"
 #include "stats/markov.hpp"
 #include "support/error.hpp"
+#include "support/governor.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
@@ -41,15 +44,27 @@ namespace {
 
 using namespace cfpm;
 
+// Exit codes: distinguishable failure classes for scripts and CI.
+//  0 clean, 1 runtime error (cfpm::Error), 2 usage, 3 completed but
+//  degraded (build walked the degradation ladder), 4 out of memory,
+//  5 internal error (unexpected std::exception).
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitDegraded = 3;
+constexpr int kExitOom = 4;
+constexpr int kExitInternal = 5;
+
 int usage() {
   std::cerr <<
       "usage:\n"
       "  cfpm info <circuit>\n"
       "  cfpm build <circuit> [-m MAX] [--bound] [-o model.cfpm]\n"
+      "             [--deadline-ms N] [--no-degrade]\n"
       "  cfpm estimate <model.cfpm> [--sp P] [--st P] [--vectors N] [--vdd V]\n"
       "                [--threads N] [--compiled]\n"
       "  cfpm worst <model.cfpm>\n"
-      "  cfpm accuracy <circuit> [-m MAX] [--vectors N]\n"
+      "  cfpm accuracy <circuit> [-m MAX] [--vectors N] [--deadline-ms N]\n"
       "  cfpm trace <circuit> -o out.vcd [--sp P] [--st P] [--vectors N]\n"
       "  cfpm rtl <design.rtl> [--sp P] [--st P] [--vectors N] [--vdd V]\n"
       "  cfpm sensitivity <model.cfpm>\n"
@@ -61,8 +76,13 @@ int usage() {
       "\n"
       "--threads N shards trace evaluation over a pool of N threads\n"
       "(0 = all hardware threads); results are bit-identical for any N.\n"
-      "--compiled prints compiled-evaluator diagnostics and throughput.\n";
-  return 2;
+      "--compiled prints compiled-evaluator diagnostics and throughput.\n"
+      "--deadline-ms N bounds model construction by wall clock; on expiry\n"
+      "the build degrades (harder approximation, then a constant bound)\n"
+      "instead of running unbounded. --no-degrade fails fast instead.\n"
+      "exit codes: 0 ok, 1 error, 2 usage, 3 degraded result, 4 out of\n"
+      "memory, 5 internal error.\n";
+  return kExitUsage;
 }
 
 netlist::Netlist load_circuit(const std::string& spec) {
@@ -92,6 +112,23 @@ struct Args {
   double vdd = 3.3;
   std::size_t threads = 1;  // 0 = hardware concurrency
   bool compiled = false;
+  std::optional<std::size_t> deadline_ms;  // wall-clock build budget
+  bool degrade = true;
+
+  /// Build options honoring the resilience flags; the governor (when a
+  /// deadline is set) is shared so a multi-build command spends one budget.
+  power::AddModelOptions model_options() const {
+    power::AddModelOptions opt;
+    opt.max_nodes = max_nodes;
+    opt.mode = bound ? dd::ApproxMode::kUpperBound : dd::ApproxMode::kAverage;
+    opt.degrade = degrade;
+    if (deadline_ms) {
+      auto governor = std::make_shared<Governor>();
+      governor->set_deadline(std::chrono::milliseconds(*deadline_ms));
+      opt.dd_config.governor = std::move(governor);
+    }
+    return opt;
+  }
 };
 
 std::optional<Args> parse(int argc, char** argv) {
@@ -134,6 +171,14 @@ std::optional<Args> parse(int argc, char** argv) {
       a.threads = std::stoul(*v);
     } else if (arg == "--compiled") {
       a.compiled = true;
+    } else if (arg == "--deadline-ms") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      a.deadline_ms = std::stoul(*v);
+    } else if (arg == "--degrade") {
+      a.degrade = true;
+    } else if (arg == "--no-degrade") {
+      a.degrade = false;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option: " << arg << "\n";
       return std::nullopt;
@@ -170,26 +215,42 @@ int cmd_info(const Args& a) {
   return 0;
 }
 
+/// Prints the degradation rungs a build took (if any) and maps the outcome
+/// to an exit code: a degraded/fallback model is usable but must be
+/// distinguishable from a clean one by scripts.
+int report_build_outcome(const power::AddModelBuildInfo& info) {
+  if (info.outcome == power::BuildOutcome::kClean) return kExitOk;
+  std::cout << "DEGRADED: "
+            << (info.outcome == power::BuildOutcome::kFallback
+                    ? "constant fallback estimator"
+                    : "built via degradation ladder")
+            << " (" << info.attempts << " attempts)\n";
+  for (const auto& rung : info.rungs) {
+    std::cout << "  rung  : " << rung.action;
+    if (rung.max_nodes != 0) std::cout << " (MAX " << rung.max_nodes << ")";
+    std::cout << " after: " << rung.reason << "\n";
+  }
+  return kExitDegraded;
+}
+
 int cmd_build(const Args& a) {
   if (a.positional.size() != 1) return usage();
   const netlist::Netlist n = load_circuit(a.positional[0]);
-  power::AddModelOptions opt;
-  opt.max_nodes = a.max_nodes;
-  opt.mode = a.bound ? dd::ApproxMode::kUpperBound : dd::ApproxMode::kAverage;
-  const auto model = power::AddPowerModel::build(n, kLib, opt);
+  const auto model = power::AddPowerModel::build(n, kLib, a.model_options());
   std::cout << "model   : " << model.size() << " nodes ("
             << (a.bound ? "upper bound" : "average") << " mode, MAX "
             << a.max_nodes << ")\n";
   std::cout << "built in " << model.build_info().build_seconds << " s, "
             << model.build_info().approximations << " approximations, "
             << model.build_info().reorder_runs << " reorder runs\n";
+  const int outcome = report_build_outcome(model.build_info());
   if (!a.output.empty()) {
     std::ofstream out(a.output);
     if (!out) throw Error("cannot write " + a.output);
     model.save(out);
     std::cout << "saved   : " << a.output << "\n";
   }
-  return 0;
+  return outcome;
 }
 
 power::AddPowerModel load_model(const std::string& path) {
@@ -264,9 +325,7 @@ int cmd_accuracy(const Args& a) {
   power::Characterizer chr(golden, train);
   const auto con = chr.fit_constant();
   const auto lin = chr.fit_linear();
-  power::AddModelOptions opt;
-  opt.max_nodes = a.max_nodes;
-  const auto add = power::AddPowerModel::build(n, kLib, opt);
+  const auto add = power::AddPowerModel::build(n, kLib, a.model_options());
 
   eval::RunConfig config;
   config.vectors_per_run = a.vectors;
@@ -279,7 +338,7 @@ int cmd_accuracy(const Args& a) {
   table.add_row({"Lin (characterized)", eval::TextTable::num(100 * reports[1].are, 1)});
   table.add_row({"ADD (analytical)", eval::TextTable::num(100 * reports[2].are, 1)});
   table.print(std::cout);
-  return 0;
+  return report_build_outcome(add.build_info());
 }
 
 int cmd_trace(const Args& a) {
@@ -409,7 +468,15 @@ int main(int argc, char** argv) {
     if (cmd == "equiv") return cmd_equiv(*args);
   } catch (const cfpm::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return kExitError;
+  } catch (const std::bad_alloc&) {
+    // Distinct from generic failure so callers can react (retry with a
+    // smaller budget, reschedule on a bigger host, ...).
+    std::cerr << "error: out of memory\n";
+    return kExitOom;
+  } catch (const std::exception& e) {
+    std::cerr << "internal error: " << e.what() << "\n";
+    return kExitInternal;
   }
   std::cerr << "unknown command: " << cmd << "\n";
   return usage();

@@ -1,0 +1,156 @@
+// Exception-safety regression tests for DdManager: a ResourceError (node
+// budget) or an injected governor fault thrown from the middle of an apply
+// must leave the manager fully usable -- unique table consistent with the
+// reference counts, garbage collectible, and able to complete the same
+// construction afterwards.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dd/approx.hpp"
+#include "dd/manager.hpp"
+#include "support/error.hpp"
+#include "support/governor.hpp"
+
+namespace cfpm::dd {
+namespace {
+
+/// Weighted sum  f = sum_k 2^k x_k  over `vars` variables: its ADD has one
+/// terminal per assignment, so the node count grows as 2^vars -- an easy
+/// way to blow any budget mid-apply.
+Add weighted_sum(DdManager& mgr, std::uint32_t vars) {
+  Add f = mgr.constant(0.0);
+  for (std::uint32_t k = 0; k < vars; ++k) {
+    f = f + Add(mgr.bdd_var(k)).times(static_cast<double>(1u << k));
+  }
+  return f;
+}
+
+/// The invariant every throw must preserve: each allocated node is chained
+/// in exactly one unique table, live or dead alike.
+void expect_table_consistent(const DdManager& mgr) {
+  EXPECT_EQ(mgr.unique_table_nodes(), mgr.live_nodes() + mgr.dead_nodes());
+}
+
+TEST(ExceptionSafety, NodeBudgetThrowMidApplyLeavesManagerUsable) {
+  DdConfig config;
+  config.max_nodes = 400;
+  config.gc_min_dead = 16;  // keep GC active at this tiny scale
+  DdManager mgr(16, config);
+
+  Add survivor = weighted_sum(mgr, 4);  // small; completes comfortably
+  EXPECT_THROW(weighted_sum(mgr, 16), ResourceError);
+
+  // The failed construction's intermediates were dereferenced on unwind.
+  expect_table_consistent(mgr);
+
+  // The handle built before the blow-up is intact and evaluable.
+  std::vector<std::uint8_t> assignment(16, 1);
+  EXPECT_DOUBLE_EQ(survivor.eval(assignment), 15.0);
+
+  // After a forced GC nothing dead remains and the table shrinks to
+  // exactly the externally referenced DAGs.
+  mgr.collect_garbage();
+  EXPECT_EQ(mgr.dead_nodes(), 0u);
+  EXPECT_EQ(mgr.unique_table_nodes(), mgr.live_nodes());
+
+  // The manager still builds new functions afterwards.
+  Add again = weighted_sum(mgr, 5);
+  EXPECT_DOUBLE_EQ(again.eval(assignment), 31.0);
+}
+
+TEST(ExceptionSafety, InjectedFaultThenExactRebuildSucceeds) {
+  auto governor = std::make_shared<Governor>();
+  DdConfig config;
+  config.governor = governor;
+  DdManager mgr(10, config);
+
+  // Arm a one-shot resource fault a little way into the construction, so
+  // the throw comes from allocate_node underneath a recursive apply.
+  governor->inject_fault(FaultKind::kResource,
+                         governor->allocation_ticks() + 50);
+  EXPECT_THROW(weighted_sum(mgr, 10), ResourceError);
+  expect_table_consistent(mgr);
+
+  mgr.collect_garbage();
+  EXPECT_EQ(mgr.dead_nodes(), 0u);
+  EXPECT_EQ(mgr.unique_table_nodes(), mgr.live_nodes());
+
+  // The fault disarmed itself; the very same exact build now succeeds on
+  // the same manager and computes correct values.
+  Add f = weighted_sum(mgr, 10);
+  std::vector<std::uint8_t> assignment(10, 0);
+  assignment[3] = 1;
+  assignment[7] = 1;
+  EXPECT_DOUBLE_EQ(f.eval(assignment), 8.0 + 128.0);
+  EXPECT_GT(governor->peak_live_nodes(), 0u);
+}
+
+TEST(ExceptionSafety, InjectedCancellationUnwindsCleanly) {
+  auto governor = std::make_shared<Governor>();
+  DdConfig config;
+  config.governor = governor;
+  DdManager mgr(12, config);
+
+  governor->inject_fault(FaultKind::kCancel,
+                         governor->allocation_ticks() + 30);
+  EXPECT_THROW(weighted_sum(mgr, 12), CancelledError);
+  expect_table_consistent(mgr);
+  mgr.collect_garbage();
+  EXPECT_EQ(mgr.unique_table_nodes(), mgr.live_nodes());
+}
+
+TEST(ExceptionSafety, ThrowDuringApproximationRebuild) {
+  // The approximation rebuild allocates into the same manager; an injected
+  // fault there must unwind without leaking the partial rebuild.
+  auto governor = std::make_shared<Governor>();
+  DdConfig governed;
+  governed.governor = governor;
+  DdManager gmgr(12, governed);
+  Add g = weighted_sum(gmgr, 12);
+  governor->inject_fault(FaultKind::kResource,
+                         governor->allocation_ticks() + 20);
+  EXPECT_THROW(approximate_to(g, 64, ApproxMode::kUpperBound), ResourceError);
+  EXPECT_EQ(gmgr.unique_table_nodes(),
+            gmgr.live_nodes() + gmgr.dead_nodes());
+
+  // Original function unharmed, manager still works: the same
+  // approximation succeeds now that the fault is disarmed.
+  Add approx = approximate_to(g, 64, ApproxMode::kUpperBound);
+  EXPECT_LE(approx.size(), 64u);
+  // Upper-bound collapse dominates pointwise.
+  std::vector<std::uint8_t> assignment(12, 1);
+  EXPECT_GE(approx.eval(assignment), g.eval(assignment) - 1e-9);
+}
+
+TEST(ExceptionSafety, RepeatedFaultsDoNotAccumulateLeaks) {
+  // Hammer the same manager with faults at varying depths; the node
+  // population must return to the baseline every time once handles drop.
+  auto governor = std::make_shared<Governor>();
+  DdConfig config;
+  config.governor = governor;
+  DdManager mgr(10, config);
+
+  mgr.collect_garbage();
+  const std::size_t baseline = [&] {
+    // Terminals 0/1 plus whatever the constant pool holds.
+    return mgr.live_nodes();
+  }();
+
+  for (int round = 0; round < 8; ++round) {
+    governor->inject_fault(FaultKind::kResource,
+                           governor->allocation_ticks() + 10 + 17 * round);
+    try {
+      weighted_sum(mgr, 10);
+      FAIL() << "fault did not fire in round " << round;
+    } catch (const ResourceError&) {
+    }
+    expect_table_consistent(mgr);
+  }
+  mgr.collect_garbage();
+  EXPECT_EQ(mgr.live_nodes(), baseline);
+  EXPECT_EQ(mgr.unique_table_nodes(), mgr.live_nodes());
+}
+
+}  // namespace
+}  // namespace cfpm::dd

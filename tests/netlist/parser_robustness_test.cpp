@@ -1,0 +1,184 @@
+// Malformed-input corpus for the BLIF and BENCH readers: every hostile
+// case must surface as a located ParseError -- never a crash, a hang, or
+// a silently wrong netlist.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/blif_io.hpp"
+#include "support/error.hpp"
+
+namespace cfpm::netlist {
+namespace {
+
+/// Parses BLIF text and returns the ParseError it must raise.
+ParseError expect_blif_error(const std::string& text) {
+  std::istringstream is(text);
+  try {
+    read_blif(is);
+  } catch (const ParseError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "blif input accepted: " << text.substr(0, 60);
+  return ParseError("not reached");
+}
+
+ParseError expect_bench_error(const std::string& text) {
+  std::istringstream is(text);
+  try {
+    read_bench(is, "corpus");
+  } catch (const ParseError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "bench input accepted: " << text.substr(0, 60);
+  return ParseError("not reached");
+}
+
+// ---- truncated files ------------------------------------------------------
+
+TEST(ParserRobustness, BlifTruncatedMidCover) {
+  // File ends inside a .names block with the output never defined as used.
+  const auto e = expect_blif_error(
+      ".model t\n.inputs a b\n.outputs y\n.names a b y\n11");
+  EXPECT_NE(std::string(e.what()).find("blif"), std::string::npos);
+}
+
+TEST(ParserRobustness, BlifTruncatedContinuationLine) {
+  // Backslash continuation with no following line must not hang or crash.
+  const auto e = expect_blif_error(".model t\n.inputs a\n.names \\");
+  EXPECT_EQ(e.line(), 3u);
+}
+
+TEST(ParserRobustness, BenchTruncatedGateLine) {
+  const auto e = expect_bench_error("INPUT(a)\nOUTPUT(y)\ny = AND(a");
+  EXPECT_EQ(e.line(), 3u);
+}
+
+// ---- unterminated / malformed .names --------------------------------------
+
+TEST(ParserRobustness, BlifNamesWithoutOutput) {
+  const auto e = expect_blif_error(".model t\n.inputs a\n.names\n");
+  EXPECT_EQ(e.line(), 3u);
+  EXPECT_NE(std::string(e.what()).find(".names"), std::string::npos);
+}
+
+TEST(ParserRobustness, BlifCubeOutsideNames) {
+  const auto e = expect_blif_error(".model t\n.inputs a b\n11 1\n");
+  EXPECT_EQ(e.line(), 3u);
+}
+
+TEST(ParserRobustness, BlifCubeWidthMismatch) {
+  const auto e = expect_blif_error(
+      ".model t\n.inputs a b\n.outputs y\n.names a b y\n111 1\n.end\n");
+  EXPECT_GT(e.line(), 0u);
+}
+
+// ---- cyclic definitions ----------------------------------------------------
+
+TEST(ParserRobustness, BlifCombinationalCycle) {
+  const auto e = expect_blif_error(
+      ".model cyc\n.inputs a\n.outputs y\n"
+      ".names y a x\n11 1\n.names x a y\n11 1\n.end\n");
+  EXPECT_NE(std::string(e.what()).find("cycle"), std::string::npos);
+  EXPECT_GT(e.line(), 0u);
+}
+
+TEST(ParserRobustness, BlifSelfCycle) {
+  const auto e = expect_blif_error(
+      ".model cyc\n.inputs a\n.outputs y\n.names y y\n1 1\n.end\n");
+  EXPECT_NE(std::string(e.what()).find("cycle"), std::string::npos);
+}
+
+TEST(ParserRobustness, BenchCombinationalCycle) {
+  const auto e = expect_bench_error(
+      "INPUT(a)\nOUTPUT(y)\nx = AND(y, a)\ny = AND(x, a)\n");
+  EXPECT_NE(std::string(e.what()).find("cycle"), std::string::npos);
+}
+
+// ---- pathological tokens ---------------------------------------------------
+
+TEST(ParserRobustness, BlifTenThousandCharToken) {
+  const std::string monster(10000, 'x');
+  const auto e = expect_blif_error(".model t\n.inputs " + monster +
+                                   "\n.outputs y\n.names y\n.end\n");
+  EXPECT_EQ(e.line(), 2u);
+  EXPECT_NE(std::string(e.what()).find("longer"), std::string::npos);
+}
+
+TEST(ParserRobustness, BenchTenThousandCharSignalName) {
+  const std::string monster(10000, 'x');
+  const auto e = expect_bench_error("INPUT(" + monster + ")\n");
+  EXPECT_EQ(e.line(), 1u);
+  EXPECT_NE(std::string(e.what()).find("longer"), std::string::npos);
+}
+
+TEST(ParserRobustness, BenchTenThousandCharGateName) {
+  const std::string monster(10000, 'g');
+  const auto e = expect_bench_error("INPUT(a)\n" + monster + " = NOT(a)\n");
+  EXPECT_EQ(e.line(), 2u);
+}
+
+// ---- binary junk -----------------------------------------------------------
+
+TEST(ParserRobustness, BlifNulByteRejected) {
+  const auto e = expect_blif_error(std::string(".model t\n.inputs a\0b\n", 21));
+  EXPECT_EQ(e.line(), 2u);
+  EXPECT_NE(std::string(e.what()).find("NUL"), std::string::npos);
+}
+
+TEST(ParserRobustness, BenchNulByteRejected) {
+  const auto e = expect_bench_error(std::string("INPUT(a\0)\n", 10));
+  EXPECT_EQ(e.line(), 1u);
+  EXPECT_NE(std::string(e.what()).find("NUL"), std::string::npos);
+}
+
+// ---- CRLF and whitespace tolerance (must PARSE, not error) -----------------
+
+TEST(ParserRobustness, BenchCrlfLineEndingsAccepted) {
+  std::istringstream is("INPUT(a)\r\nINPUT(b)\r\nOUTPUT(y)\r\ny = AND(a, b)\r\n");
+  const Netlist n = read_bench(is, "crlf");
+  EXPECT_EQ(n.num_inputs(), 2u);
+  EXPECT_EQ(n.outputs().size(), 1u);
+}
+
+TEST(ParserRobustness, BlifCrlfLineEndingsAccepted) {
+  // BLIF tokenization splits on whitespace, so a trailing \r is harmless.
+  std::istringstream is(
+      ".model crlf\r\n.inputs a b\r\n.outputs y\r\n.names a b y\r\n11 1\r\n.end\r\n");
+  const Netlist n = read_blif(is);
+  EXPECT_EQ(n.num_inputs(), 2u);
+}
+
+// ---- misc corpus -----------------------------------------------------------
+
+TEST(ParserRobustness, BlifUndefinedFanin) {
+  const auto e = expect_blif_error(
+      ".model t\n.inputs a\n.outputs y\n.names a ghost y\n11 1\n.end\n");
+  EXPECT_NE(std::string(e.what()).find("undefined"), std::string::npos);
+}
+
+TEST(ParserRobustness, BlifDuplicateDefinition) {
+  const auto e = expect_blif_error(
+      ".model t\n.inputs a\n.outputs y\n"
+      ".names a y\n1 1\n.names a y\n0 1\n.end\n");
+  EXPECT_NE(std::string(e.what()).find("twice"), std::string::npos);
+}
+
+TEST(ParserRobustness, BenchGateArityViolation) {
+  const auto e = expect_bench_error("INPUT(a)\nOUTPUT(y)\ny = NOT(a, a)\n");
+  EXPECT_EQ(e.line(), 3u);
+}
+
+TEST(ParserRobustness, EmptyInputsAreHandled) {
+  // An empty BENCH stream is a (degenerate but valid) empty netlist; an
+  // empty BLIF stream likewise has no covers. Neither may crash.
+  std::istringstream bench_is("");
+  EXPECT_NO_THROW(read_bench(bench_is, "empty"));
+  std::istringstream blif_is("");
+  EXPECT_NO_THROW(read_blif(blif_is));
+}
+
+}  // namespace
+}  // namespace cfpm::netlist

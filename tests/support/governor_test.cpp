@@ -1,0 +1,132 @@
+#include "support/governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <limits>
+#include <thread>
+
+#include "support/error.hpp"
+
+namespace cfpm {
+namespace {
+
+TEST(Governor, UnarmedGovernorNeverThrows) {
+  Governor g;
+  for (int i = 0; i < 5000; ++i) g.on_allocation();
+  g.checkpoint();
+  EXPECT_EQ(g.allocation_ticks(), 5000u);
+  // 5000 ticks cross the check interval at least 5000/1024 times, plus the
+  // explicit checkpoint.
+  EXPECT_GE(g.checks(), 5000 / Governor::kCheckInterval + 1);
+}
+
+TEST(Governor, ZeroDeadlineExpiresImmediately) {
+  Governor g;
+  EXPECT_FALSE(g.has_deadline());
+  g.set_deadline(std::chrono::milliseconds(0));
+  EXPECT_TRUE(g.has_deadline());
+  EXPECT_TRUE(g.deadline_expired());
+  EXPECT_LE(g.remaining_seconds(), 0.0);
+  EXPECT_THROW(g.checkpoint(), DeadlineExceeded);
+}
+
+TEST(Governor, DeadlineCaughtWithinCheckInterval) {
+  Governor g;
+  g.set_deadline(std::chrono::milliseconds(0));
+  // The per-allocation fast path must escalate to a full check at least
+  // every kCheckInterval ticks.
+  EXPECT_THROW(
+      {
+        for (std::uint64_t i = 0; i <= Governor::kCheckInterval; ++i) {
+          g.on_allocation();
+        }
+      },
+      DeadlineExceeded);
+}
+
+TEST(Governor, GenerousDeadlineDoesNotFire) {
+  Governor g;
+  g.set_deadline(std::chrono::minutes(10));
+  for (int i = 0; i < 3000; ++i) g.on_allocation();
+  g.checkpoint();
+  EXPECT_GT(g.remaining_seconds(), 0.0);
+}
+
+TEST(Governor, ClearDeadlineDisarms) {
+  Governor g;
+  g.set_deadline(std::chrono::milliseconds(0));
+  g.clear_deadline();
+  EXPECT_FALSE(g.has_deadline());
+  EXPECT_FALSE(g.deadline_expired());
+  g.checkpoint();  // must not throw
+  EXPECT_EQ(g.remaining_seconds(),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(Governor, CancellationThrowsAtCheckpoint) {
+  Governor g;
+  g.checkpoint();
+  g.request_cancellation();
+  EXPECT_TRUE(g.cancellation_requested());
+  EXPECT_THROW(g.checkpoint(), CancelledError);
+}
+
+TEST(Governor, CancellationWinsOverDeadline) {
+  // Both conditions hold; cancellation is reported (it is the stronger
+  // "stop now" signal and must not be degraded into a ladder retry).
+  Governor g;
+  g.set_deadline(std::chrono::milliseconds(0));
+  g.request_cancellation();
+  EXPECT_THROW(g.checkpoint(), CancelledError);
+}
+
+TEST(Governor, CancellationFromAnotherThread) {
+  Governor g;
+  std::thread canceller([&g] { g.request_cancellation(); });
+  canceller.join();
+  EXPECT_THROW(
+      {
+        for (std::uint64_t i = 0; i <= Governor::kCheckInterval; ++i) {
+          g.on_allocation();
+        }
+      },
+      CancelledError);
+}
+
+TEST(Governor, InjectedResourceFaultFiresAtNthAllocation) {
+  Governor g;
+  g.inject_fault(FaultKind::kResource, 10);
+  for (int i = 0; i < 9; ++i) g.on_allocation();
+  EXPECT_THROW(g.on_allocation(), ResourceError);
+  EXPECT_EQ(g.allocation_ticks(), 10u);
+  // One-shot: the fault disarms after firing.
+  for (int i = 0; i < 100; ++i) g.on_allocation();
+}
+
+TEST(Governor, InjectedCancelFaultSetsTheFlag) {
+  Governor g;
+  g.inject_fault(FaultKind::kCancel, 1);
+  EXPECT_THROW(g.on_allocation(), CancelledError);
+  // The injected cancellation behaves like a real one afterwards.
+  EXPECT_TRUE(g.cancellation_requested());
+  EXPECT_THROW(g.checkpoint(), CancelledError);
+}
+
+TEST(Governor, InjectFaultDisarm) {
+  Governor g;
+  g.inject_fault(FaultKind::kResource, 5);
+  g.inject_fault(FaultKind::kNone, 0);
+  for (int i = 0; i < 100; ++i) g.on_allocation();
+}
+
+TEST(Governor, TracksPeakLiveNodes) {
+  Governor g;
+  g.note_live_nodes(10);
+  g.note_live_nodes(500);
+  g.note_live_nodes(42);
+  EXPECT_EQ(g.peak_live_nodes(), 500u);
+}
+
+}  // namespace
+}  // namespace cfpm

@@ -153,4 +153,47 @@ TEST(Cli, RtlMissingFileFails) {
   EXPECT_NE(r.output.find("error:"), std::string::npos);
 }
 
+TEST(Cli, ExpiredDeadlineDegradesWithDistinctExitCode) {
+  // --deadline-ms 0 expires before the first gate is summed; the build
+  // walks the ladder to the constant fallback, still saves a usable model,
+  // and signals the degradation via exit code 3.
+  const std::string model = ::testing::TempDir() + "/cli_deadline.cfpm";
+  const auto r = run("build gen:cm85 --deadline-ms 0 -o " + model);
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("DEGRADED"), std::string::npos);
+  EXPECT_NE(r.output.find("fallback-constant"), std::string::npos);
+  EXPECT_NE(r.output.find("saved"), std::string::npos);
+
+  const auto est = run("estimate " + model + " --st 0.2 --vectors 500");
+  EXPECT_EQ(est.exit_code, 0) << est.output;
+  EXPECT_NE(est.output.find("average :"), std::string::npos);
+  std::remove(model.c_str());
+}
+
+TEST(Cli, NoDegradeFailsFastOnExpiredDeadline) {
+  const auto r = run("build gen:cm85 --deadline-ms 0 --no-degrade");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+  EXPECT_NE(r.output.find("deadline"), std::string::npos);
+}
+
+TEST(Cli, GenerousDeadlineBuildsCleanly) {
+  const auto r = run("build gen:c17 -m 500 --deadline-ms 60000");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("DEGRADED"), std::string::npos);
+}
+
+TEST(Cli, MalformedNetlistReportsLineNumber) {
+  const std::string path = ::testing::TempDir() + "/cli_cycle.bench";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("INPUT(a)\nOUTPUT(y)\nx = AND(y, a)\ny = AND(x, a)\n", f);
+  std::fclose(f);
+  const auto r = run("info " + path);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+  EXPECT_NE(r.output.find("cycle"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 }  // namespace
