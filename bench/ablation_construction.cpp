@@ -15,8 +15,8 @@ int main() {
 
   const netlist::GateLibrary lib = bench::experiment_library();
   const std::size_t vectors = bench::env_vectors(4000);
-  eval::RunConfig config;
-  config.vectors_per_run = vectors;
+  eval::EvalOptions options;
+  options.run.vectors_per_run = vectors;
   const auto grid = stats::evaluation_grid();
 
   std::cout << "Ablation: approximation placement during Fig. 6 "
@@ -52,8 +52,7 @@ int main() {
       Timer timer;
       const auto model = power::AddPowerModel::build(n, lib, opt);
       const double secs = timer.seconds();
-      const auto report =
-          eval::evaluate_average_accuracy(model, golden, grid, config);
+      const auto report = eval::evaluate(model, golden, grid, options);
       table.add_row({name, v.label, std::to_string(model.size()),
                      std::to_string(model.build_info().peak_live_nodes),
                      eval::TextTable::num(secs, 3),

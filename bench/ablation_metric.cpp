@@ -22,8 +22,8 @@ int main() {
 
   const netlist::GateLibrary lib = bench::experiment_library();
   const std::size_t vectors = bench::env_vectors(4000);
-  eval::RunConfig config;
-  config.vectors_per_run = vectors;
+  eval::EvalOptions options;
+  options.run.vectors_per_run = vectors;
   const auto grid = stats::evaluation_grid();
 
   std::cout << "Ablation: node-collapsing selection metric (avg strategy)\n\n";
@@ -67,7 +67,7 @@ int main() {
         }
       };
       Wrapper model(&exact, small);
-      return eval::evaluate_average_accuracy(model, golden, grid, config).are;
+      return eval::evaluate(model, golden, grid, options).are;
     };
 
     table.add_row(

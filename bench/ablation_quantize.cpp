@@ -41,8 +41,8 @@ int main() {
 
   const netlist::GateLibrary lib = bench::experiment_library();
   const std::size_t vectors = bench::env_vectors(4000);
-  eval::RunConfig config;
-  config.vectors_per_run = vectors;
+  eval::EvalOptions options;
+  options.run.vectors_per_run = vectors;
   const auto grid = stats::evaluation_grid();
 
   std::cout << "Ablation: leaf quantization vs node collapsing "
@@ -61,8 +61,7 @@ int main() {
 
     auto report = [&](const char* label, const dd::Add& f) {
       DerivedModel model(&exact, f);
-      const double are =
-          eval::evaluate_average_accuracy(model, golden, grid, config).are;
+      const double are = eval::evaluate(model, golden, grid, options).are;
       table.add_row({name, label, std::to_string(f.size()),
                      std::to_string(f.leaf_values().size()),
                      eval::TextTable::num(100.0 * are, 1)});

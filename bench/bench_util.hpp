@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -12,8 +13,10 @@
 #include "netlist/library.hpp"
 #include "power/add_model.hpp"
 #include "power/baselines.hpp"
+#include "power/factory.hpp"
 #include "sim/simulator.hpp"
 #include "stats/markov.hpp"
+#include "support/metrics.hpp"
 #include "support/timer.hpp"
 
 namespace cfpm::bench {
@@ -45,28 +48,43 @@ inline const std::vector<CircuitBudget>& table1_budgets() {
   return budgets;
 }
 
-/// Characterizes Con and Lin at sp = st = 0.5 (the paper's setup).
+/// Characterizes Con and Lin at sp = st = 0.5 (the paper's setup), via the
+/// power::make_model factory on the experiment library.
 struct Baselines {
-  power::ConstantModel con;
-  power::LinearModel lin;
+  std::unique_ptr<power::PowerModel> con;
+  std::unique_ptr<power::PowerModel> lin;
 };
 
 inline Baselines characterize_baselines(const netlist::Netlist& n,
-                                        const sim::GateLevelSimulator& golden,
                                         std::size_t vectors,
                                         std::uint64_t seed = 0xc0ffee) {
-  stats::MarkovSequenceGenerator gen({0.5, 0.5}, seed);
-  const sim::InputSequence train = gen.generate(n.num_inputs(), vectors);
-  power::Characterizer chr(golden, train);
-  return Baselines{chr.fit_constant(), chr.fit_linear()};
+  power::ModelOptions options;
+  options.library = experiment_library();
+  options.characterization = {0.5, 0.5};
+  options.characterization_vectors = vectors;
+  options.characterization_seed = seed;
+  return Baselines{power::make_model(power::ModelKind::kConstant, n, options),
+                   power::make_model(power::ModelKind::kLinear, n, options)};
 }
 
+/// Vector count for a driver run; defers to RunConfig::from_env's strict
+/// CFPM_VECTORS parsing (a typo'd value aborts instead of silently running
+/// the fallback size).
 inline std::size_t env_vectors(std::size_t fallback = 10000) {
-  if (const char* v = std::getenv("CFPM_VECTORS")) {
-    const long parsed = std::strtol(v, nullptr, 10);
-    if (parsed >= 2) return static_cast<std::size_t>(parsed);
+  if (std::getenv("CFPM_VECTORS") == nullptr) return fallback;
+  return eval::RunConfig::from_env().vectors_per_run;
+}
+
+/// Dumps the process metrics snapshot next to a driver's numbers so a
+/// result always carries the pipeline statistics that produced it.
+inline void write_metrics_snapshot(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write metrics snapshot to " << path << "\n";
+    return;
   }
-  return fallback;
+  metrics::snapshot().write_json(out);
+  std::cerr << "metrics snapshot: " << path << "\n";
 }
 
 inline bool env_skip_slow() {

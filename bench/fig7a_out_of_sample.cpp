@@ -18,7 +18,7 @@ int main() {
   const sim::GateLevelSimulator golden(n, lib);
 
   const std::size_t vectors = bench::env_vectors();
-  const auto base = bench::characterize_baselines(n, golden, vectors);
+  const auto base = bench::characterize_baselines(n, vectors);
 
   power::AddModelOptions opt;
   opt.max_nodes = 500;  // paper: "an upper bound of 500 ADD nodes"
@@ -26,12 +26,11 @@ int main() {
   const auto add = power::AddPowerModel::build(n, lib, opt);
   const double build_s = build_timer.seconds();
 
-  eval::RunConfig config;
-  config.vectors_per_run = vectors;
+  eval::EvalOptions options;
+  options.run.vectors_per_run = vectors;
   const auto sweep = stats::fig7a_sweep();
-  const power::PowerModel* models[] = {&base.con, &base.lin, &add};
-  const auto reports =
-      eval::evaluate_average_accuracy(models, golden, sweep, config);
+  const power::PowerModel* models[] = {base.con.get(), base.lin.get(), &add};
+  const auto reports = eval::evaluate(models, golden, sweep, options);
 
   std::cout << "Fig. 7a reproduction: RE(sp=0.5, st) on cm85 ("
             << n.num_inputs() << " inputs, " << n.num_gates() << " gates; "

@@ -19,15 +19,15 @@ int main() {
 
   const std::size_t vectors = bench::env_vectors();
   // Lin reference for the "order of magnitude" comparison.
-  const auto base = bench::characterize_baselines(n, golden, vectors);
+  const auto base = bench::characterize_baselines(n, vectors);
 
   power::AddModelOptions opt;
   opt.max_nodes = 0;  // exact
   const auto exact = power::AddPowerModel::build(n, lib, opt);
   exact.function().manager()->sift();  // best order before the sweep
 
-  eval::RunConfig config;
-  config.vectors_per_run = vectors;
+  eval::EvalOptions options;
+  options.run.vectors_per_run = vectors;
   const auto grid = stats::evaluation_grid();
 
   std::cout << "Fig. 7b reproduction: ARE vs ADD model size on cm85 (exact "
@@ -37,17 +37,14 @@ int main() {
   eval::TextTable table({"ADD nodes", "ARE(%)"});
   for (std::size_t size : {500u, 200u, 100u, 50u, 20u, 10u, 5u, 2u, 1u}) {
     const auto model = exact.compress(size);
-    const auto report =
-        eval::evaluate_average_accuracy(model, golden, grid, config);
+    const auto report = eval::evaluate(model, golden, grid, options);
     table.add_row({std::to_string(model.size()),
                    eval::TextTable::num(100.0 * report.are, 1)});
   }
   table.print(std::cout);
 
-  const auto lin_report =
-      eval::evaluate_average_accuracy(base.lin, golden, grid, config);
-  const auto con_report =
-      eval::evaluate_average_accuracy(base.con, golden, grid, config);
+  const auto lin_report = eval::evaluate(*base.lin, golden, grid, options);
+  const auto con_report = eval::evaluate(*base.con, golden, grid, options);
   std::cout << "\nReference (characterized baselines on the same grid): Lin "
             << eval::TextTable::num(100.0 * lin_report.are, 1) << "%  Con "
             << eval::TextTable::num(100.0 * con_report.are, 1) << "%\n";

@@ -199,5 +199,6 @@ int main() {
   }
   out << "  ]\n}\n";
   std::cout << "\nwrote BENCH_eval_throughput.json\n";
+  bench::write_metrics_snapshot("BENCH_eval_throughput_metrics.json");
   return 0;
 }

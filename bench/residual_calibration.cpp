@@ -26,8 +26,8 @@ int main() {
 
   const netlist::GateLibrary lib = bench::experiment_library();
   const std::size_t vectors = bench::env_vectors(4000);
-  eval::RunConfig config;
-  config.vectors_per_run = vectors;
+  eval::EvalOptions options;
+  options.run.vectors_per_run = vectors;
   const auto grid = stats::evaluation_grid();
 
   std::cout << "Structural + residual partitioning vs whole-power "
@@ -73,8 +73,8 @@ int main() {
 
     const power::PowerModel* models[] = {&con, &lin, structural.get(),
                                          &calibrated};
-    const auto reports = eval::evaluate_average_accuracy(
-        models, n.num_inputs(), ref, grid, config);
+    const auto reports = eval::evaluate(
+        models, eval::Reference(n.num_inputs(), ref), grid, options);
 
     table.add_row(
         {name,

@@ -12,8 +12,8 @@ int main() {
   using namespace cfpm;
 
   const std::size_t vectors = bench::env_vectors();
-  eval::RunConfig config;
-  config.vectors_per_run = vectors;
+  eval::EvalOptions options;
+  options.run.vectors_per_run = vectors;
   const auto grid = stats::evaluation_grid();
   const netlist::GateLibrary lib = bench::experiment_library();
 
@@ -33,17 +33,19 @@ int main() {
     }
     const netlist::Netlist n = netlist::gen::mcnc_like(budget.name);
     const sim::GateLevelSimulator golden(n, lib);
-    const auto base = bench::characterize_baselines(n, golden, vectors);
+    const auto base = bench::characterize_baselines(n, vectors);
 
-    power::AddModelOptions opt;
-    opt.max_nodes = budget.avg_max;
+    power::ModelOptions model_options;
+    model_options.library = lib;
+    model_options.add.max_nodes = budget.avg_max;
     Timer timer;
-    const auto add = power::AddPowerModel::build(n, lib, opt);
+    const auto add =
+        power::make_model(power::ModelKind::kAddAverage, n, model_options);
     const double cpu = timer.seconds();
 
-    const power::PowerModel* models[] = {&base.con, &base.lin, &add};
-    const auto reports =
-        eval::evaluate_average_accuracy(models, golden, grid, config);
+    const power::PowerModel* models[] = {base.con.get(), base.lin.get(),
+                                         add.get()};
+    const auto reports = eval::evaluate(models, golden, grid, options);
 
     table.add_row({budget.name, std::to_string(n.num_inputs()),
                    std::to_string(n.num_gates()),
@@ -55,5 +57,6 @@ int main() {
   }
   table.print(std::cout);
   std::cout << "\n(paper's ADD column: ~3-19%; Lin ~80-270%; Con ~316-813%)\n";
+  bench::write_metrics_snapshot("BENCH_table1_average_metrics.json");
   return 0;
 }

@@ -14,8 +14,9 @@ int main() {
   using namespace cfpm;
 
   const std::size_t vectors = bench::env_vectors();
-  eval::RunConfig config;
-  config.vectors_per_run = vectors;
+  eval::EvalOptions options;
+  options.metric = eval::Metric::kBound;
+  options.run.vectors_per_run = vectors;
   const auto grid = stats::evaluation_grid();
   const netlist::GateLibrary lib = bench::experiment_library();
 
@@ -46,8 +47,7 @@ int main() {
     const power::ConstantBoundModel con(add.max_estimate_ff(), n.num_inputs());
 
     const power::PowerModel* models[] = {&con, &add};
-    const auto reports =
-        eval::evaluate_bound_accuracy(models, golden, grid, config);
+    const auto reports = eval::evaluate(models, golden, grid, options);
 
     // Sanity: conservative on every run (signed RE never negative).
     bool conservative = true;

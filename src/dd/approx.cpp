@@ -8,6 +8,8 @@
 #include "dd/dd_internal.hpp"
 #include "dd/stats.hpp"
 #include "support/assert.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace cfpm::dd {
 
@@ -74,6 +76,14 @@ ApproxResult approximate(const Add& f, std::size_t max_size, ApproxMode mode,
                          CollapseMetric metric_kind) {
   CFPM_REQUIRE(!f.is_null());
   CFPM_REQUIRE(max_size >= 1);
+  CFPM_TRACE_SPAN("dd.approx");
+  static const metrics::Counter c_run("dd.approx.run");
+  static const metrics::Counter c_round("dd.approx.round");
+  static const metrics::Counter c_collapse_avg("dd.approx.collapse.avg");
+  static const metrics::Counter c_collapse_max("dd.approx.collapse.max");
+  static const metrics::Counter c_leaf_avg("dd.approx.leaf.avg");
+  static const metrics::Counter c_leaf_max("dd.approx.leaf.max");
+  c_run.add();
   DdManager* mgr = f.manager();
 
   Add current = f;
@@ -259,6 +269,15 @@ ApproxResult approximate(const Add& f, std::size_t max_size, ApproxMode mode,
 
   CFPM_ASSERT(size <= max_size);
   mgr->collect_garbage();
+  c_round.add(rounds);
+  const std::size_t collapsed = f.size() - size;  // net nodes removed
+  if (mode == ApproxMode::kAverage) {
+    c_collapse_avg.add(collapsed);
+    c_leaf_avg.add(total_marks);
+  } else {
+    c_collapse_max.add(collapsed);
+    c_leaf_max.add(total_marks);
+  }
   return ApproxResult{std::move(current), size, total_marks, rounds};
 }
 
@@ -308,6 +327,8 @@ class LeafRemapper {
 Add quantize_leaves(const Add& f, std::size_t max_leaves, ApproxMode mode) {
   CFPM_REQUIRE(!f.is_null());
   CFPM_REQUIRE(max_leaves >= 1);
+  static const metrics::Counter c_quantize("dd.approx.quantize.run");
+  c_quantize.add();
   DdManager* mgr = f.manager();
   DdNode* root = DdInternal::node(f);
 

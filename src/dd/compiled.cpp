@@ -7,6 +7,7 @@
 
 #include "dd/dd_internal.hpp"
 #include "support/assert.hpp"
+#include "support/metrics.hpp"
 
 namespace cfpm::dd {
 
@@ -45,6 +46,11 @@ CompiledDd CompiledDd::compile(const Add& f) {
             });
   std::sort(terminals.begin(), terminals.end(),
             [](const DdNode* a, const DdNode* b) { return a->value < b->value; });
+
+  static const metrics::Counter c_compile("dd.compile.run");
+  static const metrics::Counter c_compiled_nodes("dd.compile.node");
+  c_compile.add();
+  c_compiled_nodes.add(internals.size() + terminals.size());
 
   CompiledDd c;
   c.first_terminal_ = static_cast<std::uint32_t>(internals.size());

@@ -7,6 +7,7 @@
 #include "support/assert.hpp"
 #include "support/error.hpp"
 #include "support/governor.hpp"
+#include "support/metrics.hpp"
 
 namespace cfpm::dd {
 
@@ -127,6 +128,8 @@ void DdManager::deref_node(DdNode* n) noexcept {
 // ---------------------------------------------------------------------------
 
 DdNode* DdManager::allocate_node() {
+  static const metrics::Counter c_alloc("dd.node.alloc");
+  c_alloc.add();
   // Governor ticks fire here — the one point every growing operation must
   // pass through — except during in-place reordering, where an unwound
   // exception would leave a level half-relabeled (swaps checkpoint the
@@ -271,6 +274,8 @@ std::size_t DdManager::unique_table_nodes() const noexcept {
 
 std::size_t DdManager::collect_garbage() {
   if (dead_ == 0) return 0;
+  static const metrics::Counter c_gc("dd.gc.run");
+  c_gc.add();
   ++gc_runs_;
   cache_clear();  // cache holds unreferenced pointers; must not survive a sweep
   std::size_t reclaimed = 0;
@@ -297,6 +302,12 @@ std::size_t DdManager::collect_garbage() {
   sweep(terminals_);
   CFPM_ASSERT(reclaimed == dead_);
   dead_ = 0;
+  static const metrics::Counter c_reclaimed("dd.gc.reclaimed");
+  static const metrics::Gauge g_live("dd.node.live");
+  static const metrics::Gauge g_occupancy("dd.table.occupancy");
+  c_reclaimed.add(reclaimed);
+  g_live.set(static_cast<double>(live_));
+  g_occupancy.set(unique_table_occupancy());
   return reclaimed;
 }
 
@@ -313,10 +324,14 @@ DdNode* DdManager::cache_lookup(Op op, const DdNode* f, const DdNode* g) noexcep
                                    static_cast<std::uint64_t>(op))) &
       (cache_.size() - 1);
   const CacheEntry& e = cache_[slot];
+  static const metrics::Counter c_hit("dd.cache.hit");
+  static const metrics::Counter c_miss("dd.cache.miss");
   if (e.f == f && e.g == g && e.op == static_cast<std::uint8_t>(op)) {
     ++cache_hits_;
+    c_hit.add();
     return e.result;
   }
+  c_miss.add();
   return nullptr;
 }
 
@@ -341,10 +356,14 @@ DdNode* DdManager::ite_cache_lookup(const DdNode* f, const DdNode* g,
       static_cast<std::size_t>(mix(a * 31 + b * 0x9e3779b97f4a7c15ULL + c)) &
       (ite_cache_.size() - 1);
   const IteCacheEntry& e = ite_cache_[slot];
+  static const metrics::Counter c_hit("dd.cache.hit");
+  static const metrics::Counter c_miss("dd.cache.miss");
   if (e.f == f && e.g == g && e.h == h) {
     ++cache_hits_;
+    c_hit.add();
     return e.result;
   }
+  c_miss.add();
   return nullptr;
 }
 

@@ -10,6 +10,8 @@
 #include "dd/manager.hpp"
 #include "support/assert.hpp"
 #include "support/governor.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace cfpm::dd {
 
@@ -35,6 +37,8 @@ class ReorderScope {
 
 std::size_t DdManager::swap_adjacent_levels(std::uint32_t level) {
   CFPM_REQUIRE(level + 1 < num_vars());
+  static const metrics::Counter c_swap("dd.reorder.swap");
+  c_swap.add();
   ReorderScope scope(in_reorder_);
   const std::uint32_t u = var_at_level_[level];      // moves down
   const std::uint32_t v = var_at_level_[level + 1];  // moves up
@@ -130,6 +134,11 @@ std::size_t DdManager::swap_adjacent_levels(std::uint32_t level) {
 std::size_t DdManager::sift_variable(std::uint32_t var, double max_growth) {
   CFPM_REQUIRE(var < num_vars());
   CFPM_REQUIRE(max_growth >= 1.0);
+  static const metrics::Counter c_sifted("dd.reorder.var.sifted");
+  static const metrics::Histogram h_before("dd.reorder.size.before");
+  static const metrics::Histogram h_after("dd.reorder.size.after");
+  c_sifted.add();
+  h_before.observe(live_);
   const auto levels = static_cast<std::uint32_t>(num_vars());
   std::uint32_t pos = level_of_var_[var];
   std::size_t best_size = live_;
@@ -172,10 +181,12 @@ std::size_t DdManager::sift_variable(std::uint32_t var, double max_growth) {
     swap_adjacent_levels(pos - 1);
     --pos;
   }
+  h_after.observe(live_);
   return live_;
 }
 
 std::size_t DdManager::sift(double max_growth) {
+  CFPM_TRACE_SPAN("dd.sift");
   collect_garbage();
   const std::size_t before = live_;
 

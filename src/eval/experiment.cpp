@@ -1,34 +1,48 @@
 #include "eval/experiment.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <limits>
 #include <thread>
 
 #include "support/assert.hpp"
+#include "support/error.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace cfpm::eval {
 
 RunConfig RunConfig::from_env() {
   RunConfig config;
   if (const char* v = std::getenv("CFPM_VECTORS")) {
-    const long parsed = std::strtol(v, nullptr, 10);
-    if (parsed >= 2) config.vectors_per_run = static_cast<std::size_t>(parsed);
+    char* end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(v, &end, 10);
+    if (end == v || *end != '\0' || errno == ERANGE || parsed < 2) {
+      throw Error(std::string("CFPM_VECTORS='") + v +
+                  "': expected an integer >= 2 (a sequence needs at least "
+                  "one transition)");
+    }
+    config.vectors_per_run = static_cast<std::size_t>(parsed);
   }
   return config;
 }
 
-namespace {
-
-enum class Metric { kAverage, kPeak };
-
 std::vector<AccuracyReport> evaluate(
-    std::span<const power::PowerModel* const> models, std::size_t n,
-    const ReferenceFn& golden, std::span<const stats::InputStatistics> grid,
-    const RunConfig& config, Metric metric) {
+    std::span<const power::PowerModel* const> models, const Reference& golden,
+    std::span<const stats::InputStatistics> grid, const EvalOptions& options) {
   CFPM_REQUIRE(!models.empty());
   CFPM_REQUIRE(!grid.empty());
+  CFPM_TRACE_SPAN("eval.grid");
+  static const metrics::Counter c_run("eval.grid.run");
+  static const metrics::Counter c_cell("eval.grid.cell");
+  static const metrics::Counter c_failed("eval.grid.cell.failed");
+  static const metrics::Histogram h_cell_us("eval.grid.cell_us");
+  c_run.add();
 
+  const std::size_t n = golden.num_inputs();
+  const RunConfig& config = options.run;
   std::vector<AccuracyReport> reports(models.size());
   for (std::size_t m = 0; m < models.size(); ++m) {
     CFPM_REQUIRE(models[m]->num_inputs() == n);
@@ -44,6 +58,9 @@ std::vector<AccuracyReport> evaluate(
   std::vector<std::vector<AccuracyPoint>> points(
       grid.size(), std::vector<AccuracyPoint>(models.size()));
   auto evaluate_point = [&](std::size_t gi) {
+    CFPM_TRACE_SPAN("eval.cell");
+    const metrics::ScopedTimer cell_timer(h_cell_us);
+    c_cell.add();
     const stats::InputStatistics& s = grid[gi];
     auto fail_cell = [&](std::size_t m, const char* what) {
       AccuracyPoint p;
@@ -56,9 +73,9 @@ std::vector<AccuracyReport> evaluate(
     const sim::InputSequence seq = gen.generate(n, config.vectors_per_run);
     double golden_value = 0.0;
     try {
-      const sim::SequenceEnergy energy = golden(seq);
-      golden_value =
-          metric == Metric::kAverage ? energy.average_ff() : energy.peak_ff;
+      const sim::SequenceEnergy energy = golden.fn()(seq);
+      golden_value = options.metric == Metric::kAverage ? energy.average_ff()
+                                                        : energy.peak_ff;
     } catch (const std::exception& e) {
       // No reference for this grid point: every model's cell fails.
       for (std::size_t m = 0; m < models.size(); ++m) fail_cell(m, e.what());
@@ -72,13 +89,14 @@ std::vector<AccuracyReport> evaluate(
         // One batched pass over the trace yields average and peak together
         // (the compiled fast path for ADD models, chunked loops otherwise).
         const power::TraceEstimate est = models[m]->estimate_trace(seq);
-        p.model = metric == Metric::kAverage ? est.average_ff() : est.peak_ff;
+        p.model = options.metric == Metric::kAverage ? est.average_ff()
+                                                     : est.peak_ff;
       } catch (const std::exception& e) {
         fail_cell(m, e.what());
         continue;
       }
       if (golden_value > 0.0) {
-        const double diff = metric == Metric::kAverage
+        const double diff = options.metric == Metric::kAverage
                                 ? std::abs(p.model - golden_value)
                                 : (p.model - golden_value);
         p.re = diff / golden_value;
@@ -89,21 +107,26 @@ std::vector<AccuracyReport> evaluate(
     }
   };
 
-  const std::size_t workers = std::min<std::size_t>(
-      grid.size(), std::max(1u, std::thread::hardware_concurrency()));
-  if (workers <= 1) {
-    for (std::size_t gi = 0; gi < grid.size(); ++gi) evaluate_point(gi);
+  if (options.pool != nullptr && options.pool->num_threads() > 1 &&
+      grid.size() > 1) {
+    options.pool->run_indexed(grid.size(), evaluate_point);
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&, w] {
-        for (std::size_t gi = w; gi < grid.size(); gi += workers) {
-          evaluate_point(gi);
-        }
-      });
+    const std::size_t workers = std::min<std::size_t>(
+        grid.size(), std::max(1u, std::thread::hardware_concurrency()));
+    if (workers <= 1) {
+      for (std::size_t gi = 0; gi < grid.size(); ++gi) evaluate_point(gi);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (std::size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([&, w] {
+          for (std::size_t gi = w; gi < grid.size(); gi += workers) {
+            evaluate_point(gi);
+          }
+        });
+      }
+      for (std::thread& t : pool) t.join();
     }
-    for (std::thread& t : pool) t.join();
   }
   for (std::size_t gi = 0; gi < grid.size(); ++gi) {
     for (std::size_t m = 0; m < models.size(); ++m) {
@@ -113,62 +136,70 @@ std::vector<AccuracyReport> evaluate(
 
   for (AccuracyReport& r : reports) {
     double sum = 0.0;
-    std::size_t counted = 0;
     for (const AccuracyPoint& p : r.points) {
       if (p.failed) {
         ++r.failed_points;
         continue;
       }
       sum += std::abs(p.re);
-      ++counted;
+      ++r.evaluated_points;
     }
-    r.are = counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+    r.are = r.evaluated_points == 0
+                ? 0.0
+                : sum / static_cast<double>(r.evaluated_points);
   }
+  std::size_t failed = 0;
+  for (const AccuracyReport& r : reports) failed += r.failed_points;
+  if (failed != 0) c_failed.add(failed);
   return reports;
 }
 
-ReferenceFn zero_delay_reference(const sim::GateLevelSimulator& golden) {
-  return [&golden](const sim::InputSequence& seq) { return golden.simulate(seq); };
+AccuracyReport evaluate(const power::PowerModel& model, const Reference& golden,
+                        std::span<const stats::InputStatistics> grid,
+                        const EvalOptions& options) {
+  const power::PowerModel* ptr = &model;
+  return evaluate(std::span(&ptr, 1), golden, grid, options)[0];
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Deprecated shims. (Defining a [[deprecated]] function does not itself
+// warn; only calls do, which is what migrates the remaining users.)
+// ---------------------------------------------------------------------------
 
 std::vector<AccuracyReport> evaluate_average_accuracy(
     std::span<const power::PowerModel* const> models,
     const sim::GateLevelSimulator& golden,
     std::span<const stats::InputStatistics> grid, const RunConfig& config) {
-  return evaluate(models, golden.circuit().num_inputs(),
-                  zero_delay_reference(golden), grid, config, Metric::kAverage);
+  return evaluate(models, golden, grid, {Metric::kAverage, config, nullptr});
 }
 
 std::vector<AccuracyReport> evaluate_bound_accuracy(
     std::span<const power::PowerModel* const> models,
     const sim::GateLevelSimulator& golden,
     std::span<const stats::InputStatistics> grid, const RunConfig& config) {
-  return evaluate(models, golden.circuit().num_inputs(),
-                  zero_delay_reference(golden), grid, config, Metric::kPeak);
+  return evaluate(models, golden, grid, {Metric::kBound, config, nullptr});
 }
 
 std::vector<AccuracyReport> evaluate_average_accuracy(
     std::span<const power::PowerModel* const> models, std::size_t num_inputs,
     const ReferenceFn& golden, std::span<const stats::InputStatistics> grid,
     const RunConfig& config) {
-  return evaluate(models, num_inputs, golden, grid, config, Metric::kAverage);
+  return evaluate(models, Reference(num_inputs, golden), grid,
+                  {Metric::kAverage, config, nullptr});
 }
 
 std::vector<AccuracyReport> evaluate_bound_accuracy(
     std::span<const power::PowerModel* const> models, std::size_t num_inputs,
     const ReferenceFn& golden, std::span<const stats::InputStatistics> grid,
     const RunConfig& config) {
-  return evaluate(models, num_inputs, golden, grid, config, Metric::kPeak);
+  return evaluate(models, Reference(num_inputs, golden), grid,
+                  {Metric::kBound, config, nullptr});
 }
 
 AccuracyReport evaluate_average_accuracy(
     const power::PowerModel& model, const sim::GateLevelSimulator& golden,
     std::span<const stats::InputStatistics> grid, const RunConfig& config) {
-  const power::PowerModel* ptr = &model;
-  return evaluate_average_accuracy(std::span(&ptr, 1), golden, grid,
-                                   config)[0];
+  return evaluate(model, golden, grid, {Metric::kAverage, config, nullptr});
 }
 
 }  // namespace cfpm::eval

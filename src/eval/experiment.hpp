@@ -7,6 +7,14 @@
 //   average-accuracy RE  = |avg_model - avg_golden| / avg_golden
 //   bound-accuracy   RE  = (peak_model - peak_golden) / peak_golden
 // The average of RE over all points is the paper's ARE.
+//
+// Single entry point:
+//
+//   auto reports = eval::evaluate(models, golden, grid, options);
+//
+// where `golden` is a Reference (a GateLevelSimulator converts implicitly;
+// any other reference wraps as Reference(num_inputs, fn)) and EvalOptions
+// selects the metric, run configuration, and an optional thread pool.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +26,7 @@
 #include "power/power_model.hpp"
 #include "sim/simulator.hpp"
 #include "stats/markov.hpp"
+#include "support/thread_pool.hpp"
 
 namespace cfpm::eval {
 
@@ -26,6 +35,9 @@ struct RunConfig {
   std::uint64_t seed = 0x5eed;
   /// Overrides vectors_per_run from the CFPM_VECTORS environment variable
   /// when present (lets CI run fast without touching the benches).
+  /// Throws cfpm::Error when the variable is set but is not an integer >= 2
+  /// -- a typo'd CFPM_VECTORS must not silently run the full-size (or a
+  /// zero-vector) experiment.
   static RunConfig from_env();
 };
 
@@ -49,6 +61,10 @@ struct AccuracyReport {
   double are = 0.0;
   /// Cells that threw and were skipped (see AccuracyPoint::failed).
   std::size_t failed_points = 0;
+  /// Cells the ARE actually averages over (points.size() - failed_points):
+  /// distinguishes "are == 0 because the model is perfect" from "are == 0
+  /// because nothing survived".
+  std::size_t evaluated_points = 0;
 };
 
 /// Any golden reference: maps a workload to per-sequence energy. Adapters
@@ -56,32 +72,87 @@ struct AccuracyReport {
 /// a lambda.
 using ReferenceFn = std::function<sim::SequenceEnergy(const sim::InputSequence&)>;
 
-/// Average-power accuracy of several models over a shared set of random
-/// sequences (one per grid point; all models see identical workloads).
-std::vector<AccuracyReport> evaluate_average_accuracy(
-    std::span<const power::PowerModel* const> models,
-    const sim::GateLevelSimulator& golden,
-    std::span<const stats::InputStatistics> grid, const RunConfig& config);
+/// The accuracy metric an evaluation scores.
+enum class Metric {
+  kAverage,  ///< RE of per-transition average power (Table 1 "avg")
+  kBound,    ///< signed RE of the per-sequence peak (Table 1 "max")
+};
 
-/// Generic-reference variants (e.g. the glitch-aware UnitDelaySimulator).
-std::vector<AccuracyReport> evaluate_average_accuracy(
-    std::span<const power::PowerModel* const> models, std::size_t num_inputs,
-    const ReferenceFn& golden, std::span<const stats::InputStatistics> grid,
-    const RunConfig& config);
-std::vector<AccuracyReport> evaluate_bound_accuracy(
-    std::span<const power::PowerModel* const> models, std::size_t num_inputs,
-    const ReferenceFn& golden, std::span<const stats::InputStatistics> grid,
-    const RunConfig& config);
+/// Golden reference for an evaluation: either a gate-level simulator
+/// (implicit conversion -- the common case) or an arbitrary ReferenceFn
+/// with an explicit input arity (glitch-aware simulators, test lambdas).
+class Reference {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): by-design shorthand so
+  // call sites read evaluate(models, golden, grid, ...).
+  Reference(const sim::GateLevelSimulator& golden)
+      : num_inputs_(golden.circuit().num_inputs()),
+        fn_([&golden](const sim::InputSequence& seq) {
+          return golden.simulate(seq);
+        }) {}
 
-/// Peak-power (upper-bound) accuracy: RE of each model's per-sequence peak
-/// estimate versus the golden peak. For conservative models RE >= 0 up to
-/// simulation noise.
-std::vector<AccuracyReport> evaluate_bound_accuracy(
-    std::span<const power::PowerModel* const> models,
-    const sim::GateLevelSimulator& golden,
-    std::span<const stats::InputStatistics> grid, const RunConfig& config);
+  Reference(std::size_t num_inputs, ReferenceFn fn)
+      : num_inputs_(num_inputs), fn_(std::move(fn)) {}
+
+  std::size_t num_inputs() const { return num_inputs_; }
+  const ReferenceFn& fn() const { return fn_; }
+
+ private:
+  std::size_t num_inputs_;
+  ReferenceFn fn_;
+};
+
+struct EvalOptions {
+  Metric metric = Metric::kAverage;
+  RunConfig run;
+  /// When set (and multi-threaded), grid points are dispatched on this pool
+  /// instead of the harness's own ad-hoc threads.
+  ThreadPool* pool = nullptr;
+};
+
+/// Accuracy of several models against one golden reference over a grid of
+/// input statistics (one random sequence per grid point; all models see
+/// identical workloads). Grid cells evaluate in parallel and recover
+/// per-cell: a throwing cell is marked failed, the rest of the grid runs.
+std::vector<AccuracyReport> evaluate(
+    std::span<const power::PowerModel* const> models, const Reference& golden,
+    std::span<const stats::InputStatistics> grid,
+    const EvalOptions& options = {});
 
 /// Convenience for a single model.
+AccuracyReport evaluate(const power::PowerModel& model, const Reference& golden,
+                        std::span<const stats::InputStatistics> grid,
+                        const EvalOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Deprecated pre-unification surface: thin shims over evaluate().
+// ---------------------------------------------------------------------------
+
+[[deprecated("use eval::evaluate(models, golden, grid, options)")]]
+std::vector<AccuracyReport> evaluate_average_accuracy(
+    std::span<const power::PowerModel* const> models,
+    const sim::GateLevelSimulator& golden,
+    std::span<const stats::InputStatistics> grid, const RunConfig& config);
+
+[[deprecated("use eval::evaluate(models, Reference(n, fn), grid, options)")]]
+std::vector<AccuracyReport> evaluate_average_accuracy(
+    std::span<const power::PowerModel* const> models, std::size_t num_inputs,
+    const ReferenceFn& golden, std::span<const stats::InputStatistics> grid,
+    const RunConfig& config);
+
+[[deprecated("use eval::evaluate(models, Reference(n, fn), grid, options)")]]
+std::vector<AccuracyReport> evaluate_bound_accuracy(
+    std::span<const power::PowerModel* const> models, std::size_t num_inputs,
+    const ReferenceFn& golden, std::span<const stats::InputStatistics> grid,
+    const RunConfig& config);
+
+[[deprecated("use eval::evaluate(models, golden, grid, options)")]]
+std::vector<AccuracyReport> evaluate_bound_accuracy(
+    std::span<const power::PowerModel* const> models,
+    const sim::GateLevelSimulator& golden,
+    std::span<const stats::InputStatistics> grid, const RunConfig& config);
+
+[[deprecated("use eval::evaluate(model, golden, grid, options)")]]
 AccuracyReport evaluate_average_accuracy(const power::PowerModel& model,
                                          const sim::GateLevelSimulator& golden,
                                          std::span<const stats::InputStatistics> grid,

@@ -9,7 +9,9 @@
 #include "dd/stats.hpp"
 #include "support/assert.hpp"
 #include "support/error.hpp"
+#include "support/metrics.hpp"
 #include "support/timer.hpp"
+#include "support/trace.hpp"
 
 namespace cfpm::power {
 
@@ -118,6 +120,13 @@ class SymbolicBuilder {
           ++info.approximations;
         }
       }
+      // Per-gate ADD size trajectory: after each gate's deltaC is summed,
+      // the manager's live-node count is the O(1) proxy for the partial
+      // sum's growth over the construction.
+      static const metrics::Counter c_gate("power.build.gate.summed");
+      static const metrics::Histogram h_live("power.build.gate.live");
+      c_gate.add();
+      h_live.observe(mgr->live_nodes());
       info.peak_live_nodes = std::max(info.peak_live_nodes, mgr->live_nodes());
 
       // Fan-in BDDs may now be releasable.
@@ -249,6 +258,10 @@ AddPowerModel AddPowerModel::constant_fallback(const Netlist& n,
 AddPowerModel AddPowerModel::build(const Netlist& n,
                                    std::span<const double> loads_ff,
                                    const AddModelOptions& options) {
+  CFPM_TRACE_SPAN("power.build");
+  static const metrics::Counter c_attempt("power.build.attempt");
+  static const metrics::Counter c_rung("power.build.rung");
+  static const metrics::Counter c_fallback("power.build.fallback");
   Timer ladder_timer;
   AddModelOptions effective = options;
   std::vector<BuildRung> rungs;
@@ -256,6 +269,7 @@ AddPowerModel AddPowerModel::build(const Netlist& n,
   const std::size_t floor = std::max<std::size_t>(options.degrade_floor, 1);
 
   auto finish = [&](AddPowerModel model, BuildOutcome outcome) {
+    c_rung.add(rungs.size());
     model.build_info_.outcome = outcome;
     model.build_info_.rungs = std::move(rungs);
     model.build_info_.attempts = attempts;
@@ -265,6 +279,7 @@ AddPowerModel AddPowerModel::build(const Netlist& n,
 
   for (;;) {
     ++attempts;
+    c_attempt.add();
     try {
       SymbolicBuilder builder(n, loads_ff, effective);
       return finish(builder.run(), rungs.empty() ? BuildOutcome::kClean
@@ -310,6 +325,8 @@ AddPowerModel AddPowerModel::build(const Netlist& n,
   }
 
   ++attempts;
+  c_attempt.add();
+  c_fallback.add();
   return finish(constant_fallback(n, loads_ff, options),
                 BuildOutcome::kFallback);
 }

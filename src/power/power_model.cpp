@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "support/assert.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace cfpm::power {
 
@@ -15,7 +17,20 @@ TraceEstimate PowerModel::reduce_trace(
   est.transitions = transitions;
   if (transitions == 0) return est;
 
+  // Metered per call, not per chunk: every model's estimate_trace funnels
+  // through here, and the per-chunk work must stay metric-free to keep the
+  // packed-eval throughput contract (< 2% overhead).
+  CFPM_TRACE_SPAN("power.trace");
+  static const metrics::Counter c_call("power.trace.call");
+  static const metrics::Counter c_chunk("power.trace.chunk");
+  static const metrics::Counter c_pattern("power.trace.pattern");
+  static const metrics::Histogram h_us("power.trace.us");
+  const metrics::ScopedTimer timer(h_us);
+
   const std::size_t chunks = (transitions + kTraceChunk - 1) / kTraceChunk;
+  c_call.add();
+  c_chunk.add(chunks);
+  c_pattern.add(transitions);
   std::vector<double> totals(chunks, 0.0);
   std::vector<double> peaks(chunks, 0.0);
   auto run_chunk = [&](std::size_t c) {

@@ -3,6 +3,8 @@
 #include <bit>
 
 #include "support/assert.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace cfpm::sim {
 
@@ -77,6 +79,11 @@ double GateLevelSimulator::switching_capacitance_ff(
 
 SequenceEnergy GateLevelSimulator::simulate(const InputSequence& seq) const {
   CFPM_REQUIRE(seq.num_inputs() == netlist_.num_inputs());
+  CFPM_TRACE_SPAN("sim.golden");
+  static const metrics::Counter c_run("sim.golden.run");
+  static const metrics::Counter c_pattern("sim.golden.pattern");
+  c_run.add();
+  c_pattern.add(seq.num_transitions());
   SequenceEnergy result;
   const std::size_t transitions = seq.num_transitions();
   result.per_transition_ff.assign(transitions, 0.0);

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "support/error.hpp"
+#include "support/metrics.hpp"
 
 namespace cfpm {
 
@@ -12,13 +13,30 @@ double Governor::remaining_seconds() const {
   return std::chrono::duration<double>(deadline_ - Clock::now()).count();
 }
 
+void Governor::checkpoint() {
+  static const metrics::Counter c_checkpoint("governor.checkpoint.hit");
+  c_checkpoint.add();
+  check();
+}
+
 void Governor::check() {
+  // Allocation ticks are metered here as a delta rather than per tick, so
+  // on_allocation()'s fast path stays metric-free.
+  static const metrics::Counter c_poll("governor.poll.tick");
+  static const metrics::Counter c_check("governor.check.run");
+  static const metrics::Counter c_cancel("governor.cancel.fired");
+  static const metrics::Counter c_deadline("governor.deadline.expired");
+  c_poll.add(allocations_ - polls_flushed_);
+  polls_flushed_ = allocations_;
+  c_check.add();
   ++checks_;
   if (cancellation_requested()) {
+    c_cancel.add();
     throw CancelledError("construction cancelled (after " +
                          std::to_string(allocations_) + " allocations)");
   }
   if (deadline_expired()) {
+    c_deadline.add();
     throw DeadlineExceeded("construction deadline exceeded (after " +
                            std::to_string(allocations_) + " allocations, " +
                            std::to_string(peak_live_nodes_) +
@@ -27,6 +45,8 @@ void Governor::check() {
 }
 
 void Governor::fire_fault() {
+  static const metrics::Counter c_fault("governor.fault.fired");
+  c_fault.add();
   const FaultKind kind = fault_kind_;
   fault_kind_ = FaultKind::kNone;  // one-shot
   if (kind == FaultKind::kCancel) {

@@ -96,7 +96,7 @@ class Governor {
 
   /// Full check at a coarse safe point; throws CancelledError or
   /// DeadlineExceeded when the corresponding condition holds.
-  void checkpoint() { check(); }
+  void checkpoint();
 
   // ----- fault injection (tests) -------------------------------------------
 
@@ -121,6 +121,7 @@ class Governor {
   std::uint64_t allocations_ = 0;
   std::uint64_t since_check_ = 0;
   std::uint64_t checks_ = 0;
+  std::uint64_t polls_flushed_ = 0;  // allocation ticks already metered
   std::size_t peak_live_nodes_ = 0;
 
   FaultKind fault_kind_ = FaultKind::kNone;

@@ -31,14 +31,17 @@
 #include "netlist/verify.hpp"
 #include "power/add_model.hpp"
 #include "power/baselines.hpp"
+#include "power/factory.hpp"
 #include "power/rtl_io.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace_io.hpp"
 #include "stats/markov.hpp"
 #include "support/error.hpp"
 #include "support/governor.hpp"
+#include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
@@ -80,6 +83,10 @@ int usage() {
       "--deadline-ms N bounds model construction by wall clock; on expiry\n"
       "the build degrades (harder approximation, then a constant bound)\n"
       "instead of running unbounded. --no-degrade fails fast instead.\n"
+      "--metrics-json PATH writes the pipeline metrics snapshot (counters,\n"
+      "gauges, histograms) as JSON on exit, whatever the outcome.\n"
+      "--trace-json PATH records phase spans and writes Chrome trace_event\n"
+      "JSON on exit (load in chrome://tracing or ui.perfetto.dev).\n"
       "exit codes: 0 ok, 1 error, 2 usage, 3 degraded result, 4 out of\n"
       "memory, 5 internal error.\n";
   return kExitUsage;
@@ -114,19 +121,23 @@ struct Args {
   bool compiled = false;
   std::optional<std::size_t> deadline_ms;  // wall-clock build budget
   bool degrade = true;
+  std::string metrics_json;  // write metrics snapshot here on exit
+  std::string trace_json;    // record spans; write Chrome trace here on exit
 
-  /// Build options honoring the resilience flags; the governor (when a
-  /// deadline is set) is shared so a multi-build command spends one budget.
+  /// Build options honoring the resilience flags. A governor is always
+  /// attached (its poll/checkpoint counters feed the observability layer);
+  /// the deadline is only armed when --deadline-ms asks for one. It is
+  /// shared so a multi-build command spends one budget.
   power::AddModelOptions model_options() const {
     power::AddModelOptions opt;
     opt.max_nodes = max_nodes;
     opt.mode = bound ? dd::ApproxMode::kUpperBound : dd::ApproxMode::kAverage;
     opt.degrade = degrade;
+    auto governor = std::make_shared<Governor>();
     if (deadline_ms) {
-      auto governor = std::make_shared<Governor>();
       governor->set_deadline(std::chrono::milliseconds(*deadline_ms));
-      opt.dd_config.governor = std::move(governor);
     }
+    opt.dd_config.governor = std::move(governor);
     return opt;
   }
 };
@@ -179,6 +190,14 @@ std::optional<Args> parse(int argc, char** argv) {
       a.degrade = true;
     } else if (arg == "--no-degrade") {
       a.degrade = false;
+    } else if (arg == "--metrics-json") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      a.metrics_json = *v;
+    } else if (arg == "--trace-json") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      a.trace_json = *v;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option: " << arg << "\n";
       return std::nullopt;
@@ -229,6 +248,14 @@ int report_build_outcome(const power::AddModelBuildInfo& info) {
     std::cout << "  rung  : " << rung.action;
     if (rung.max_nodes != 0) std::cout << " (MAX " << rung.max_nodes << ")";
     std::cout << " after: " << rung.reason << "\n";
+  }
+  const metrics::Snapshot snap = metrics::snapshot();
+  if (metrics::compiled_in()) {
+    std::cout << "  spent : " << snap.counter("dd.node.alloc")
+              << " node allocs, " << snap.counter("governor.poll.tick")
+              << " governor polls, " << snap.counter("governor.checkpoint.hit")
+              << " checkpoints, " << snap.counter("dd.gc.reclaimed")
+              << " nodes reclaimed\n";
   }
   return kExitDegraded;
 }
@@ -320,25 +347,30 @@ int cmd_accuracy(const Args& a) {
   if (a.positional.size() != 1) return usage();
   const netlist::Netlist n = load_circuit(a.positional[0]);
   const sim::GateLevelSimulator golden(n, kLib);
-  stats::MarkovSequenceGenerator gen({0.5, 0.5}, 0xcf9e);
-  const auto train = gen.generate(n.num_inputs(), a.vectors);
-  power::Characterizer chr(golden, train);
-  const auto con = chr.fit_constant();
-  const auto lin = chr.fit_linear();
-  const auto add = power::AddPowerModel::build(n, kLib, a.model_options());
 
-  eval::RunConfig config;
-  config.vectors_per_run = a.vectors;
+  power::ModelOptions options;
+  options.add = a.model_options();
+  options.library = kLib;
+  options.characterization_vectors = a.vectors;
+  options.characterization_seed = 0xcf9e;
+  const auto con = power::make_model(power::ModelKind::kConstant, n, options);
+  const auto lin = power::make_model(power::ModelKind::kLinear, n, options);
+  const auto add = power::make_model(
+      a.bound ? power::ModelKind::kAddUpperBound : power::ModelKind::kAddAverage,
+      n, options);
+
+  eval::EvalOptions eval_options;
+  eval_options.run.vectors_per_run = a.vectors;
   const auto grid = stats::evaluation_grid();
-  const power::PowerModel* models[] = {&con, &lin, &add};
-  const auto reports =
-      eval::evaluate_average_accuracy(models, golden, grid, config);
+  const power::PowerModel* models[] = {con.get(), lin.get(), add.get()};
+  const auto reports = eval::evaluate(models, golden, grid, eval_options);
   eval::TextTable table({"model", "ARE(%)"});
   table.add_row({"Con (characterized)", eval::TextTable::num(100 * reports[0].are, 1)});
   table.add_row({"Lin (characterized)", eval::TextTable::num(100 * reports[1].are, 1)});
   table.add_row({"ADD (analytical)", eval::TextTable::num(100 * reports[2].are, 1)});
   table.print(std::cout);
-  return report_build_outcome(add.build_info());
+  const auto* add_model = dynamic_cast<const power::AddPowerModel*>(add.get());
+  return report_build_outcome(add_model->build_info());
 }
 
 int cmd_trace(const Args& a) {
@@ -449,6 +481,47 @@ int cmd_rtl(const Args& a) {
   return 0;
 }
 
+// Sentinel for "not a known command" (distinct from every exit code).
+constexpr int kCmdUnknown = -1;
+
+int dispatch(const std::string& cmd, const Args& args) {
+  if (cmd == "info") return cmd_info(args);
+  if (cmd == "build") return cmd_build(args);
+  if (cmd == "estimate") return cmd_estimate(args);
+  if (cmd == "worst") return cmd_worst(args);
+  if (cmd == "accuracy") return cmd_accuracy(args);
+  if (cmd == "trace") return cmd_trace(args);
+  if (cmd == "rtl") return cmd_rtl(args);
+  if (cmd == "sensitivity") return cmd_sensitivity(args);
+  if (cmd == "equiv") return cmd_equiv(args);
+  return kCmdUnknown;
+}
+
+/// Writes the metrics snapshot and/or Chrome trace wherever --metrics-json /
+/// --trace-json asked for them. Runs on every exit path — a degraded or
+/// failed run is exactly when the numbers matter most — and never changes
+/// the command's exit code (an unwritable path only warns).
+void write_observability(const Args& args) {
+  if (!args.metrics_json.empty()) {
+    std::ofstream out(args.metrics_json);
+    if (out) {
+      metrics::snapshot().write_json(out);
+    } else {
+      std::cerr << "warning: cannot write metrics to " << args.metrics_json
+                << "\n";
+    }
+  }
+  if (!args.trace_json.empty()) {
+    std::ofstream out(args.trace_json);
+    if (out) {
+      trace::write_chrome_json(out);
+    } else {
+      std::cerr << "warning: cannot write trace to " << args.trace_json
+                << "\n";
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -456,28 +529,27 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const auto args = parse(argc, argv);
   if (!args) return usage();
+  if (!args->trace_json.empty()) trace::set_enabled(true);
+  int code;
   try {
-    if (cmd == "info") return cmd_info(*args);
-    if (cmd == "build") return cmd_build(*args);
-    if (cmd == "estimate") return cmd_estimate(*args);
-    if (cmd == "worst") return cmd_worst(*args);
-    if (cmd == "accuracy") return cmd_accuracy(*args);
-    if (cmd == "trace") return cmd_trace(*args);
-    if (cmd == "rtl") return cmd_rtl(*args);
-    if (cmd == "sensitivity") return cmd_sensitivity(*args);
-    if (cmd == "equiv") return cmd_equiv(*args);
+    CFPM_TRACE_SPAN("cli");
+    code = dispatch(cmd, *args);
   } catch (const cfpm::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return kExitError;
+    code = kExitError;
   } catch (const std::bad_alloc&) {
     // Distinct from generic failure so callers can react (retry with a
     // smaller budget, reschedule on a bigger host, ...).
     std::cerr << "error: out of memory\n";
-    return kExitOom;
+    code = kExitOom;
   } catch (const std::exception& e) {
     std::cerr << "internal error: " << e.what() << "\n";
-    return kExitInternal;
+    code = kExitInternal;
   }
-  std::cerr << "unknown command: " << cmd << "\n";
-  return usage();
+  if (code == kCmdUnknown) {
+    std::cerr << "unknown command: " << cmd << "\n";
+    return usage();
+  }
+  write_observability(*args);
+  return code;
 }

@@ -24,19 +24,19 @@ struct Fixture {
     opt.max_nodes = 0;
     return power::AddPowerModel::build(n, lib, opt);
   }();
-  RunConfig config = [] {
-    RunConfig c;
-    c.vectors_per_run = 400;
-    return c;
+  EvalOptions options = [] {
+    EvalOptions o;
+    o.run.vectors_per_run = 400;
+    return o;
   }();
 };
 
 TEST(Experiment, ExactModelHasZeroError) {
   Fixture f;
   const std::vector<stats::InputStatistics> grid = {{0.5, 0.5}, {0.5, 0.1}};
-  const AccuracyReport report =
-      evaluate_average_accuracy(f.exact, f.golden, grid, f.config);
+  const AccuracyReport report = evaluate(f.exact, f.golden, grid, f.options);
   EXPECT_EQ(report.points.size(), 2u);
+  EXPECT_EQ(report.evaluated_points, 2u);
   EXPECT_NEAR(report.are, 0.0, 1e-12);
   for (const auto& p : report.points) {
     EXPECT_NEAR(p.model, p.golden, 1e-9);
@@ -47,8 +47,7 @@ TEST(Experiment, ConstantModelErrorMatchesHandComputation) {
   Fixture f;
   const power::ConstantModel con(100.0, f.n.num_inputs());
   const std::vector<stats::InputStatistics> grid = {{0.5, 0.5}};
-  const AccuracyReport report =
-      evaluate_average_accuracy(con, f.golden, grid, f.config);
+  const AccuracyReport report = evaluate(con, f.golden, grid, f.options);
   const AccuracyPoint& p = report.points.at(0);
   EXPECT_DOUBLE_EQ(p.model, 100.0);
   EXPECT_NEAR(p.re, std::abs(100.0 - p.golden) / p.golden, 1e-12);
@@ -63,8 +62,7 @@ TEST(Experiment, SharedWorkloadAcrossModels) {
   const power::ConstantModel con2(20.0, f.n.num_inputs());
   const power::PowerModel* models[] = {&con, &con2, &f.exact};
   const std::vector<stats::InputStatistics> grid = {{0.5, 0.3}, {0.2, 0.2}};
-  const auto reports =
-      evaluate_average_accuracy(models, f.golden, grid, f.config);
+  const auto reports = evaluate(models, f.golden, grid, f.options);
   ASSERT_EQ(reports.size(), 3u);
   for (std::size_t i = 0; i < grid.size(); ++i) {
     EXPECT_DOUBLE_EQ(reports[0].points[i].golden, reports[1].points[i].golden);
@@ -72,7 +70,7 @@ TEST(Experiment, SharedWorkloadAcrossModels) {
   }
 }
 
-TEST(Experiment, BoundAccuracyKeepsSign) {
+TEST(Experiment, BoundMetricKeepsSign) {
   // For peak metrics the signed error is preserved: a conservative bound
   // has re >= 0, an under-estimator re < 0.
   Fixture f;
@@ -80,7 +78,9 @@ TEST(Experiment, BoundAccuracyKeepsSign) {
   const power::ConstantModel small(0.001, f.n.num_inputs());
   const power::PowerModel* models[] = {&big, &small};
   const std::vector<stats::InputStatistics> grid = {{0.5, 0.5}};
-  const auto reports = evaluate_bound_accuracy(models, f.golden, grid, f.config);
+  EvalOptions options = f.options;
+  options.metric = Metric::kBound;
+  const auto reports = evaluate(models, f.golden, grid, options);
   EXPECT_GT(reports[0].points[0].re, 0.0);
   EXPECT_LT(reports[1].points[0].re, 0.0);
   // ARE uses |re|.
@@ -90,11 +90,23 @@ TEST(Experiment, BoundAccuracyKeepsSign) {
 TEST(Experiment, DeterministicForFixedSeed) {
   Fixture f;
   const std::vector<stats::InputStatistics> grid = {{0.5, 0.4}};
-  const AccuracyReport a =
-      evaluate_average_accuracy(f.exact, f.golden, grid, f.config);
-  const AccuracyReport b =
-      evaluate_average_accuracy(f.exact, f.golden, grid, f.config);
+  const AccuracyReport a = evaluate(f.exact, f.golden, grid, f.options);
+  const AccuracyReport b = evaluate(f.exact, f.golden, grid, f.options);
   EXPECT_DOUBLE_EQ(a.points[0].golden, b.points[0].golden);
+}
+
+TEST(Experiment, ExplicitReferenceFnMatchesSimulatorReference) {
+  // The Reference wrapper over a bare callback must reproduce the implicit
+  // simulator conversion bit-for-bit (same workload, same golden values).
+  Fixture f;
+  const std::vector<stats::InputStatistics> grid = {{0.5, 0.4}};
+  const Reference by_fn(f.n.num_inputs(), [&](const sim::InputSequence& seq) {
+    return f.golden.simulate(seq);
+  });
+  const AccuracyReport a = evaluate(f.exact, f.golden, grid, f.options);
+  const AccuracyReport b = evaluate(f.exact, by_fn, grid, f.options);
+  EXPECT_DOUBLE_EQ(a.points[0].golden, b.points[0].golden);
+  EXPECT_DOUBLE_EQ(a.points[0].model, b.points[0].model);
 }
 
 TEST(Experiment, RejectsArityMismatch) {
@@ -102,30 +114,37 @@ TEST(Experiment, RejectsArityMismatch) {
   const power::ConstantModel wrong(1.0, f.n.num_inputs() + 3);
   const power::PowerModel* models[] = {&wrong};
   const std::vector<stats::InputStatistics> grid = {{0.5, 0.5}};
-  EXPECT_THROW(evaluate_average_accuracy(models, f.golden, grid, f.config),
-               ContractError);
+  EXPECT_THROW(evaluate(models, f.golden, grid, f.options), ContractError);
 }
 
 TEST(Experiment, RejectsEmptyInputs) {
   Fixture f;
   const power::PowerModel* models[] = {&f.exact};
   const std::vector<stats::InputStatistics> empty;
-  EXPECT_THROW(evaluate_average_accuracy(models, f.golden, empty, f.config),
-               ContractError);
+  EXPECT_THROW(evaluate(models, f.golden, empty, f.options), ContractError);
   const std::vector<stats::InputStatistics> grid = {{0.5, 0.5}};
-  EXPECT_THROW(evaluate_average_accuracy({}, f.golden, grid, f.config),
-               ContractError);
+  EXPECT_THROW(evaluate({}, f.golden, grid, f.options), ContractError);
 }
 
 TEST(RunConfig, EnvOverrideParsesPositiveIntegers) {
   ::setenv("CFPM_VECTORS", "1234", 1);
   EXPECT_EQ(RunConfig::from_env().vectors_per_run, 1234u);
+  ::unsetenv("CFPM_VECTORS");
+  EXPECT_EQ(RunConfig::from_env().vectors_per_run,
+            RunConfig{}.vectors_per_run);
+}
+
+TEST(RunConfig, EnvOverrideRejectsGarbage) {
+  // A typo'd CFPM_VECTORS must abort the run, not silently fall back to the
+  // default workload size.
   ::setenv("CFPM_VECTORS", "garbage", 1);
-  EXPECT_EQ(RunConfig::from_env().vectors_per_run,
-            RunConfig{}.vectors_per_run);
-  ::setenv("CFPM_VECTORS", "1", 1);  // too small -> default
-  EXPECT_EQ(RunConfig::from_env().vectors_per_run,
-            RunConfig{}.vectors_per_run);
+  EXPECT_THROW(RunConfig::from_env(), Error);
+  ::setenv("CFPM_VECTORS", "12oo", 1);  // trailing junk
+  EXPECT_THROW(RunConfig::from_env(), Error);
+  ::setenv("CFPM_VECTORS", "1", 1);  // a sequence needs >= 1 transition
+  EXPECT_THROW(RunConfig::from_env(), Error);
+  ::setenv("CFPM_VECTORS", "-5", 1);
+  EXPECT_THROW(RunConfig::from_env(), Error);
   ::unsetenv("CFPM_VECTORS");
 }
 

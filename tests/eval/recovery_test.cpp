@@ -64,10 +64,10 @@ TEST(GridRecovery, OneBlownCellDoesNotKillTheGrid) {
   const power::ConstantModel healthy(10.0, n.num_inputs());
   const power::PowerModel* models[] = {&bomb, &healthy};
 
-  RunConfig config;
-  config.vectors_per_run = 200;
+  EvalOptions options;
+  options.run.vectors_per_run = 200;
   const auto grid = five_point_grid();
-  const auto reports = evaluate_average_accuracy(models, golden, grid, config);
+  const auto reports = evaluate(models, golden, grid, options);
   ASSERT_EQ(reports.size(), 2u);
 
   // The sabotaged model lost exactly one cell; its report still covers the
@@ -75,6 +75,7 @@ TEST(GridRecovery, OneBlownCellDoesNotKillTheGrid) {
   const AccuracyReport& wounded = reports[0];
   EXPECT_EQ(wounded.points.size(), grid.size());
   EXPECT_EQ(wounded.failed_points, 1u);
+  EXPECT_EQ(wounded.evaluated_points, grid.size() - 1);
   std::size_t marked = 0;
   for (const AccuracyPoint& p : wounded.points) {
     if (p.failed) {
@@ -89,6 +90,7 @@ TEST(GridRecovery, OneBlownCellDoesNotKillTheGrid) {
   // The healthy model sharing the run is untouched.
   const AccuracyReport& clean = reports[1];
   EXPECT_EQ(clean.failed_points, 0u);
+  EXPECT_EQ(clean.evaluated_points, grid.size());
   for (const AccuracyPoint& p : clean.points) EXPECT_FALSE(p.failed);
 
   // Identical estimators -> identical ARE contributions on the surviving
@@ -118,14 +120,15 @@ TEST(GridRecovery, GoldenReferenceFailureFailsEveryModelCell) {
     return energy;
   };
 
-  RunConfig config;
-  config.vectors_per_run = 100;
+  EvalOptions options;
+  options.run.vectors_per_run = 100;
   const auto grid = five_point_grid();
   const auto reports =
-      evaluate_average_accuracy(models, n.num_inputs(), golden, grid, config);
+      evaluate(models, Reference(n.num_inputs(), golden), grid, options);
   for (const AccuracyReport& r : reports) {
     EXPECT_EQ(r.failed_points, 1u);
     EXPECT_EQ(r.points.size(), grid.size());
+    EXPECT_EQ(r.evaluated_points, grid.size() - 1);
   }
 }
 
@@ -137,12 +140,13 @@ TEST(GridRecovery, AllCellsFailedYieldsZeroAreNotNan) {
   const ReferenceFn golden = [](const sim::InputSequence&) -> sim::SequenceEnergy {
     throw std::runtime_error("always down");
   };
-  RunConfig config;
-  config.vectors_per_run = 50;
+  EvalOptions options;
+  options.run.vectors_per_run = 50;
   const auto grid = five_point_grid();
   const auto reports =
-      evaluate_average_accuracy(models, n.num_inputs(), golden, grid, config);
+      evaluate(models, Reference(n.num_inputs(), golden), grid, options);
   EXPECT_EQ(reports[0].failed_points, grid.size());
+  EXPECT_EQ(reports[0].evaluated_points, 0u);
   EXPECT_EQ(reports[0].are, 0.0);  // defined, not NaN
 }
 

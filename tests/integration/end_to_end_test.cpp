@@ -11,6 +11,7 @@
 #include "netlist/generators.hpp"
 #include "power/add_model.hpp"
 #include "power/baselines.hpp"
+#include "power/factory.hpp"
 #include "sim/simulator.hpp"
 #include "stats/markov.hpp"
 
@@ -21,38 +22,37 @@ using netlist::GateLibrary;
 using netlist::Netlist;
 
 struct Models {
-  std::unique_ptr<power::ConstantModel> con;
-  std::unique_ptr<power::LinearModel> lin;
-  std::unique_ptr<power::AddPowerModel> add;
+  std::unique_ptr<power::PowerModel> con;
+  std::unique_ptr<power::PowerModel> lin;
+  std::unique_ptr<power::PowerModel> add;
 };
 
-Models build_models(const Netlist& n, const sim::GateLevelSimulator& golden,
-                    std::size_t max_nodes) {
-  // Characterize the baselines at sp = st = 0.5, as in the paper.
-  stats::MarkovSequenceGenerator gen({0.5, 0.5}, 4242);
-  const sim::InputSequence train = gen.generate(n.num_inputs(), 3000);
-  power::Characterizer chr(golden, train);
+Models build_models(const Netlist& n, std::size_t max_nodes) {
+  // Characterize the baselines at sp = st = 0.5, as in the paper; the ADD
+  // model is analytical and ignores the characterization settings.
+  power::ModelOptions options;
+  options.library = GateLibrary::uniform(5.0, 10.0);
+  options.characterization = {0.5, 0.5};
+  options.characterization_vectors = 3000;
+  options.characterization_seed = 4242;
+  options.add.max_nodes = max_nodes;
   Models m;
-  m.con = std::make_unique<power::ConstantModel>(chr.fit_constant());
-  m.lin = std::make_unique<power::LinearModel>(chr.fit_linear());
-  power::AddModelOptions opt;
-  opt.max_nodes = max_nodes;
-  m.add = std::make_unique<power::AddPowerModel>(
-      power::AddPowerModel::build(n, GateLibrary::uniform(5.0, 10.0), opt));
+  m.con = power::make_model(power::ModelKind::kConstant, n, options);
+  m.lin = power::make_model(power::ModelKind::kLinear, n, options);
+  m.add = power::make_model(power::ModelKind::kAddAverage, n, options);
   return m;
 }
 
 TEST(EndToEnd, AddModelBeatsBaselinesOutOfSample) {
   const Netlist n = netlist::gen::mcnc_like("cm85");
   const sim::GateLevelSimulator golden(n, GateLibrary::uniform(5.0, 10.0));
-  const Models m = build_models(n, golden, 500);
+  const Models m = build_models(n, 500);
 
-  eval::RunConfig config;
-  config.vectors_per_run = 2000;
+  eval::EvalOptions options;
+  options.run.vectors_per_run = 2000;
   const auto grid = stats::evaluation_grid();
   const power::PowerModel* models[] = {m.con.get(), m.lin.get(), m.add.get()};
-  const auto reports =
-      eval::evaluate_average_accuracy(models, golden, grid, config);
+  const auto reports = eval::evaluate(models, golden, grid, options);
 
   const double are_con = reports[0].are;
   const double are_lin = reports[1].are;
@@ -68,14 +68,13 @@ TEST(EndToEnd, AddAccuracyFlatAcrossStatistics) {
   // Fig. 7a: the ADD curve is flat; Con/Lin blow up at low st.
   const Netlist n = netlist::gen::mcnc_like("cm85");
   const sim::GateLevelSimulator golden(n, GateLibrary::uniform(5.0, 10.0));
-  const Models m = build_models(n, golden, 500);
+  const Models m = build_models(n, 500);
 
-  eval::RunConfig config;
-  config.vectors_per_run = 2000;
+  eval::EvalOptions options;
+  options.run.vectors_per_run = 2000;
   const auto sweep = stats::fig7a_sweep();
   const power::PowerModel* models[] = {m.con.get(), m.add.get()};
-  const auto reports =
-      eval::evaluate_average_accuracy(models, golden, sweep, config);
+  const auto reports = eval::evaluate(models, golden, sweep, options);
 
   // Con's error at st = 0.05 is far larger than at st = 0.5.
   const auto& con_points = reports[0].points;
@@ -105,12 +104,12 @@ TEST(EndToEnd, BoundsConservativeAndTighterThanConstant) {
   const power::ConstantBoundModel con_bound(add_bound.max_estimate_ff(),
                                             n.num_inputs());
 
-  eval::RunConfig config;
-  config.vectors_per_run = 1500;
+  eval::EvalOptions options;
+  options.metric = eval::Metric::kBound;
+  options.run.vectors_per_run = 1500;
   const auto grid = stats::evaluation_grid();
   const power::PowerModel* models[] = {&con_bound, &add_bound};
-  const auto reports =
-      eval::evaluate_bound_accuracy(models, golden, grid, config);
+  const auto reports = eval::evaluate(models, golden, grid, options);
 
   // Both conservative: signed RE >= 0 on every run.
   for (const auto& r : reports) {
@@ -130,17 +129,15 @@ TEST(EndToEnd, SizeAccuracyTradeoffMonotoneOverall) {
   opt.max_nodes = 0;
   const auto exact = power::AddPowerModel::build(n, GateLibrary::uniform(5.0, 10.0), opt);
 
-  eval::RunConfig config;
-  config.vectors_per_run = 1000;
+  eval::EvalOptions options;
+  options.run.vectors_per_run = 1000;
   const auto grid = stats::evaluation_grid();
 
-  const double are_exact =
-      eval::evaluate_average_accuracy(exact, golden, grid, config).are;
+  const double are_exact = eval::evaluate(exact, golden, grid, options).are;
   std::vector<double> ares;
   for (std::size_t size : {200u, 20u, 1u}) {
     const auto small = exact.compress(size);
-    const auto report =
-        eval::evaluate_average_accuracy(small, golden, grid, config);
+    const auto report = eval::evaluate(small, golden, grid, options);
     ares.push_back(report.are);
   }
   EXPECT_LT(are_exact, 0.02);        // the exact model is the gold standard

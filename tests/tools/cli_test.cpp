@@ -183,6 +183,48 @@ TEST(Cli, GenerousDeadlineBuildsCleanly) {
   EXPECT_EQ(r.output.find("DEGRADED"), std::string::npos);
 }
 
+TEST(Cli, MetricsJsonSnapshotWritten) {
+  const std::string path = ::testing::TempDir() + "/cli_metrics.json";
+  const auto r = run("accuracy gen:c17 --vectors 200 --metrics-json " + path);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string json;
+  std::array<char, 512> buf;
+  while (std::fgets(buf.data(), buf.size(), f) != nullptr) json += buf.data();
+  std::fclose(f);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+#ifndef CFPM_NO_METRICS
+  // Counters from several subsystems made it into the dump.
+  EXPECT_NE(json.find("\"dd.node.alloc\""), std::string::npos);
+  EXPECT_NE(json.find("\"eval.grid.run\""), std::string::npos);
+  EXPECT_NE(json.find("\"power.trace.call\""), std::string::npos);
+  EXPECT_NE(json.find("\"governor.poll.tick\""), std::string::npos);
+#endif
+  std::remove(path.c_str());
+}
+
+TEST(Cli, TraceJsonHasChromeEvents) {
+  const std::string path = ::testing::TempDir() + "/cli_trace.json";
+  const auto r = run("accuracy gen:c17 --vectors 200 --trace-json " + path);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string json;
+  std::array<char, 512> buf;
+  while (std::fgets(buf.data(), buf.size(), f) != nullptr) json += buf.data();
+  std::fclose(f);
+#ifndef CFPM_NO_METRICS
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"cli\""), std::string::npos);
+  EXPECT_NE(json.find("\"power.build\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+#endif
+  std::remove(path.c_str());
+}
+
 TEST(Cli, MalformedNetlistReportsLineNumber) {
   const std::string path = ::testing::TempDir() + "/cli_cycle.bench";
   std::FILE* f = std::fopen(path.c_str(), "w");
