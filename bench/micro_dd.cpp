@@ -1,10 +1,31 @@
 // Micro-benchmarks of the decision-diagram kernel.
+//
+// Two modes:
+//   micro_dd [google-benchmark flags]   -- the usual benchmark suite
+//   micro_dd --dd-core [--smoke]        -- representation recorder: builds
+//       the full signal BDD set of gen:cmb and gen:cm150, measures apply
+//       throughput and sift wall time, self-checks every output BDD
+//       against the gate-level simulator, and (outside --smoke) writes
+//       BENCH_dd_core.json. --smoke runs one quick pass and exits nonzero
+//       on any mismatch, which is what the CI Release job runs to catch
+//       representation regressions.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "dd/approx.hpp"
 #include "dd/compiled.hpp"
 #include "dd/manager.hpp"
 #include "dd/stats.hpp"
+#include "netlist/generators.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
 
 namespace {
 
@@ -176,6 +197,195 @@ void BM_GarbageCollection(benchmark::State& state) {
 }
 BENCHMARK(BM_GarbageCollection);
 
+// ---------------------------------------------------------------------------
+// --dd-core recorder: apply throughput + sift wall time on real circuits.
+// ---------------------------------------------------------------------------
+
+/// Builds every signal's BDD of `n` in topological order; counts binary
+/// apply operations (NOTs excluded: they are representation-dependent in
+/// cost and free on a complement-edge kernel).
+std::vector<Bdd> build_signal_bdds(DdManager& mgr, const cfpm::netlist::Netlist& n,
+                                   std::size_t* binary_ops) {
+  using cfpm::netlist::GateType;
+  using cfpm::netlist::SignalId;
+  std::vector<Bdd> g(n.num_signals());
+  for (SignalId s = 0; s < n.num_signals(); ++s) {
+    const auto& sig = n.signal(s);
+    if (sig.is_input) {
+      g[s] = mgr.bdd_var(n.input_index(s));
+      continue;
+    }
+    const auto fanins = n.fanins(s);
+    switch (sig.type) {
+      case GateType::kConst0:
+        g[s] = mgr.bdd_zero();
+        continue;
+      case GateType::kConst1:
+        g[s] = mgr.bdd_one();
+        continue;
+      case GateType::kBuf:
+        g[s] = g[fanins[0]];
+        continue;
+      case GateType::kNot:
+        g[s] = !g[fanins[0]];
+        continue;
+      default:
+        break;
+    }
+    Bdd acc = g[fanins[0]];
+    for (std::size_t k = 1; k < fanins.size(); ++k) {
+      const Bdd& next = g[fanins[k]];
+      switch (sig.type) {
+        case GateType::kAnd:
+        case GateType::kNand:
+          acc = acc & next;
+          break;
+        case GateType::kOr:
+        case GateType::kNor:
+          acc = acc | next;
+          break;
+        case GateType::kXor:
+        case GateType::kXnor:
+          acc = acc ^ next;
+          break;
+        default:
+          acc = acc & next;
+          break;
+      }
+      ++*binary_ops;
+    }
+    if (sig.type == GateType::kNand || sig.type == GateType::kNor ||
+        sig.type == GateType::kXnor) {
+      acc = !acc;
+    }
+    g[s] = acc;
+  }
+  return g;
+}
+
+struct CoreCircuitResult {
+  std::string name;
+  std::size_t inputs = 0;
+  std::size_t binary_ops = 0;       ///< binary apply calls per build pass
+  double build_seconds = 0.0;       ///< best pass
+  double apply_ops_per_sec = 0.0;
+  std::size_t live_nodes = 0;       ///< after one build pass
+  double sift_seconds = 0.0;
+  std::size_t nodes_after_sift = 0;
+  bool check_ok = false;
+};
+
+/// Evaluates every output BDD against the gate-level simulator on random
+/// vectors; any disagreement is a representation bug.
+bool self_check(const cfpm::netlist::Netlist& n, const std::vector<Bdd>& g,
+                std::size_t vectors) {
+  cfpm::sim::GateLevelSimulator sim(
+      n, std::vector<double>(n.num_signals(), 1.0));
+  cfpm::Xoshiro256 rng(0xddc0de);
+  std::vector<std::uint8_t> inputs(n.num_inputs());
+  for (std::size_t t = 0; t < vectors; ++t) {
+    for (auto& b : inputs) b = rng.next_bool(0.5) ? 1 : 0;
+    const std::vector<std::uint8_t> signals = sim.eval(inputs);
+    for (cfpm::netlist::SignalId s : n.outputs()) {
+      if (g[s].is_null()) continue;
+      if (g[s].eval(inputs) != (signals[s] != 0)) {
+        std::cerr << "dd-core self-check FAILED: circuit " << n.name()
+                  << " output signal " << s << " vector " << t << "\n";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+CoreCircuitResult run_core_circuit(const std::string& name, bool smoke) {
+  const cfpm::netlist::Netlist n = cfpm::netlist::gen::mcnc_like(name);
+  CoreCircuitResult r;
+  r.name = name;
+  r.inputs = n.num_inputs();
+
+  const int max_passes = smoke ? 1 : 200;
+  const double min_elapsed = smoke ? 0.0 : 1.0;
+  double elapsed = 0.0;
+  double best = 1e300;
+  for (int pass = 0; pass < max_passes && (pass == 0 || elapsed < min_elapsed);
+       ++pass) {
+    DdManager mgr(n.num_inputs());
+    std::size_t ops = 0;
+    cfpm::Timer timer;
+    std::vector<Bdd> g = build_signal_bdds(mgr, n, &ops);
+    const double t = timer.seconds();
+    best = std::min(best, t);
+    elapsed += t;
+    r.binary_ops = ops;
+    if (pass == 0) {
+      r.live_nodes = mgr.live_nodes();
+      r.check_ok = self_check(n, g, smoke ? 64 : 256);
+      cfpm::Timer sift_timer;
+      mgr.sift();
+      r.sift_seconds = sift_timer.seconds();
+      r.nodes_after_sift = mgr.live_nodes();
+    }
+  }
+  r.build_seconds = best;
+  r.apply_ops_per_sec = static_cast<double>(r.binary_ops) / best;
+  return r;
+}
+
+int run_dd_core(bool smoke) {
+  const std::size_t node_bytes = DdManager::node_footprint_bytes();
+  std::vector<CoreCircuitResult> results;
+  bool ok = true;
+  for (const char* name : {"cmb", "cm150"}) {
+    CoreCircuitResult r = run_core_circuit(name, smoke);
+    ok = ok && r.check_ok;
+    std::cout << r.name << ": inputs=" << r.inputs << " binary_ops="
+              << r.binary_ops << " build=" << r.build_seconds * 1e3
+              << " ms apply_ops/s=" << r.apply_ops_per_sec
+              << " nodes=" << r.live_nodes << " sift=" << r.sift_seconds * 1e3
+              << " ms nodes_after_sift=" << r.nodes_after_sift
+              << (r.check_ok ? " check=ok" : " check=FAILED") << "\n";
+    results.push_back(std::move(r));
+  }
+  std::cout << "node_footprint_bytes=" << node_bytes << "\n";
+  if (!ok) return 1;
+  if (smoke) {
+    std::cout << "dd-core smoke: ok\n";
+    return 0;
+  }
+  std::ofstream out("BENCH_dd_core.json");
+  out << "{\n  \"node_footprint_bytes\": " << node_bytes << ",\n";
+  out << "  \"circuits\": [\n";
+  out.precision(6);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CoreCircuitResult& r = results[i];
+    out << "    {\"name\": \"" << r.name << "\", \"inputs\": " << r.inputs
+        << ", \"binary_apply_ops\": " << r.binary_ops
+        << ", \"build_seconds\": " << r.build_seconds
+        << ", \"apply_ops_per_sec\": " << r.apply_ops_per_sec
+        << ", \"live_nodes\": " << r.live_nodes
+        << ", \"sift_seconds\": " << r.sift_seconds
+        << ", \"nodes_after_sift\": " << r.nodes_after_sift << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote BENCH_dd_core.json\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool dd_core = false;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dd-core") == 0) dd_core = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  if (dd_core) return run_dd_core(smoke);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -15,57 +15,67 @@ namespace cfpm::dd {
 
 namespace {
 
-/// Rebuilds `root` with every node in `marked` replaced by the constant
-/// given for it. Returns a referenced node.
+// ADDs carry no complement edges, so nodes are identified throughout this
+// file by bare arena index (the deterministic tie-break the old creation
+// id used to provide).
+
+/// Rebuilds the DAG under `root` with every node in `marked` replaced by
+/// the constant given for it. Returns a referenced plain edge.
 class Rebuilder {
  public:
   Rebuilder(DdManager* mgr,
-            const std::unordered_map<const DdNode*, double>& marked)
+            const std::unordered_map<std::uint32_t, double>& marked)
       : mgr_(mgr), marked_(marked) {}
 
-  DdNode* rebuild(DdNode* n) {
-    if (auto it = marked_.find(n); it != marked_.end()) {
+  Edge rebuild(std::uint32_t index) {
+    if (auto it = marked_.find(index); it != marked_.end()) {
       return DdInternal::terminal(*mgr_, it->second);
     }
-    if (n->is_terminal()) {
-      DdInternal::ref(*mgr_, n);
-      return n;
+    if (DdInternal::is_terminal(*mgr_, index)) {
+      const Edge e = make_edge(index);
+      DdInternal::ref(*mgr_, e);
+      return e;
     }
-    if (auto it = memo_.find(n); it != memo_.end()) {
+    if (auto it = memo_.find(index); it != memo_.end()) {
       DdInternal::ref(*mgr_, it->second);
       return it->second;
     }
-    DdNode* t = rebuild(n->then_child);
-    DdNode* e;
+    // Copy the record before recursing: rebuilding allocates, and an
+    // allocation may relocate the arena.
+    const DdNode n = DdInternal::node(*mgr_, index);
+    Edge t = rebuild(edge_index(n.then_edge));
+    Edge e;
     try {
-      e = rebuild(n->else_child);
+      e = rebuild(edge_index(n.else_edge));
     } catch (...) {
       DdInternal::deref(*mgr_, t);
       throw;
     }
-    DdNode* r = DdInternal::make_node(*mgr_, n->var, t, e);  // consumes t, e
-    memo_.emplace(n, r);
+    const Edge r = DdInternal::make_node(*mgr_, n.var, t, e);  // consumes t, e
+    memo_.emplace(index, r);
     return r;
   }
 
  private:
   DdManager* mgr_;
-  const std::unordered_map<const DdNode*, double>& marked_;
-  std::unordered_map<const DdNode*, DdNode*> memo_;
+  const std::unordered_map<std::uint32_t, double>& marked_;
+  std::unordered_map<std::uint32_t, Edge> memo_;
 };
 
 /// All internal nodes reachable from root.
-std::vector<const DdNode*> internal_nodes(const DdNode* root) {
-  std::unordered_set<const DdNode*> seen;
-  std::vector<const DdNode*> result;
-  std::vector<const DdNode*> stack{root};
+std::vector<std::uint32_t> internal_nodes(const DdManager& mgr,
+                                          std::uint32_t root) {
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<std::uint32_t> result;
+  std::vector<std::uint32_t> stack{root};
   while (!stack.empty()) {
-    const DdNode* n = stack.back();
+    const std::uint32_t i = stack.back();
     stack.pop_back();
-    if (n->is_terminal() || !seen.insert(n).second) continue;
-    result.push_back(n);
-    stack.push_back(n->then_child);
-    stack.push_back(n->else_child);
+    const DdNode& n = DdInternal::node(mgr, i);
+    if (n.is_terminal() || !seen.insert(i).second) continue;
+    result.push_back(i);
+    stack.push_back(edge_index(n.then_edge));
+    stack.push_back(edge_index(n.else_edge));
   }
   return result;
 }
@@ -109,25 +119,35 @@ ApproxResult approximate(const Add& f, std::size_t max_size, ApproxMode mode,
   while (size > max_size) {
     ++rounds;
     NodeStats stats(current);
-    DdNode* root = DdInternal::node(current);
-    std::vector<const DdNode*> candidates = internal_nodes(root);
+    const std::uint32_t root = edge_index(DdInternal::edge(current));
+    std::vector<std::uint32_t> candidates = internal_nodes(*mgr, root);
     CFPM_ASSERT(!candidates.empty());
+    auto var_of = [&](std::uint32_t i) {
+      return DdInternal::node(*mgr, i).var;
+    };
+    auto children_of = [&](std::uint32_t i) {
+      const DdNode& n = DdInternal::node(*mgr, i);
+      return std::pair<std::uint32_t, std::uint32_t>{
+          edge_index(n.then_edge), edge_index(n.else_edge)};
+    };
 
     // Reach probabilities are only needed for the reach-weighted metric.
-    std::unordered_map<const DdNode*, double> reach;
+    std::unordered_map<std::uint32_t, double> reach;
     if (metric_kind == CollapseMetric::kReachWeightedVariance) {
-      std::vector<const DdNode*> by_level = candidates;
+      std::vector<std::uint32_t> by_level = candidates;
       const DdManager& cmgr = *mgr;
       std::sort(by_level.begin(), by_level.end(),
-                [&](const DdNode* a, const DdNode* b) {
-                  return cmgr.level_of_var(a->var) < cmgr.level_of_var(b->var);
+                [&](std::uint32_t a, std::uint32_t b) {
+                  return cmgr.level_of_var(var_of(a)) <
+                         cmgr.level_of_var(var_of(b));
                 });
       reach.reserve(candidates.size());
       reach[root] = 1.0;
-      for (const DdNode* n : by_level) {
+      for (const std::uint32_t n : by_level) {
         const double p = reach[n];  // parents processed first (lower level)
-        reach[n->then_child] += 0.5 * p;
-        reach[n->else_child] += 0.5 * p;
+        const auto [t, e] = children_of(n);
+        reach[t] += 0.5 * p;
+        reach[e] += 0.5 * p;
       }
     }
 
@@ -140,7 +160,7 @@ ApproxResult approximate(const Add& f, std::size_t max_size, ApproxMode mode,
     // destroy the model's near-zero diagonal. Switching-capacitance
     // functions are non-negative, so avg(n) > 0 for every internal node.
     // The alternatives exist for the DESIGN.md ablation.
-    auto metric = [&](const DdNode* n) {
+    auto metric = [&](std::uint32_t n) {
       const NodeStats::Entry& e = stats.at(n);
       const double local =
           mode == ApproxMode::kAverage ? e.var : e.mse_of_max();
@@ -155,35 +175,37 @@ ApproxResult approximate(const Add& f, std::size_t max_size, ApproxMode mode,
       return local / (e.avg * e.avg + 1e-12);
     };
     std::sort(candidates.begin(), candidates.end(),
-              [&](const DdNode* a, const DdNode* b) {
+              [&](std::uint32_t a, std::uint32_t b) {
                 const double ma = metric(a);
                 const double mb = metric(b);
                 if (ma != mb) return ma < mb;
-                return a->id < b->id;  // deterministic
+                return a < b;  // deterministic (arena index)
               });
 
     // Live-parent counts over the reachable DAG (the root is pinned).
-    std::unordered_map<const DdNode*, std::size_t> parents;
+    std::unordered_map<std::uint32_t, std::size_t> parents;
     parents.reserve(size);
-    for (const DdNode* n : candidates) {
-      ++parents[n->then_child];
-      ++parents[n->else_child];
+    for (const std::uint32_t n : candidates) {
+      const auto [t, e] = children_of(n);
+      ++parents[t];
+      ++parents[e];
     }
 
-    std::unordered_set<const DdNode*> gone;
-    std::unordered_map<const DdNode*, double> marked;
+    std::unordered_set<std::uint32_t> gone;
+    std::unordered_map<std::uint32_t, double> marked;
     std::size_t removed = 0;
     const std::size_t deficit = size - max_size;
 
-    std::vector<const DdNode*> undo;        // nodes decremented this mark
-    std::vector<const DdNode*> undo_gone;   // nodes marked gone this mark
-    std::vector<const DdNode*> cascade;
+    std::vector<std::uint32_t> undo;       // nodes decremented this mark
+    std::vector<std::uint32_t> undo_gone;  // nodes marked gone this mark
+    std::vector<std::uint32_t> cascade;
     // Accept a small relative overshoot so the loop terminates crisply.
     const std::size_t grace = std::max<std::size_t>(2, max_size / 8);
-    const DdNode* fallback = nullptr;       // smallest rejected cascade
+    bool have_fallback = false;            // smallest rejected cascade
+    std::uint32_t fallback = 0;
     std::size_t fallback_delta = 0;
 
-    auto run_cascade = [&](const DdNode* n) {
+    auto run_cascade = [&](std::uint32_t n) {
       undo.clear();
       undo_gone.clear();
       cascade.clear();
@@ -192,10 +214,11 @@ ApproxResult approximate(const Add& f, std::size_t max_size, ApproxMode mode,
       undo_gone.push_back(n);
       cascade.push_back(n);
       while (!cascade.empty()) {
-        const DdNode* dead = cascade.back();
+        const std::uint32_t dead = cascade.back();
         cascade.pop_back();
-        if (dead->is_terminal()) continue;
-        for (const DdNode* child : {dead->then_child, dead->else_child}) {
+        if (DdInternal::is_terminal(*mgr, dead)) continue;
+        const auto [tc, ec] = children_of(dead);
+        for (const std::uint32_t child : {tc, ec}) {
           auto it = parents.find(child);
           CFPM_ASSERT(it != parents.end() && it->second > 0);
           --it->second;
@@ -211,17 +234,18 @@ ApproxResult approximate(const Add& f, std::size_t max_size, ApproxMode mode,
       return delta;
     };
     auto roll_back = [&]() {
-      for (const DdNode* c : undo) ++parents[c];
-      for (const DdNode* g : undo_gone) gone.erase(g);
+      for (const std::uint32_t c : undo) ++parents[c];
+      for (const std::uint32_t g : undo_gone) gone.erase(g);
     };
 
-    for (const DdNode* n : candidates) {
+    for (const std::uint32_t n : candidates) {
       if (removed >= deficit) break;
       if (gone.contains(n)) continue;  // already unreachable
       const std::size_t delta = run_cascade(n);
       if (removed + delta > deficit + grace) {
         roll_back();
-        if (fallback == nullptr || delta < fallback_delta) {
+        if (!have_fallback || delta < fallback_delta) {
+          have_fallback = true;
           fallback = n;
           fallback_delta = delta;
         }
@@ -239,14 +263,14 @@ ApproxResult approximate(const Add& f, std::size_t max_size, ApproxMode mode,
       // more each round, so the loop always converges (in the limit to a
       // single leaf).
       std::size_t forced = std::max<std::size_t>(1, stagnant);
-      if (fallback != nullptr && !marked.contains(fallback)) {
+      if (have_fallback && !marked.contains(fallback)) {
         run_cascade(fallback);
         const NodeStats::Entry& e = stats.at(fallback);
         marked.emplace(fallback,
                        mode == ApproxMode::kAverage ? e.avg : e.max);
         --forced;
       }
-      for (const DdNode* n : candidates) {
+      for (const std::uint32_t n : candidates) {
         if (forced == 0) break;
         if (marked.contains(n) || gone.contains(n)) continue;
         run_cascade(n);
@@ -288,38 +312,40 @@ Add approximate_to(const Add& f, std::size_t max_size, ApproxMode mode,
 
 namespace {
 
-/// Rebuilds `root` with every terminal value remapped through `value_map`.
+/// Rebuilds `root` with every terminal value remapped through `value_map`
+/// (keyed by terminal arena index).
 class LeafRemapper {
  public:
   LeafRemapper(DdManager* mgr,
-               const std::unordered_map<const DdNode*, double>& value_map)
+               const std::unordered_map<std::uint32_t, double>& value_map)
       : mgr_(mgr), value_map_(value_map) {}
 
-  DdNode* rebuild(DdNode* n) {
-    if (n->is_terminal()) {
-      return DdInternal::terminal(*mgr_, value_map_.at(n));
+  Edge rebuild(std::uint32_t index) {
+    if (DdInternal::is_terminal(*mgr_, index)) {
+      return DdInternal::terminal(*mgr_, value_map_.at(index));
     }
-    if (auto it = memo_.find(n); it != memo_.end()) {
+    if (auto it = memo_.find(index); it != memo_.end()) {
       DdInternal::ref(*mgr_, it->second);
       return it->second;
     }
-    DdNode* t = rebuild(n->then_child);
-    DdNode* e;
+    const DdNode n = DdInternal::node(*mgr_, index);  // copy before recursing
+    Edge t = rebuild(edge_index(n.then_edge));
+    Edge e;
     try {
-      e = rebuild(n->else_child);
+      e = rebuild(edge_index(n.else_edge));
     } catch (...) {
       DdInternal::deref(*mgr_, t);
       throw;
     }
-    DdNode* r = DdInternal::make_node(*mgr_, n->var, t, e);  // consumes t, e
-    memo_.emplace(n, r);
+    const Edge r = DdInternal::make_node(*mgr_, n.var, t, e);  // consumes t, e
+    memo_.emplace(index, r);
     return r;
   }
 
  private:
   DdManager* mgr_;
-  const std::unordered_map<const DdNode*, double>& value_map_;
-  std::unordered_map<const DdNode*, DdNode*> memo_;
+  const std::unordered_map<std::uint32_t, double>& value_map_;
+  std::unordered_map<std::uint32_t, Edge> memo_;
 };
 
 }  // namespace
@@ -330,25 +356,28 @@ Add quantize_leaves(const Add& f, std::size_t max_leaves, ApproxMode mode) {
   static const metrics::Counter c_quantize("dd.approx.quantize.run");
   c_quantize.add();
   DdManager* mgr = f.manager();
-  DdNode* root = DdInternal::node(f);
+  const std::uint32_t root = edge_index(DdInternal::edge(f));
 
   // Probability mass reaching each terminal under uniform inputs.
-  std::vector<const DdNode*> internal = internal_nodes(root);
+  std::vector<std::uint32_t> internal = internal_nodes(*mgr, root);
   const DdManager& cmgr = *mgr;
   std::sort(internal.begin(), internal.end(),
-            [&](const DdNode* a, const DdNode* b) {
-              return cmgr.level_of_var(a->var) < cmgr.level_of_var(b->var);
+            [&](std::uint32_t a, std::uint32_t b) {
+              return cmgr.level_of_var(DdInternal::node(cmgr, a).var) <
+                     cmgr.level_of_var(DdInternal::node(cmgr, b).var);
             });
-  std::unordered_map<const DdNode*, double> reach;
+  std::unordered_map<std::uint32_t, double> reach;
   reach[root] = 1.0;
-  std::unordered_map<const DdNode*, double> leaf_mass;
+  std::unordered_map<std::uint32_t, double> leaf_mass;
   if (internal.empty()) {
     leaf_mass.emplace(root, 1.0);
   } else {
-    for (const DdNode* n : internal) {
+    for (const std::uint32_t n : internal) {
       const double p = reach[n];
-      for (const DdNode* child : {n->then_child, n->else_child}) {
-        if (child->is_terminal()) {
+      const DdNode& rec = DdInternal::node(*mgr, n);
+      for (const std::uint32_t child :
+           {edge_index(rec.then_edge), edge_index(rec.else_edge)}) {
+        if (DdInternal::is_terminal(*mgr, child)) {
           leaf_mass[child] += 0.5 * p;
         } else {
           reach[child] += 0.5 * p;
@@ -361,12 +390,12 @@ Add quantize_leaves(const Add& f, std::size_t max_leaves, ApproxMode mode) {
   struct Cluster {
     double value;
     double mass;
-    std::vector<const DdNode*> members;
+    std::vector<std::uint32_t> members;
   };
   std::vector<Cluster> clusters;
   clusters.reserve(leaf_mass.size());
   for (const auto& [leaf, mass] : leaf_mass) {
-    clusters.push_back({leaf->value, mass, {leaf}});
+    clusters.push_back({DdInternal::value(*mgr, leaf), mass, {leaf}});
   }
   std::sort(clusters.begin(), clusters.end(),
             [](const Cluster& a, const Cluster& b) { return a.value < b.value; });
@@ -393,9 +422,9 @@ Add quantize_leaves(const Add& f, std::size_t max_leaves, ApproxMode mode) {
     clusters.erase(clusters.begin() + static_cast<long>(best) + 1);
   }
 
-  std::unordered_map<const DdNode*, double> value_map;
+  std::unordered_map<std::uint32_t, double> value_map;
   for (const Cluster& c : clusters) {
-    for (const DdNode* leaf : c.members) value_map.emplace(leaf, c.value);
+    for (const std::uint32_t leaf : c.members) value_map.emplace(leaf, c.value);
   }
   LeafRemapper remapper(mgr, value_map);
   Add result = DdInternal::make_add(mgr, remapper.rebuild(root));

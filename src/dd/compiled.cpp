@@ -14,38 +14,46 @@ namespace cfpm::dd {
 CompiledDd CompiledDd::compile(const Add& f) {
   CFPM_REQUIRE(!f.is_null());
   const DdManager* mgr = f.manager();
-  const DdNode* root = DdInternal::node(f);
+  // ADD edges are always plain, so the walk can drop straight from edges
+  // to bare arena indices.
+  const std::uint32_t root = edge_index(DdInternal::edge(f));
 
   // Collect the reachable DAG (iterative DFS; the diagram may be deep).
-  std::vector<const DdNode*> internals;
-  std::vector<const DdNode*> terminals;
-  std::unordered_set<const DdNode*> seen;
-  std::vector<const DdNode*> stack{root};
+  std::vector<std::uint32_t> internals;
+  std::vector<std::uint32_t> terminals;
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<std::uint32_t> stack{root};
   seen.insert(root);
   while (!stack.empty()) {
-    const DdNode* n = stack.back();
+    const std::uint32_t i = stack.back();
     stack.pop_back();
-    if (n->is_terminal()) {
-      terminals.push_back(n);
+    const DdNode& n = DdInternal::node(*mgr, i);
+    if (n.is_terminal()) {
+      terminals.push_back(i);
       continue;
     }
-    internals.push_back(n);
-    for (const DdNode* child : {n->then_child, n->else_child}) {
+    internals.push_back(i);
+    for (const std::uint32_t child :
+         {edge_index(n.then_edge), edge_index(n.else_edge)}) {
       if (seen.insert(child).second) stack.push_back(child);
     }
   }
 
-  // Deterministic layout: internal nodes by (level, creation id), terminal
+  // Deterministic layout: internal nodes by (level, arena index), terminal
   // values ascending. A child is always at a strictly deeper level than its
   // parent, so every walk moves forward through the array.
   std::sort(internals.begin(), internals.end(),
-            [&](const DdNode* a, const DdNode* b) {
-              const std::uint32_t la = mgr->level_of_var(a->var);
-              const std::uint32_t lb = mgr->level_of_var(b->var);
-              return la != lb ? la < lb : a->id < b->id;
+            [&](std::uint32_t a, std::uint32_t b) {
+              const std::uint32_t la =
+                  mgr->level_of_var(DdInternal::node(*mgr, a).var);
+              const std::uint32_t lb =
+                  mgr->level_of_var(DdInternal::node(*mgr, b).var);
+              return la != lb ? la < lb : a < b;
             });
   std::sort(terminals.begin(), terminals.end(),
-            [](const DdNode* a, const DdNode* b) { return a->value < b->value; });
+            [&](std::uint32_t a, std::uint32_t b) {
+              return DdInternal::value(*mgr, a) < DdInternal::value(*mgr, b);
+            });
 
   static const metrics::Counter c_compile("dd.compile.run");
   static const metrics::Counter c_compiled_nodes("dd.compile.node");
@@ -55,22 +63,23 @@ CompiledDd CompiledDd::compile(const Add& f) {
   CompiledDd c;
   c.first_terminal_ = static_cast<std::uint32_t>(internals.size());
 
-  std::unordered_map<const DdNode*, std::uint32_t> index;
+  std::unordered_map<std::uint32_t, std::uint32_t> index;
   index.reserve(internals.size() + terminals.size());
   for (std::uint32_t i = 0; i < internals.size(); ++i) index[internals[i]] = i;
   for (std::uint32_t i = 0; i < terminals.size(); ++i) {
     index[terminals[i]] = c.first_terminal_ + i;
-    c.values_.push_back(terminals[i]->value);
+    c.values_.push_back(DdInternal::value(*mgr, terminals[i]));
   }
 
   c.nodes_.reserve(internals.size() + terminals.size());
   std::uint32_t distinct_levels = 0;
   std::uint32_t prev_level = DdNode::kTerminalVar;
-  for (const DdNode* n : internals) {
-    c.nodes_.push_back(Node{n->var, index.at(n->then_child),
-                            index.at(n->else_child)});
-    c.num_vars_needed_ = std::max(c.num_vars_needed_, n->var + 1);
-    const std::uint32_t level = mgr->level_of_var(n->var);
+  for (const std::uint32_t i : internals) {
+    const DdNode& n = DdInternal::node(*mgr, i);
+    c.nodes_.push_back(Node{n.var, index.at(edge_index(n.then_edge)),
+                            index.at(edge_index(n.else_edge))});
+    c.num_vars_needed_ = std::max(c.num_vars_needed_, n.var + 1);
+    const std::uint32_t level = mgr->level_of_var(n.var);
     if (level != prev_level) {
       ++distinct_levels;
       prev_level = level;

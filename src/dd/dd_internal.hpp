@@ -7,18 +7,27 @@
 namespace cfpm::dd {
 
 struct DdInternal {
-  static DdNode* node(const DdHandle& h) { return h.node_; }
-  /// Wraps an already-referenced node into a handle (takes ownership).
-  static Bdd make_bdd(DdManager* m, DdNode* n) { return Bdd(m, n); }
-  static Add make_add(DdManager* m, DdNode* n) { return Add(m, n); }
+  static Edge edge(const DdHandle& h) { return h.edge_; }
+  /// Wraps an already-referenced edge into a handle (takes ownership).
+  static Bdd make_bdd(DdManager* m, Edge e) { return Bdd(m, e); }
+  static Add make_add(DdManager* m, Edge e) { return Add(m, e); }
 
-  // Reference plumbing for implementation files outside the manager.
-  static void ref(DdManager& m, DdNode* n) { m.ref_node(n); }
-  static void deref(DdManager& m, DdNode* n) { m.deref_node(n); }
-  static DdNode* terminal(DdManager& m, double v) { return m.terminal(v); }
-  static DdNode* make_node(DdManager& m, std::uint32_t var, DdNode* t,
-                           DdNode* e) {
+  // Reference and record plumbing for implementation files outside the
+  // manager. Everything speaks Edge / arena index, never pointers.
+  static void ref(DdManager& m, Edge e) { m.ref_edge(e); }
+  static void deref(DdManager& m, Edge e) { m.deref_edge(e); }
+  static Edge terminal(DdManager& m, double v) { return m.terminal(v); }
+  static Edge make_node(DdManager& m, std::uint32_t var, Edge t, Edge e) {
     return m.make_node(var, t, e);
+  }
+  static const DdNode& node(const DdManager& m, std::uint32_t index) {
+    return m.node_at(index);
+  }
+  static bool is_terminal(const DdManager& m, std::uint32_t index) {
+    return m.is_terminal_index(index);
+  }
+  static double value(const DdManager& m, std::uint32_t index) {
+    return m.value_of(index);
   }
 };
 

@@ -1,10 +1,25 @@
 // Internal node representation of the decision-diagram package.
 //
-// A single node type serves both BDDs and ADDs: a BDD is simply an ADD
-// whose terminals are 0.0 and 1.0. Terminal nodes carry a double value and
-// have var == kTerminalVar; internal nodes carry a variable index and two
-// children. Nodes are hash-consed in per-variable unique tables, so
-// pointer equality is function equality.
+// Nodes live in a contiguous 32-bit indexed arena and are referred to by
+// `Edge` values: a node index shifted left once, with the low bit carrying
+// a complement ("negated function") tag. Complement edges are restricted to
+// the BDD fragment exactly as in CUDD: a complemented edge to node f
+// denotes NOT f, which makes negation an O(1) bit flip and lets f and
+// NOT f share one physical subgraph. ADD edges are always plain (the
+// complement of an arbitrary real-valued function is not expressible), so
+// arithmetic diagrams keep the familiar one-node-per-function shape.
+//
+// Canonicity invariants (enforced by DdManager::make_node):
+//  * the then-edge of every node is plain (never complemented); a would-be
+//    complemented then-edge is normalized by complementing both children
+//    and returning a complemented edge to the node,
+//  * ADD nodes only ever see plain child edges, so the rule is vacuous
+//    there and plain structural hashing applies.
+//
+// A node is a fixed 16-byte record; terminal values live in a side table
+// owned by the manager (a terminal's `then_edge` field holds its slot in
+// that table). Reference counts live in a parallel array so the hot
+// apply/ite walks touch only these 16-byte records.
 #pragma once
 
 #include <cstdint>
@@ -12,19 +27,37 @@
 
 namespace cfpm::dd {
 
+/// Tagged reference to a node: (node index << 1) | complement bit.
+using Edge = std::uint32_t;
+
+/// Sentinel index (never allocated; the arena is capped below it).
+inline constexpr std::uint32_t kNilIndex = 0x7fffffffu;
+/// Sentinel edge ("no edge"); the complemented edge to kNilIndex.
+inline constexpr Edge kNilEdge = 0xffffffffu;
+
+constexpr Edge make_edge(std::uint32_t index, bool complement = false) noexcept {
+  return (index << 1) | static_cast<Edge>(complement);
+}
+constexpr std::uint32_t edge_index(Edge e) noexcept { return e >> 1; }
+constexpr bool edge_complemented(Edge e) noexcept { return (e & 1u) != 0; }
+/// NOT of a BDD edge — a single bit flip.
+constexpr Edge edge_not(Edge e) noexcept { return e ^ 1u; }
+/// The edge with the complement bit cleared (the "regular" edge).
+constexpr Edge edge_regular(Edge e) noexcept { return e & ~1u; }
+
 struct DdNode {
   static constexpr std::uint32_t kTerminalVar =
       std::numeric_limits<std::uint32_t>::max();
 
-  std::uint32_t var = kTerminalVar;  ///< variable index, kTerminalVar for leaves
-  std::uint32_t ref = 0;             ///< live parents + external handles
-  std::uint64_t id = 0;              ///< creation sequence number (deterministic tie-breaks)
-  DdNode* then_child = nullptr;      ///< child for var = 1
-  DdNode* else_child = nullptr;      ///< child for var = 0
-  DdNode* next = nullptr;            ///< unique-table chain
-  double value = 0.0;                ///< terminal value (leaves only)
+  std::uint32_t var;   ///< variable index, kTerminalVar for leaves
+  Edge then_edge;      ///< child for var = 1 (always plain); for terminals:
+                       ///< the node's slot in the manager's value table
+  Edge else_edge;      ///< child for var = 0 (may be complemented);
+                       ///< kNilEdge for terminals
+  std::uint32_t next;  ///< unique-table chain / free-list link (node index)
 
   bool is_terminal() const noexcept { return var == kTerminalVar; }
 };
+static_assert(sizeof(DdNode) == 16, "arena records must stay 16 bytes");
 
 }  // namespace cfpm::dd

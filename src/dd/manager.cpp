@@ -1,6 +1,5 @@
 #include "dd/manager.hpp"
 
-#include <bit>
 #include <cmath>
 #include <cstring>
 
@@ -13,7 +12,7 @@ namespace cfpm::dd {
 
 namespace {
 
-// 64-bit mix for hashing node triples (Fibonacci hashing on a mixed word).
+// 64-bit mix for hashing edge tuples (Fibonacci hashing on a mixed word).
 inline std::uint64_t mix(std::uint64_t x) noexcept {
   x ^= x >> 33;
   x *= 0xff51afd7ed558ccdULL;
@@ -34,22 +33,23 @@ constexpr std::size_t kInitialBuckets = 256;  // power of two
 
 }  // namespace
 
-std::size_t DdManager::child_slot(const DdNode* t, const DdNode* e,
-                                  std::size_t mask) noexcept {
-  const auto a = reinterpret_cast<std::uintptr_t>(t);
-  const auto b = reinterpret_cast<std::uintptr_t>(e);
+std::size_t DdManager::child_slot(Edge t, Edge e, std::size_t mask) noexcept {
+  const auto a = static_cast<std::uint64_t>(t);
+  const auto b = static_cast<std::uint64_t>(e);
   return static_cast<std::size_t>(mix(a * 0x9e3779b97f4a7c15ULL + b)) & mask;
 }
 
-DdManager::DdManager(std::size_t num_vars, DdConfig config) : config_(config) {
+DdManager::DdManager(std::size_t num_vars, DdConfig config)
+    : config_(config) {
   CFPM_REQUIRE(config_.cache_log2_slots >= 4 && config_.cache_log2_slots <= 28);
   cache_.resize(std::size_t{1} << config_.cache_log2_slots);
-  ite_cache_.resize(std::size_t{1} << (config_.cache_log2_slots > 2
-                                           ? config_.cache_log2_slots - 2
-                                           : config_.cache_log2_slots));
-  terminals_.buckets.resize(kInitialBuckets, nullptr);
+  terminals_.buckets.resize(kInitialBuckets, kNilIndex);
+  // Pre-size the arena so early builds never pay a relocation; 4096 records
+  // is 64 KiB, well under one unique table's worth of buckets.
+  nodes_.reserve(4096);
+  refs_.reserve(4096);
   for (std::size_t i = 0; i < num_vars; ++i) new_var();
-  zero_ = terminal(0.0);
+  add_zero_ = terminal(0.0);
   one_ = terminal(1.0);
 }
 
@@ -60,7 +60,7 @@ std::uint32_t DdManager::new_var() {
   level_of_var_.push_back(var);
   var_at_level_.push_back(var);
   unique_.emplace_back();
-  unique_.back().buckets.resize(kInitialBuckets, nullptr);
+  unique_.back().buckets.resize(kInitialBuckets, kNilIndex);
   return var;
 }
 
@@ -91,34 +91,41 @@ std::uint32_t DdManager::var_at_level(std::uint32_t level) const {
 // ---------------------------------------------------------------------------
 // Reference management.
 //
-// Invariant: n->ref == (number of live parents) + (number of external
-// handles). A node with ref == 0 is "dead": it stays in its unique table
-// (and may be resurrected by a cache hit or a unique-table hit) until the
-// next garbage collection sweeps it.
+// Invariant: refs_[i] == (number of live parents of node i) + (number of
+// external handles). Complemented and plain edges to a node contribute to
+// the same count — the complement bit changes the denoted function, not the
+// storage. A node with refs_[i] == 0 is "dead": it stays in its unique
+// table (and may be resurrected by a cache hit or a unique-table hit) until
+// the next garbage collection sweeps it.
 // ---------------------------------------------------------------------------
 
-void DdManager::ref_node(DdNode* n) noexcept {
-  CFPM_ASSERT(n != nullptr);
-  if (n->ref == 0) {
+void DdManager::ref_edge(Edge e) noexcept {
+  CFPM_ASSERT(e != kNilEdge);
+  const std::uint32_t i = edge_index(e);
+  if (refs_[i] == 0) {
     // Resurrection: restore this node's parent-contribution to its children.
     --dead_;
     ++live_;
-    if (!n->is_terminal()) {
-      ref_node(n->then_child);
-      ref_node(n->else_child);
+    const DdNode& n = nodes_[i];
+    if (!n.is_terminal()) {
+      ref_edge(n.then_edge);
+      ref_edge(n.else_edge);
     }
   }
-  ++n->ref;
+  ++refs_[i];
 }
 
-void DdManager::deref_node(DdNode* n) noexcept {
-  CFPM_ASSERT(n != nullptr && n->ref > 0);
-  if (--n->ref == 0) {
+void DdManager::deref_edge(Edge e) noexcept {
+  CFPM_ASSERT(e != kNilEdge);
+  const std::uint32_t i = edge_index(e);
+  CFPM_ASSERT(refs_[i] > 0);
+  if (--refs_[i] == 0) {
     ++dead_;
     --live_;
-    if (!n->is_terminal()) {
-      deref_node(n->then_child);
-      deref_node(n->else_child);
+    const DdNode& n = nodes_[i];
+    if (!n.is_terminal()) {
+      deref_edge(n.then_edge);
+      deref_edge(n.else_edge);
     }
   }
 }
@@ -127,7 +134,7 @@ void DdManager::deref_node(DdNode* n) noexcept {
 // Node construction.
 // ---------------------------------------------------------------------------
 
-DdNode* DdManager::allocate_node() {
+std::uint32_t DdManager::allocate_node() {
   static const metrics::Counter c_alloc("dd.node.alloc");
   c_alloc.add();
   // Governor ticks fire here — the one point every growing operation must
@@ -138,110 +145,135 @@ DdNode* DdManager::allocate_node() {
     config_.governor->note_live_nodes(live_);
     config_.governor->on_allocation();  // may throw
   }
-  if (free_list_ != nullptr) {
-    DdNode* n = free_list_;
-    free_list_ = n->next;
-    return n;
+  if (free_list_ != kNilIndex) {
+    const std::uint32_t i = free_list_;
+    free_list_ = nodes_[i].next;
+    return i;
   }
   if (config_.max_nodes != 0 && allocated_ >= config_.max_nodes &&
       !in_reorder_) {
     collect_garbage();
-    if (free_list_ != nullptr) {
-      DdNode* n = free_list_;
-      free_list_ = n->next;
-      return n;
+    if (free_list_ != kNilIndex) {
+      const std::uint32_t i = free_list_;
+      free_list_ = nodes_[i].next;
+      return i;
     }
     throw ResourceError("decision-diagram node budget exceeded (" +
                         std::to_string(config_.max_nodes) + " nodes)");
   }
+  CFPM_REQUIRE(allocated_ < kNilIndex);  // 31-bit index space
+  const auto i = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  refs_.push_back(0);
   ++allocated_;
-  return &arena_.emplace_back();
+  return i;
 }
 
-DdNode* DdManager::terminal(double value) {
+Edge DdManager::terminal(double value) {
   CFPM_REQUIRE(std::isfinite(value));
   if (value == 0.0) value = 0.0;  // normalize -0.0 to +0.0 for canonicity
   const std::size_t mask = terminals_.buckets.size() - 1;
   const std::size_t slot = hash_value(value, mask);
-  for (DdNode* p = terminals_.buckets[slot]; p != nullptr; p = p->next) {
-    if (p->value == value) {
-      ref_node(p);
-      return p;
+  for (std::uint32_t p = terminals_.buckets[slot]; p != kNilIndex;
+       p = nodes_[p].next) {
+    if (terminal_values_[nodes_[p].then_edge] == value) {
+      ref_edge(make_edge(p));
+      return make_edge(p);
     }
   }
-  DdNode* n = allocate_node();
-  n->var = DdNode::kTerminalVar;
-  n->ref = 1;
-  n->id = next_id_++;
-  n->then_child = nullptr;
-  n->else_child = nullptr;
-  n->value = value;
-  n->next = terminals_.buckets[slot];
-  terminals_.buckets[slot] = n;
+  const std::uint32_t i = allocate_node();
+  std::uint32_t value_slot;
+  if (!value_free_.empty()) {
+    value_slot = value_free_.back();
+    value_free_.pop_back();
+    terminal_values_[value_slot] = value;
+  } else {
+    value_slot = static_cast<std::uint32_t>(terminal_values_.size());
+    terminal_values_.push_back(value);
+  }
+  DdNode& n = nodes_[i];
+  n.var = DdNode::kTerminalVar;
+  n.then_edge = value_slot;
+  n.else_edge = kNilEdge;
+  n.next = terminals_.buckets[slot];
+  refs_[i] = 1;
+  terminals_.buckets[slot] = i;
   ++terminals_.count;
   ++live_;
-  return n;
+  return make_edge(i);
 }
 
-DdNode* DdManager::make_node(std::uint32_t var, DdNode* t, DdNode* e) {
+Edge DdManager::make_node(std::uint32_t var, Edge t, Edge e) {
   CFPM_ASSERT(var < num_vars());
   if (t == e) {
     // Reduction rule: redundant test. Transfer t's reference to the result,
     // release e's.
-    deref_node(e);
+    deref_edge(e);
     return t;
   }
   CFPM_ASSERT(level_of(t) > level_of_var_[var]);
   CFPM_ASSERT(level_of(e) > level_of_var_[var]);
 
+  // Canonicity: the then-edge is never complemented. ADD edges are plain,
+  // so this only ever fires in the BDD fragment. Flipping both children
+  // (deref/ref not needed — the complement bit is not part of the count)
+  // and complementing the result edge preserves the denoted function:
+  //   ite(v, !a, !b) == !ite(v, a, b).
+  const bool complement_out = edge_complemented(t);
+  if (complement_out) {
+    t = edge_not(t);
+    e = edge_not(e);
+  }
+
   UniqueTable& table = unique_[var];
   std::size_t mask = table.buckets.size() - 1;
   std::size_t slot = child_slot(t, e, mask);
-  for (DdNode* p = table.buckets[slot]; p != nullptr; p = p->next) {
-    if (p->then_child == t && p->else_child == e) {
-      ref_node(p);
-      deref_node(t);
-      deref_node(e);
-      return p;
+  for (std::uint32_t p = table.buckets[slot]; p != kNilIndex;
+       p = nodes_[p].next) {
+    if (nodes_[p].then_edge == t && nodes_[p].else_edge == e) {
+      ref_edge(make_edge(p));
+      deref_edge(t);
+      deref_edge(e);
+      return make_edge(p, complement_out);
     }
   }
   // Strong guarantee: a throw past this point (table growth, node budget,
   // governor fault) must not leak the child references this call consumes.
-  DdNode* n;
+  std::uint32_t i;
   try {
     maybe_resize_table(var);
-    n = allocate_node();
+    i = allocate_node();
   } catch (...) {
-    deref_node(t);
-    deref_node(e);
+    deref_edge(t);
+    deref_edge(e);
     throw;
   }
   mask = table.buckets.size() - 1;
   slot = child_slot(t, e, mask);
-  n->var = var;
-  n->ref = 1;  // caller's reference
-  n->id = next_id_++;
-  n->then_child = t;  // adopts the caller's references as parent references
-  n->else_child = e;
-  n->value = 0.0;
-  n->next = table.buckets[slot];
-  table.buckets[slot] = n;
+  DdNode& n = nodes_[i];
+  n.var = var;
+  n.then_edge = t;  // adopts the caller's references as parent references
+  n.else_edge = e;
+  n.next = table.buckets[slot];
+  refs_[i] = 1;  // caller's reference
+  table.buckets[slot] = i;
   ++table.count;
   ++live_;
-  return n;
+  return make_edge(i, complement_out);
 }
 
 void DdManager::maybe_resize_table(std::uint32_t var) {
   UniqueTable& table = unique_[var];
   if (table.count < table.buckets.size()) return;
-  std::vector<DdNode*> old = std::move(table.buckets);
-  table.buckets.assign(old.size() * 2, nullptr);
+  std::vector<std::uint32_t> old = std::move(table.buckets);
+  table.buckets.assign(old.size() * 2, kNilIndex);
   const std::size_t mask = table.buckets.size() - 1;
-  for (DdNode* p : old) {
-    while (p != nullptr) {
-      DdNode* next = p->next;
-      const std::size_t slot = child_slot(p->then_child, p->else_child, mask);
-      p->next = table.buckets[slot];
+  for (std::uint32_t p : old) {
+    while (p != kNilIndex) {
+      const std::uint32_t next = nodes_[p].next;
+      const std::size_t slot =
+          child_slot(nodes_[p].then_edge, nodes_[p].else_edge, mask);
+      nodes_[p].next = table.buckets[slot];
       table.buckets[slot] = p;
       p = next;
     }
@@ -277,29 +309,31 @@ std::size_t DdManager::collect_garbage() {
   static const metrics::Counter c_gc("dd.gc.run");
   c_gc.add();
   ++gc_runs_;
-  cache_clear();  // cache holds unreferenced pointers; must not survive a sweep
+  cache_clear();  // cache holds unreferenced edges; must not survive a sweep
   std::size_t reclaimed = 0;
-  auto sweep = [&](UniqueTable& table) {
-    for (DdNode*& bucket : table.buckets) {
-      DdNode** link = &bucket;
-      while (*link != nullptr) {
-        DdNode* n = *link;
-        if (n->ref == 0) {
-          *link = n->next;
-          n->next = free_list_;
-          n->then_child = nullptr;
-          n->else_child = nullptr;
-          free_list_ = n;
+  auto sweep = [&](UniqueTable& table, bool is_terminal_table) {
+    for (std::uint32_t& bucket : table.buckets) {
+      std::uint32_t* link = &bucket;
+      while (*link != kNilIndex) {
+        const std::uint32_t i = *link;
+        DdNode& n = nodes_[i];
+        if (refs_[i] == 0) {
+          *link = n.next;
+          if (is_terminal_table) value_free_.push_back(n.then_edge);
+          n.then_edge = kNilEdge;
+          n.else_edge = kNilEdge;
+          n.next = free_list_;
+          free_list_ = i;
           --table.count;
           ++reclaimed;
         } else {
-          link = &n->next;
+          link = &n.next;
         }
       }
     }
   };
-  for (UniqueTable& table : unique_) sweep(table);
-  sweep(terminals_);
+  for (UniqueTable& table : unique_) sweep(table, false);
+  sweep(terminals_, true);
   CFPM_ASSERT(reclaimed == dead_);
   dead_ = 0;
   static const metrics::Counter c_reclaimed("dd.gc.reclaimed");
@@ -312,75 +346,44 @@ std::size_t DdManager::collect_garbage() {
 }
 
 // ---------------------------------------------------------------------------
-// Computed cache: direct-mapped, lossy.
+// Unified computed cache: direct-mapped, lossy. One table serves binary
+// apply (h == kNilEdge) and ITE (op == kOpIte) — the op tag is part of the
+// key, so canonicalized ITE triples and arithmetic applies share capacity
+// without colliding semantically.
 // ---------------------------------------------------------------------------
 
-DdNode* DdManager::cache_lookup(Op op, const DdNode* f, const DdNode* g) noexcept {
+Edge DdManager::cache_lookup(std::uint32_t op, Edge f, Edge g,
+                             Edge h) noexcept {
   ++cache_lookups_;
-  const auto a = reinterpret_cast<std::uintptr_t>(f);
-  const auto b = reinterpret_cast<std::uintptr_t>(g);
+  const std::uint64_t lo = (static_cast<std::uint64_t>(f) << 32) | g;
+  const std::uint64_t hi = (static_cast<std::uint64_t>(h) << 32) | op;
   const std::size_t slot =
-      static_cast<std::size_t>(mix(a * 31 + b * 0x9e3779b97f4a7c15ULL +
-                                   static_cast<std::uint64_t>(op))) &
+      static_cast<std::size_t>(mix(lo * 0x9e3779b97f4a7c15ULL + hi)) &
       (cache_.size() - 1);
   const CacheEntry& e = cache_[slot];
   static const metrics::Counter c_hit("dd.cache.hit");
   static const metrics::Counter c_miss("dd.cache.miss");
-  if (e.f == f && e.g == g && e.op == static_cast<std::uint8_t>(op)) {
+  if (e.f == f && e.g == g && e.h == h && e.op == op) {
     ++cache_hits_;
     c_hit.add();
     return e.result;
   }
   c_miss.add();
-  return nullptr;
+  return kNilEdge;
 }
 
-void DdManager::cache_insert(Op op, const DdNode* f, const DdNode* g,
-                             DdNode* r) noexcept {
-  const auto a = reinterpret_cast<std::uintptr_t>(f);
-  const auto b = reinterpret_cast<std::uintptr_t>(g);
+void DdManager::cache_insert(std::uint32_t op, Edge f, Edge g, Edge h,
+                             Edge r) noexcept {
+  const std::uint64_t lo = (static_cast<std::uint64_t>(f) << 32) | g;
+  const std::uint64_t hi = (static_cast<std::uint64_t>(h) << 32) | op;
   const std::size_t slot =
-      static_cast<std::size_t>(mix(a * 31 + b * 0x9e3779b97f4a7c15ULL +
-                                   static_cast<std::uint64_t>(op))) &
+      static_cast<std::size_t>(mix(lo * 0x9e3779b97f4a7c15ULL + hi)) &
       (cache_.size() - 1);
-  cache_[slot] = CacheEntry{f, g, static_cast<std::uint8_t>(op), r};
-}
-
-DdNode* DdManager::ite_cache_lookup(const DdNode* f, const DdNode* g,
-                                    const DdNode* h) noexcept {
-  ++cache_lookups_;
-  const auto a = reinterpret_cast<std::uintptr_t>(f);
-  const auto b = reinterpret_cast<std::uintptr_t>(g);
-  const auto c = reinterpret_cast<std::uintptr_t>(h);
-  const std::size_t slot =
-      static_cast<std::size_t>(mix(a * 31 + b * 0x9e3779b97f4a7c15ULL + c)) &
-      (ite_cache_.size() - 1);
-  const IteCacheEntry& e = ite_cache_[slot];
-  static const metrics::Counter c_hit("dd.cache.hit");
-  static const metrics::Counter c_miss("dd.cache.miss");
-  if (e.f == f && e.g == g && e.h == h) {
-    ++cache_hits_;
-    c_hit.add();
-    return e.result;
-  }
-  c_miss.add();
-  return nullptr;
-}
-
-void DdManager::ite_cache_insert(const DdNode* f, const DdNode* g,
-                                 const DdNode* h, DdNode* r) noexcept {
-  const auto a = reinterpret_cast<std::uintptr_t>(f);
-  const auto b = reinterpret_cast<std::uintptr_t>(g);
-  const auto c = reinterpret_cast<std::uintptr_t>(h);
-  const std::size_t slot =
-      static_cast<std::size_t>(mix(a * 31 + b * 0x9e3779b97f4a7c15ULL + c)) &
-      (ite_cache_.size() - 1);
-  ite_cache_[slot] = IteCacheEntry{f, g, h, r};
+  cache_[slot] = CacheEntry{f, g, h, op, r};
 }
 
 void DdManager::cache_clear() noexcept {
   for (CacheEntry& e : cache_) e = CacheEntry{};
-  for (IteCacheEntry& e : ite_cache_) e = IteCacheEntry{};
 }
 
 // ---------------------------------------------------------------------------
@@ -390,61 +393,61 @@ void DdManager::cache_clear() noexcept {
 Add DdManager::constant(double value) { return Add(this, terminal(value)); }
 
 Bdd DdManager::bdd_zero() {
-  ref_node(zero_);
-  return Bdd(this, zero_);
+  ref_edge(one_);
+  return Bdd(this, edge_not(one_));
 }
 
 Bdd DdManager::bdd_one() {
-  ref_node(one_);
+  ref_edge(one_);
   return Bdd(this, one_);
 }
 
 Bdd DdManager::bdd_var(std::uint32_t var) {
   CFPM_REQUIRE(var < num_vars());
-  ref_node(one_);
-  ref_node(zero_);
-  return Bdd(this, make_node(var, one_, zero_));
+  ref_edge(one_);
+  ref_edge(one_);  // both children of the fresh node reference the 1-leaf
+  return Bdd(this, make_node(var, one_, edge_not(one_)));
 }
 
 // ---------------------------------------------------------------------------
 // Handle plumbing.
 // ---------------------------------------------------------------------------
 
-DdHandle::DdHandle(const DdHandle& other) : mgr_(other.mgr_), node_(other.node_) {
-  if (node_ != nullptr) mgr_->ref_node(node_);
+DdHandle::DdHandle(const DdHandle& other) : mgr_(other.mgr_), edge_(other.edge_) {
+  if (edge_ != kNilEdge) mgr_->ref_edge(edge_);
 }
 
 DdHandle::DdHandle(DdHandle&& other) noexcept
-    : mgr_(other.mgr_), node_(other.node_) {
-  other.node_ = nullptr;
+    : mgr_(other.mgr_), edge_(other.edge_) {
+  other.edge_ = kNilEdge;
 }
 
 DdHandle& DdHandle::operator=(const DdHandle& other) {
   if (this == &other) return *this;
-  DdNode* old = node_;
+  const Edge old = edge_;
   DdManager* old_mgr = mgr_;
   mgr_ = other.mgr_;
-  node_ = other.node_;
-  if (node_ != nullptr) mgr_->ref_node(node_);
-  if (old != nullptr) old_mgr->deref_node(old);
+  edge_ = other.edge_;
+  if (edge_ != kNilEdge) mgr_->ref_edge(edge_);
+  if (old != kNilEdge) old_mgr->deref_edge(old);
   return *this;
 }
 
 DdHandle& DdHandle::operator=(DdHandle&& other) noexcept {
   if (this == &other) return *this;
-  if (node_ != nullptr) mgr_->deref_node(node_);
+  if (edge_ != kNilEdge) mgr_->deref_edge(edge_);
   mgr_ = other.mgr_;
-  node_ = other.node_;
-  other.node_ = nullptr;
+  edge_ = other.edge_;
+  other.edge_ = kNilEdge;
   return *this;
 }
 
 DdHandle::~DdHandle() { reset(); }
 
 void DdHandle::reset() noexcept {
-  if (node_ != nullptr) {
-    mgr_->deref_node(node_);
-    node_ = nullptr;
+  if (edge_ != kNilEdge) {
+    mgr_->deref_edge(edge_);
+    edge_ = kNilEdge;
   }
 }
 

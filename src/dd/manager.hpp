@@ -1,28 +1,30 @@
 // Decision-diagram manager: hash-consed BDDs/ADDs with reference-counting
-// garbage collection and a lossy computed-operation cache.
+// garbage collection and a unified op-tagged computed cache.
 //
 // This is the symbolic kernel of the library (the role CUDD plays in the
 // paper). Public access goes through the RAII handles `Bdd` and `Add`
-// declared at the bottom; raw DdNode pointers never escape this module.
+// declared at the bottom; raw Edge values never escape this module.
 //
 // Conventions:
-//  * A BDD is an ADD whose leaves are exactly {0.0, 1.0}; logical operators
-//    check this in debug builds.
+//  * Nodes live in a contiguous arena addressed by 32-bit `Edge` values
+//    (index + complement tag, see dd_node.hpp). Complement edges exist only
+//    in the BDD fragment; ADD edges are always plain.
+//  * A BDD's only terminal is the 1.0 leaf: logical zero is the
+//    complemented edge to it. ADDs use plain edges to real-valued leaves
+//    (including a genuine 0.0 terminal), so converting a Bdd to an Add is a
+//    memoized rebuild, not a cast.
 //  * Variables are identified by index; the evaluation/traversal order is a
 //    permutation maintained by the manager (level_of_var / var_at_level).
-//    The order is fixed after variables are created; reordering utilities
-//    operate by rebuilding into a fresh manager (see ordering.hpp).
-//  * All internal routines that return a DdNode* return it with one
+//  * All internal routines that return an Edge return it with one
 //    caller-owned reference already applied ("referenced-return").
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <memory>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "dd/dd_node.hpp"
@@ -36,7 +38,10 @@ namespace cfpm::dd {
 class Bdd;
 class Add;
 
-/// Binary operations usable with DdManager::apply.
+/// Binary operations usable with DdManager::apply. The logical operations
+/// are implemented through complement-edge ITE (see apply.cpp) rather than
+/// generic apply; the enumerators remain for source compatibility and as
+/// cache tags.
 enum class Op : std::uint8_t {
   kPlus,   ///< arithmetic sum
   kMinus,  ///< arithmetic difference
@@ -99,6 +104,13 @@ class DdManager {
 
   // ----- statistics --------------------------------------------------------
 
+  /// Bytes of manager storage one node record costs (the 16-byte arena
+  /// record plus its slot in the reference-count side array); the
+  /// denominator of memory-per-node metrics.
+  static constexpr std::size_t node_footprint_bytes() noexcept {
+    return sizeof(DdNode) + sizeof(std::uint32_t);
+  }
+
   std::size_t live_nodes() const noexcept { return live_; }
   std::size_t dead_nodes() const noexcept { return dead_; }
   std::size_t allocated_nodes() const noexcept { return allocated_; }
@@ -106,8 +118,8 @@ class DdManager {
   std::uint64_t cache_lookups() const noexcept { return cache_lookups_; }
   std::uint64_t gc_runs() const noexcept { return gc_runs_; }
 
-  /// Fraction of computed-cache lookups (apply + ite) answered from the
-  /// cache; 0 when no lookup has happened yet.
+  /// Fraction of computed-cache lookups (apply and ite share one cache)
+  /// answered from the cache; 0 when no lookup has happened yet.
   double cache_hit_rate() const noexcept {
     return cache_lookups_ == 0 ? 0.0
                                : static_cast<double>(cache_hits_) /
@@ -130,9 +142,9 @@ class DdManager {
 
   // ----- dynamic reordering (reorder.cpp) ----------------------------------
 
-  /// Swaps the variables at `level` and `level + 1` in place. Node
-  /// addresses keep representing the same functions, so all handles stay
-  /// valid. Returns the live node count after the swap.
+  /// Swaps the variables at `level` and `level + 1` in place. Node indices
+  /// keep representing the same functions, so all handles stay valid.
+  /// Returns the live node count after the swap.
   std::size_t swap_adjacent_levels(std::uint32_t level);
 
   /// Sifts one variable to its locally optimal level (Rudell), allowing at
@@ -150,56 +162,72 @@ class DdManager {
   friend class NodeStats;   // stats.cpp traversals
   friend struct DdInternal; // private bridge for dd implementation files
 
+  /// One slot of the unified computed cache: binary apply entries store
+  /// h == kNilEdge and op == the Op value; ITE entries store all three
+  /// operands under kOpIte. Direct-mapped and lossy.
   struct CacheEntry {
-    const DdNode* f = nullptr;
-    const DdNode* g = nullptr;
-    std::uint8_t op = 0xff;
-    DdNode* result = nullptr;
+    Edge f = kNilEdge;
+    Edge g = kNilEdge;
+    Edge h = kNilEdge;
+    std::uint32_t op = kNoOp;
+    Edge result = kNilEdge;
   };
-  struct IteCacheEntry {
-    const DdNode* f = nullptr;
-    const DdNode* g = nullptr;
-    const DdNode* h = nullptr;
-    DdNode* result = nullptr;
-  };
+  static constexpr std::uint32_t kNoOp = 0xffffffffu;
+  static constexpr std::uint32_t kOpIte = 0x100u;  // above every Op value
+
+  // --- node/edge accessors -------------------------------------------------
+  const DdNode& node_at(std::uint32_t index) const noexcept {
+    return nodes_[index];
+  }
+  bool is_terminal_index(std::uint32_t index) const noexcept {
+    return nodes_[index].is_terminal();
+  }
+  double value_of(std::uint32_t index) const noexcept {
+    return terminal_values_[nodes_[index].then_edge];
+  }
 
   // --- reference management (see dd_node.hpp invariants) -----------------
-  void ref_node(DdNode* n) noexcept;
-  void deref_node(DdNode* n) noexcept;
+  void ref_edge(Edge e) noexcept;
+  void deref_edge(Edge e) noexcept;
 
   // --- node construction ---------------------------------------------------
-  DdNode* terminal(double value);                 // referenced-return
-  /// Consumes one reference each from t and e; referenced-return. On an
-  /// exception (node budget, governor fault) both references are released
-  /// before the throw propagates, so callers never leak them.
-  DdNode* make_node(std::uint32_t var, DdNode* t, DdNode* e);
-  DdNode* allocate_node();
+  Edge terminal(double value);                    // referenced-return
+  /// Consumes one reference each from t and e; referenced-return. The
+  /// then-edge canonicity invariant is restored here: a complemented t is
+  /// normalized by flipping both children and complementing the result
+  /// edge. On an exception (node budget, governor fault) both references
+  /// are released before the throw propagates, so callers never leak them.
+  Edge make_node(std::uint32_t var, Edge t, Edge e);
+  std::uint32_t allocate_node();
   void maybe_gc();
   void maybe_resize_table(std::uint32_t var);
-  static std::size_t child_slot(const DdNode* t, const DdNode* e,
-                                std::size_t mask) noexcept;
+  static std::size_t child_slot(Edge t, Edge e, std::size_t mask) noexcept;
 
   // --- operations (apply.cpp) ----------------------------------------------
-  DdNode* apply(Op op, DdNode* f, DdNode* g);     // referenced-return
-  DdNode* apply_rec(Op op, DdNode* f, DdNode* g);
-  DdNode* bdd_not(DdNode* f);                     // referenced-return
-  DdNode* ite_rec(DdNode* f, DdNode* g, DdNode* h);
-  DdNode* cofactor_rec(DdNode* f, std::uint32_t var, bool phase);
+  Edge apply(Op op, Edge f, Edge g);              // referenced-return
+  Edge apply_rec(Op op, Edge f, Edge g);
+  Edge ite(Edge f, Edge g, Edge h);               // referenced-return
+  Edge ite_rec(Edge f, Edge g, Edge h);
+  Edge cofactor_rec(Edge f, std::uint32_t var, bool phase);
+  /// Memoized rebuild of a BDD as a plain-edged 0.0/1.0 ADD.
+  Edge bdd_to_add(Edge f);
+  Edge bdd_to_add_rec(Edge f, std::unordered_map<Edge, Edge>& memo);
   static double apply_terminal(Op op, double a, double b);
-  static DdNode* apply_shortcut(Op op, DdNode* f, DdNode* g,
-                                DdNode* zero, DdNode* one);
+  /// Operand-level simplification; kNilEdge when no shortcut applies,
+  /// otherwise the (unreferenced) result edge.
+  Edge apply_shortcut(Op op, Edge f, Edge g) const noexcept;
 
-  // --- cache ---------------------------------------------------------------
-  DdNode* cache_lookup(Op op, const DdNode* f, const DdNode* g) noexcept;
-  void cache_insert(Op op, const DdNode* f, const DdNode* g, DdNode* r) noexcept;
-  DdNode* ite_cache_lookup(const DdNode* f, const DdNode* g,
-                           const DdNode* h) noexcept;
-  void ite_cache_insert(const DdNode* f, const DdNode* g, const DdNode* h,
-                        DdNode* r) noexcept;
+  // --- unified computed cache ----------------------------------------------
+  Edge cache_lookup(std::uint32_t op, Edge f, Edge g, Edge h) noexcept;
+  void cache_insert(std::uint32_t op, Edge f, Edge g, Edge h, Edge r) noexcept;
   void cache_clear() noexcept;
 
-  std::uint32_t level_of(const DdNode* n) const noexcept {
-    return n->is_terminal() ? kTerminalLevel : level_of_var_[n->var];
+  std::uint32_t level_of_index(std::uint32_t index) const noexcept {
+    const DdNode& n = nodes_[index];
+    return n.is_terminal() ? kTerminalLevel : level_of_var_[n.var];
+  }
+  std::uint32_t level_of(Edge e) const noexcept {
+    return level_of_index(edge_index(e));
   }
   static constexpr std::uint32_t kTerminalLevel = DdNode::kTerminalVar;
 
@@ -211,16 +239,21 @@ class DdManager {
   /// modulo transient nodes, so the suspension is bounded). The governor is
   /// instead checkpointed between swaps.
   bool in_reorder_ = false;
-  std::deque<DdNode> arena_;
-  DdNode* free_list_ = nullptr;
+  /// The arena. Indices are stable (vector growth relocates storage but
+  /// never renumbers), so recursions hold Edge values, never references
+  /// across an allocation.
+  std::vector<DdNode> nodes_;
+  std::vector<std::uint32_t> refs_;       // parallel to nodes_
+  std::vector<double> terminal_values_;   // terminal side table
+  std::vector<std::uint32_t> value_free_; // recycled terminal_values_ slots
+  std::uint32_t free_list_ = kNilIndex;
   std::size_t live_ = 0;
   std::size_t dead_ = 0;
   std::size_t allocated_ = 0;
-  std::uint64_t next_id_ = 0;
 
-  // per-variable unique tables
+  // per-variable unique tables (buckets chain node indices through `next`)
   struct UniqueTable {
-    std::vector<DdNode*> buckets;
+    std::vector<std::uint32_t> buckets;
     std::size_t count = 0;  // nodes in table (live + dead)
   };
   std::vector<UniqueTable> unique_;
@@ -230,13 +263,12 @@ class DdManager {
   std::vector<std::uint32_t> var_at_level_;
 
   std::vector<CacheEntry> cache_;
-  std::vector<IteCacheEntry> ite_cache_;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_lookups_ = 0;
   std::uint64_t gc_runs_ = 0;
 
-  DdNode* zero_ = nullptr;  // permanently referenced 0.0 / 1.0 terminals
-  DdNode* one_ = nullptr;
+  Edge one_ = kNilEdge;       // plain edge to the 1.0 terminal (BDD true)
+  Edge add_zero_ = kNilEdge;  // plain edge to the 0.0 terminal (ADD zero)
 };
 
 /// RAII handle to a decision diagram. Copyable (ref-counted).
@@ -250,34 +282,40 @@ class DdHandle {
   DdHandle& operator=(DdHandle&& other) noexcept;
   ~DdHandle();
 
-  bool is_null() const noexcept { return node_ == nullptr; }
+  bool is_null() const noexcept { return edge_ == kNilEdge; }
   DdManager* manager() const noexcept { return mgr_; }
 
-  /// Total node count of the DAG rooted here, terminals included.
+  /// Total node count of the DAG rooted here, terminals included. With
+  /// complement edges a function and its negation share nodes, so a BDD
+  /// and its complement report the same size.
   std::size_t size() const;
   /// Variables this function depends on, ascending by index.
   std::vector<std::uint32_t> support() const;
   bool is_terminal_node() const noexcept {
-    return node_ != nullptr && node_->is_terminal();
+    return edge_ != kNilEdge && mgr_->is_terminal_index(edge_index(edge_));
   }
 
+  /// Handles are equal when they designate the same function in the same
+  /// manager. Arena indices are per-manager (two managers routinely hand
+  /// out the same index for unrelated functions), so the owning manager is
+  /// part of the identity.
   friend bool operator==(const DdHandle& a, const DdHandle& b) noexcept {
-    return a.node_ == b.node_;
+    return a.mgr_ == b.mgr_ && a.edge_ == b.edge_;
   }
 
  protected:
-  DdHandle(DdManager* mgr, DdNode* node) noexcept : mgr_(mgr), node_(node) {}
+  DdHandle(DdManager* mgr, Edge edge) noexcept : mgr_(mgr), edge_(edge) {}
   void reset() noexcept;
 
   DdManager* mgr_ = nullptr;
-  DdNode* node_ = nullptr;  // owns one reference when non-null
+  Edge edge_ = kNilEdge;  // owns one reference when != kNilEdge
 
   friend class DdManager;
   friend class NodeStats;
   friend struct DdInternal;
 };
 
-/// Boolean function handle (terminals restricted to {0, 1}).
+/// Boolean function handle (complement-edge BDD fragment).
 class Bdd : public DdHandle {
  public:
   Bdd() = default;
@@ -285,6 +323,7 @@ class Bdd : public DdHandle {
   Bdd operator&(const Bdd& other) const;
   Bdd operator|(const Bdd& other) const;
   Bdd operator^(const Bdd& other) const;
+  /// O(1): complement edges make negation a bit flip.
   Bdd operator!() const;
 
   /// if-then-else composition: (*this) ? t : e.
@@ -308,11 +347,12 @@ class Bdd : public DdHandle {
   friend struct DdInternal;
 };
 
-/// Arithmetic (discrete-valued) function handle.
+/// Arithmetic (discrete-valued) function handle. Edges are always plain.
 class Add : public DdHandle {
  public:
   Add() = default;
-  /// A BDD is already a 0/1-valued ADD; conversion is free.
+  /// Rebuilds the 0/1-valued ADD of a BDD (memoized linear traversal; the
+  /// complement-edge form and the plain ADD form are distinct diagrams).
   explicit Add(const Bdd& b);
 
   Add operator+(const Add& other) const;

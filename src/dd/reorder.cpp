@@ -2,8 +2,9 @@
 // (Rudell's algorithm), the mechanism the paper relies on (via CUDD) to
 // keep switching-capacitance ADDs small before node collapsing.
 //
-// The swap relabels nodes in place, so node addresses keep denoting the
-// same functions and all external handles stay valid.
+// The swap relabels nodes in place, so node indices keep denoting the
+// same functions and all external handles (including complemented edges
+// held by parents) stay valid.
 #include <algorithm>
 #include <vector>
 
@@ -53,17 +54,17 @@ std::size_t DdManager::swap_adjacent_levels(std::uint32_t level) {
   // the spot (their children were dereferenced when they died); the cache
   // is cleared when that happens because it may still point at them.
   UniqueTable& table_u = unique_[u];
-  std::vector<DdNode*> pending;
+  std::vector<std::uint32_t> pending;
   pending.reserve(table_u.count);
   bool freed_any = false;
-  for (DdNode*& bucket : table_u.buckets) {
-    DdNode* p = bucket;
-    while (p != nullptr) {
-      DdNode* next = p->next;
-      if (p->ref == 0) {
-        p->next = free_list_;
-        p->then_child = nullptr;
-        p->else_child = nullptr;
+  for (std::uint32_t& bucket : table_u.buckets) {
+    std::uint32_t p = bucket;
+    while (p != kNilIndex) {
+      const std::uint32_t next = nodes_[p].next;
+      if (refs_[p] == 0) {
+        nodes_[p].then_edge = kNilEdge;
+        nodes_[p].else_edge = kNilEdge;
+        nodes_[p].next = free_list_;
         free_list_ = p;
         --dead_;
         freed_any = true;
@@ -72,61 +73,73 @@ std::size_t DdManager::swap_adjacent_levels(std::uint32_t level) {
       }
       p = next;
     }
-    bucket = nullptr;
+    bucket = kNilIndex;
   }
   table_u.count = 0;
   if (freed_any) cache_clear();
 
-  auto insert_into = [&](std::uint32_t var, DdNode* n) {
+  auto insert_into = [&](std::uint32_t var, std::uint32_t idx) {
     maybe_resize_table(var);
     UniqueTable& table = unique_[var];
-    const std::size_t slot =
-        child_slot(n->then_child, n->else_child, table.buckets.size() - 1);
-    n->next = table.buckets[slot];
-    table.buckets[slot] = n;
+    const std::size_t slot = child_slot(
+        nodes_[idx].then_edge, nodes_[idx].else_edge, table.buckets.size() - 1);
+    nodes_[idx].next = table.buckets[slot];
+    table.buckets[slot] = idx;
     ++table.count;
+  };
+  auto tests_v = [&](Edge e) {
+    const DdNode& n = nodes_[edge_index(e)];
+    return !n.is_terminal() && n.var == v;
   };
 
   // Pass 1: nodes independent of v stay u-nodes (one level lower). They
   // must be back in the table before pass 2, whose make_node lookups may
   // need to find them.
-  auto depends_on_v = [&](const DdNode* n) {
-    return (!n->then_child->is_terminal() && n->then_child->var == v) ||
-           (!n->else_child->is_terminal() && n->else_child->var == v);
+  auto depends_on_v = [&](std::uint32_t idx) {
+    return tests_v(nodes_[idx].then_edge) || tests_v(nodes_[idx].else_edge);
   };
-  for (DdNode* n : pending) {
-    if (!depends_on_v(n)) insert_into(u, n);
+  for (const std::uint32_t idx : pending) {
+    if (!depends_on_v(idx)) insert_into(u, idx);
   }
 
-  // Pass 2: relabel v-dependent nodes in place.
-  for (DdNode* n : pending) {
-    if (!depends_on_v(n)) continue;
-    DdNode* t = n->then_child;
-    DdNode* e = n->else_child;
-    const bool t_tests_v = !t->is_terminal() && t->var == v;
-    const bool e_tests_v = !e->is_terminal() && e->var == v;
-    DdNode* t1 = t_tests_v ? t->then_child : t;
-    DdNode* t0 = t_tests_v ? t->else_child : t;
-    DdNode* e1 = e_tests_v ? e->then_child : e;
-    DdNode* e0 = e_tests_v ? e->else_child : e;
+  // Pass 2: relabel v-dependent nodes in place. Cofactoring through a
+  // complemented else-edge pushes the complement onto the grandchildren
+  // (e ^ (parent & 1)); then-edges are plain by the canonicity invariant,
+  // so t1 below is always plain and the rebuilt then-edge nt of the
+  // relabeled node is plain again — the invariant survives the swap.
+  for (const std::uint32_t idx : pending) {
+    if (!depends_on_v(idx)) continue;
+    const Edge t = nodes_[idx].then_edge;  // plain
+    const Edge e = nodes_[idx].else_edge;  // possibly complemented
+    const bool t_tests_v = tests_v(t);
+    const bool e_tests_v = tests_v(e);
+    const DdNode& tn = nodes_[edge_index(t)];
+    const DdNode& en = nodes_[edge_index(e)];
+    const Edge t1 = t_tests_v ? tn.then_edge : t;  // plain either way
+    const Edge t0 = t_tests_v ? tn.else_edge : t;
+    const Edge e1 = e_tests_v ? (en.then_edge ^ (e & 1u)) : e;
+    const Edge e0 = e_tests_v ? (en.else_edge ^ (e & 1u)) : e;
 
-    // New v-cofactors of n (u-nodes one level down).
-    ref_node(t1);
-    ref_node(e1);
-    DdNode* nt = make_node(u, t1, e1);
-    ref_node(t0);
-    ref_node(e0);
-    DdNode* ne = make_node(u, t0, e0);
-    // n depends on v (via t or e), so its two v-cofactors differ.
+    // New v-cofactors of the node (u-nodes one level down). Copy the edges
+    // first (above) — make_node may relocate the arena.
+    ref_edge(t1);
+    ref_edge(e1);
+    const Edge nt = make_node(u, t1, e1);
+    CFPM_ASSERT(!edge_complemented(nt));  // t1 plain => nt plain
+    ref_edge(t0);
+    ref_edge(e0);
+    const Edge ne = make_node(u, t0, e0);
+    // The node depends on v (via t or e), so its two v-cofactors differ.
     CFPM_ASSERT(nt != ne);
 
-    // Relabel n; parents keep pointing at the same function.
-    n->var = v;
-    n->then_child = nt;  // adopts the references returned by make_node
-    n->else_child = ne;
-    insert_into(v, n);
-    deref_node(t);
-    deref_node(e);
+    // Relabel in place; parents (plain or complemented) keep denoting the
+    // same function because the node index still computes it.
+    nodes_[idx].var = v;
+    nodes_[idx].then_edge = nt;  // adopts the references from make_node
+    nodes_[idx].else_edge = ne;
+    insert_into(v, idx);
+    deref_edge(t);
+    deref_edge(e);
   }
   return live_;
 }

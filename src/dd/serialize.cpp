@@ -13,30 +13,36 @@
 
 namespace cfpm::dd {
 
-void write_add(std::ostream& os, const Add& f) {
-  CFPM_REQUIRE(!f.is_null());
-  const DdNode* root = DdInternal::node(f);
+namespace {
 
-  // Post-order: children before parents.
-  std::unordered_map<const DdNode*, std::size_t> ids;
-  std::vector<const DdNode*> order;
-  std::vector<std::pair<const DdNode*, bool>> stack{{root, false}};
+/// Writes the DAG under `root` in format v2. File ids number the *regular*
+/// (uncomplemented) nodes in post-order; complement bits ride on the edge
+/// tokens, so a function and its negation serialize to the same node list.
+void write_dd(std::ostream& os, const DdManager& mgr, Edge root, bool is_bdd) {
+  std::unordered_map<std::uint32_t, std::size_t> ids;
+  std::vector<std::uint32_t> order;
+  std::vector<std::pair<std::uint32_t, bool>> stack{{edge_index(root), false}};
   while (!stack.empty()) {
-    auto [n, expanded] = stack.back();
+    auto [i, expanded] = stack.back();
     stack.pop_back();
-    if (ids.contains(n)) continue;
-    if (n->is_terminal() || expanded) {
-      ids.emplace(n, order.size());
-      order.push_back(n);
+    if (ids.contains(i)) continue;
+    const DdNode& n = DdInternal::node(mgr, i);
+    if (n.is_terminal() || expanded) {
+      ids.emplace(i, order.size());
+      order.push_back(i);
     } else {
-      stack.push_back({n, true});
-      stack.push_back({n->then_child, false});
-      stack.push_back({n->else_child, false});
+      stack.push_back({i, true});
+      stack.push_back({edge_index(n.then_edge), false});
+      stack.push_back({edge_index(n.else_edge), false});
     }
   }
 
-  os << "cfpm-add 1\n";
-  const DdManager& mgr = *f.manager();
+  auto token = [&](Edge e) {
+    std::string s = edge_complemented(e) ? "!" : "";
+    return s + std::to_string(ids.at(edge_index(e)));
+  };
+
+  os << "cfpm-dd 2 " << (is_bdd ? "bdd" : "add") << "\n";
   os << "vars " << mgr.num_vars() << "\n";
   // The node structure is only canonical under the manager's variable
   // order (which sifting may have changed); record it.
@@ -48,19 +54,17 @@ void write_add(std::ostream& os, const Add& f) {
   os << "nodes " << order.size() << "\n";
   os.precision(17);
   for (std::size_t i = 0; i < order.size(); ++i) {
-    const DdNode* n = order[i];
-    if (n->is_terminal()) {
-      os << i << " T " << n->value << "\n";
+    const DdNode& n = DdInternal::node(mgr, order[i]);
+    if (n.is_terminal()) {
+      os << i << " T " << DdInternal::value(mgr, order[i]) << "\n";
     } else {
-      os << i << " N " << n->var << " " << ids.at(n->then_child) << " "
-         << ids.at(n->else_child) << "\n";
+      os << i << " N " << n.var << " " << token(n.then_edge) << " "
+         << token(n.else_edge) << "\n";
     }
   }
-  os << "root " << ids.at(root) << "\n";
-  if (!os) throw Error("write_add: stream failure");
+  os << "root " << token(root) << "\n";
+  if (!os) throw Error("write_dd: stream failure");
 }
-
-namespace {
 
 /// Next non-empty, non-comment line; returns false at EOF.
 bool next_line(std::istream& is, std::string& line, std::size_t& lineno) {
@@ -77,21 +81,35 @@ bool next_line(std::istream& is, std::string& line, std::size_t& lineno) {
   return false;
 }
 
-}  // namespace
-
-Add read_add(std::istream& is, DdManager& mgr) {
+/// Shared v1/v2 reader. Returns a referenced root edge (plain for ADDs).
+Edge read_dd(std::istream& is, DdManager& mgr, bool want_bdd) {
   std::string line;
   std::size_t lineno = 0;
 
   auto expect_line = [&](const char* what) {
     if (!next_line(is, line, lineno)) {
-      throw ParseError(std::string("read_add: missing ") + what, lineno);
+      throw ParseError(std::string("read_dd: missing ") + what, lineno);
     }
   };
 
   expect_line("header");
-  if (line != "cfpm-add 1") {
-    throw ParseError("read_add: bad header '" + line + "'", lineno);
+  bool file_is_bdd = false;
+  if (line != "cfpm-add 1") {  // v1 header: legacy ADD-only format
+    std::istringstream ss(line);
+    std::string magic, kind, extra;
+    int v = 0;
+    if ((ss >> magic >> v >> kind) && !(ss >> extra) && magic == "cfpm-dd" &&
+        v == 2 && (kind == "add" || kind == "bdd")) {
+      file_is_bdd = kind == "bdd";
+    } else {
+      throw ParseError("read_dd: bad header '" + line + "'", lineno);
+    }
+  }
+  if (file_is_bdd != want_bdd) {
+    throw ParseError(std::string("read_dd: file holds a ") +
+                         (file_is_bdd ? "bdd" : "add") + ", caller wants a " +
+                         (want_bdd ? "bdd" : "add"),
+                     lineno);
   }
 
   expect_line("vars");
@@ -100,11 +118,11 @@ Add read_add(std::istream& is, DdManager& mgr) {
     std::istringstream ss(line);
     std::string kw;
     if (!(ss >> kw >> nvars) || kw != "vars") {
-      throw ParseError("read_add: expected 'vars <n>'", lineno);
+      throw ParseError("read_dd: expected 'vars <n>'", lineno);
     }
   }
   if (nvars > mgr.num_vars()) {
-    throw ParseError("read_add: model needs " + std::to_string(nvars) +
+    throw ParseError("read_dd: model needs " + std::to_string(nvars) +
                          " variables, manager has " +
                          std::to_string(mgr.num_vars()),
                      lineno);
@@ -119,7 +137,7 @@ Add read_add(std::istream& is, DdManager& mgr) {
     std::uint32_t v;
     while (ss >> v) saved_order.push_back(v);
     if (saved_order.size() != nvars) {
-      throw ParseError("read_add: order lists " +
+      throw ParseError("read_dd: order lists " +
                            std::to_string(saved_order.size()) + " of " +
                            std::to_string(nvars) + " variables",
                        lineno);
@@ -146,19 +164,52 @@ Add read_add(std::istream& is, DdManager& mgr) {
     std::istringstream ss(line);
     std::string kw;
     if (!(ss >> kw >> count) || kw != "nodes") {
-      throw ParseError("read_add: expected 'nodes <count>'", lineno);
+      throw ParseError("read_dd: expected 'nodes <count>'", lineno);
     }
   }
-  if (count == 0) throw ParseError("read_add: empty node list", lineno);
+  if (count == 0) throw ParseError("read_dd: empty node list", lineno);
 
-  // Each map entry owns one manager reference to its node.
-  std::vector<DdNode*> by_id(count, nullptr);
+  // Edge token: "<id>" or (v2 bdd only) "!<id>". Resolves against already
+  // parsed entries; the '!' composes as an XOR on the stored edge's
+  // complement bit.
+  std::vector<Edge> by_id(count, kNilEdge);
+  auto parse_edge = [&](std::istringstream& ss) {
+    std::string tok;
+    if (!(ss >> tok)) {
+      throw ParseError("read_dd: missing edge token in '" + line + "'",
+                       lineno);
+    }
+    bool complement = false;
+    if (!tok.empty() && tok[0] == '!') {
+      if (!file_is_bdd) {
+        throw ParseError("read_dd: complement edge outside bdd in '" + line +
+                             "'",
+                         lineno);
+      }
+      complement = true;
+      tok.erase(0, 1);
+    }
+    std::size_t pos = 0;
+    std::size_t id = 0;
+    try {
+      id = std::stoull(tok, &pos);
+    } catch (...) {
+      pos = 0;
+    }
+    if (pos == 0 || pos != tok.size() || id >= count ||
+        by_id[id] == kNilEdge) {
+      throw ParseError("read_dd: bad edge token in '" + line + "'", lineno);
+    }
+    return complement ? edge_not(by_id[id]) : by_id[id];
+  };
+
+  // Each resolved entry owns one manager reference to its node.
   struct Releaser {
     DdManager& mgr;
-    std::vector<DdNode*>& nodes;
+    std::vector<Edge>& edges;
     ~Releaser() {
-      for (DdNode* n : nodes) {
-        if (n != nullptr) DdInternal::deref(mgr, n);
+      for (const Edge e : edges) {
+        if (e != kNilEdge) DdInternal::deref(mgr, e);
       }
     }
   } releaser{mgr, by_id};
@@ -168,45 +219,66 @@ Add read_add(std::istream& is, DdManager& mgr) {
     std::istringstream ss(line);
     std::size_t id = 0;
     char kind = 0;
-    if (!(ss >> id >> kind) || id >= count || by_id[id] != nullptr) {
-      throw ParseError("read_add: bad node line '" + line + "'", lineno);
+    if (!(ss >> id >> kind) || id >= count || by_id[id] != kNilEdge) {
+      throw ParseError("read_dd: bad node line '" + line + "'", lineno);
     }
     if (kind == 'T') {
       double value = 0.0;
       if (!(ss >> value)) {
-        throw ParseError("read_add: bad terminal line '" + line + "'", lineno);
+        throw ParseError("read_dd: bad terminal line '" + line + "'", lineno);
+      }
+      if (file_is_bdd && value != 1.0) {
+        // The BDD fragment has the single terminal 1; zero is !1.
+        throw ParseError("read_dd: bdd terminal must be 1, got '" + line + "'",
+                         lineno);
       }
       by_id[id] = DdInternal::terminal(mgr, value);  // map's reference
     } else if (kind == 'N') {
       std::uint32_t var = 0;
-      std::size_t tid = 0, eid = 0;
-      if (!(ss >> var >> tid >> eid) || var >= nvars || tid >= count ||
-          eid >= count || by_id[tid] == nullptr || by_id[eid] == nullptr) {
-        throw ParseError("read_add: bad internal line '" + line + "'", lineno);
+      if (!(ss >> var) || var >= nvars) {
+        throw ParseError("read_dd: bad internal line '" + line + "'", lineno);
       }
-      DdNode* t = by_id[tid];
-      DdNode* e = by_id[eid];
+      const Edge t = parse_edge(ss);
+      const Edge e = parse_edge(ss);
       DdInternal::ref(mgr, t);  // consumed by make_node
       DdInternal::ref(mgr, e);
       by_id[id] = DdInternal::make_node(mgr, var, t, e);
     } else {
-      throw ParseError("read_add: unknown node kind '" + line + "'", lineno);
+      throw ParseError("read_dd: unknown node kind '" + line + "'", lineno);
     }
   }
 
   expect_line("root");
-  std::size_t root_id = 0;
   {
     std::istringstream ss(line);
     std::string kw;
-    if (!(ss >> kw >> root_id) || kw != "root" || root_id >= count ||
-        by_id[root_id] == nullptr) {
-      throw ParseError("read_add: bad root line", lineno);
+    if (!(ss >> kw) || kw != "root") {
+      throw ParseError("read_dd: bad root line", lineno);
     }
+    const Edge root = parse_edge(ss);
+    DdInternal::ref(mgr, root);
+    return root;  // by_id's references die with the releaser
   }
-  DdNode* root = by_id[root_id];
-  DdInternal::ref(mgr, root);
-  return DdInternal::make_add(&mgr, root);
+}
+
+}  // namespace
+
+void write_add(std::ostream& os, const Add& f) {
+  CFPM_REQUIRE(!f.is_null());
+  write_dd(os, *f.manager(), DdInternal::edge(f), /*is_bdd=*/false);
+}
+
+void write_bdd(std::ostream& os, const Bdd& f) {
+  CFPM_REQUIRE(!f.is_null());
+  write_dd(os, *f.manager(), DdInternal::edge(f), /*is_bdd=*/true);
+}
+
+Add read_add(std::istream& is, DdManager& mgr) {
+  return DdInternal::make_add(&mgr, read_dd(is, mgr, /*want_bdd=*/false));
+}
+
+Bdd read_bdd(std::istream& is, DdManager& mgr) {
+  return DdInternal::make_bdd(&mgr, read_dd(is, mgr, /*want_bdd=*/true));
 }
 
 }  // namespace cfpm::dd

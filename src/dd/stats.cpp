@@ -11,73 +11,79 @@ namespace cfpm::dd {
 
 NodeStats::NodeStats(const Add& f) {
   CFPM_REQUIRE(!f.is_null());
-  root_ = DdInternal::node(f);
+  mgr_ = f.manager();
+  root_ = edge_index(DdInternal::edge(f));  // ADD edges are plain
   compute(root_);
 }
 
-const NodeStats::Entry& NodeStats::at(const DdNode* n) const {
-  auto it = entries_.find(n);
+const NodeStats::Entry& NodeStats::at(std::uint32_t node_index) const {
+  auto it = entries_.find(node_index);
   CFPM_REQUIRE(it != entries_.end());
   return it->second;
 }
 
 const NodeStats::Entry& NodeStats::root() const { return at(root_); }
 
-const NodeStats::Entry& NodeStats::compute(const DdNode* n) {
-  auto it = entries_.find(n);
+const NodeStats::Entry& NodeStats::compute(std::uint32_t node_index) {
+  auto it = entries_.find(node_index);
   if (it != entries_.end()) return it->second;
 
   Entry e;
-  if (n->is_terminal()) {
-    e.avg = e.max = e.min = n->value;
+  const DdNode& n = DdInternal::node(*mgr_, node_index);
+  if (n.is_terminal()) {
+    e.avg = e.max = e.min = DdInternal::value(*mgr_, node_index);
     e.var = 0.0;
   } else {
     // Children may skip levels; the recursions of Eq. 7 remain valid on
     // reduced diagrams because a sub-function is constant in any skipped
     // variable.
-    const Entry l = compute(n->else_child);   // copy: map may rehash below
-    const Entry r = compute(n->then_child);
+    const Entry l = compute(edge_index(n.else_edge));  // copy: map may rehash
+    const Entry r = compute(edge_index(n.then_edge));
     e.avg = 0.5 * (l.avg + r.avg);
     e.var = 0.5 * (l.var + (l.avg - e.avg) * (l.avg - e.avg) +
                    r.var + (r.avg - e.avg) * (r.avg - e.avg));
     e.max = std::max(l.max, r.max);
     e.min = std::min(l.min, r.min);
   }
-  return entries_.emplace(n, e).first->second;
+  return entries_.emplace(node_index, e).first->second;
 }
 
 // ---------------------------------------------------------------------------
-// Handle-level queries built on traversals.
+// Handle-level queries built on traversals. Traversals walk bare node
+// indices: with complement edges, a function and its negation share the
+// same physical nodes, so size/support are complement-invariant.
 // ---------------------------------------------------------------------------
 
 std::size_t DdHandle::size() const {
-  CFPM_REQUIRE(node_ != nullptr);
-  std::unordered_set<const DdNode*> seen;
-  std::vector<const DdNode*> stack{node_};
+  CFPM_REQUIRE(edge_ != kNilEdge);
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<std::uint32_t> stack{edge_index(edge_)};
   while (!stack.empty()) {
-    const DdNode* n = stack.back();
+    const std::uint32_t i = stack.back();
     stack.pop_back();
-    if (!seen.insert(n).second) continue;
-    if (!n->is_terminal()) {
-      stack.push_back(n->then_child);
-      stack.push_back(n->else_child);
+    if (!seen.insert(i).second) continue;
+    const DdNode& n = DdInternal::node(*mgr_, i);
+    if (!n.is_terminal()) {
+      stack.push_back(edge_index(n.then_edge));
+      stack.push_back(edge_index(n.else_edge));
     }
   }
   return seen.size();
 }
 
 std::vector<std::uint32_t> DdHandle::support() const {
-  CFPM_REQUIRE(node_ != nullptr);
-  std::unordered_set<const DdNode*> seen;
+  CFPM_REQUIRE(edge_ != kNilEdge);
+  std::unordered_set<std::uint32_t> seen;
   std::unordered_set<std::uint32_t> vars;
-  std::vector<const DdNode*> stack{node_};
+  std::vector<std::uint32_t> stack{edge_index(edge_)};
   while (!stack.empty()) {
-    const DdNode* n = stack.back();
+    const std::uint32_t i = stack.back();
     stack.pop_back();
-    if (n->is_terminal() || !seen.insert(n).second) continue;
-    vars.insert(n->var);
-    stack.push_back(n->then_child);
-    stack.push_back(n->else_child);
+    const DdNode& n = DdInternal::node(*mgr_, i);
+    if (n.is_terminal() || !seen.insert(i).second) continue;
+    vars.insert(n.var);
+    stack.push_back(edge_index(n.then_edge));
+    stack.push_back(edge_index(n.else_edge));
   }
   std::vector<std::uint32_t> result(vars.begin(), vars.end());
   std::sort(result.begin(), result.end());
@@ -106,18 +112,19 @@ double Add::min_value() const {
 
 std::vector<double> Add::leaf_values() const {
   CFPM_REQUIRE(!is_null());
-  std::unordered_set<const DdNode*> seen;
+  std::unordered_set<std::uint32_t> seen;
   std::unordered_set<double> values;
-  std::vector<const DdNode*> stack{node_};
+  std::vector<std::uint32_t> stack{edge_index(edge_)};
   while (!stack.empty()) {
-    const DdNode* n = stack.back();
+    const std::uint32_t i = stack.back();
     stack.pop_back();
-    if (!seen.insert(n).second) continue;
-    if (n->is_terminal()) {
-      values.insert(n->value);
+    if (!seen.insert(i).second) continue;
+    const DdNode& n = DdInternal::node(*mgr_, i);
+    if (n.is_terminal()) {
+      values.insert(DdInternal::value(*mgr_, i));
     } else {
-      stack.push_back(n->then_child);
-      stack.push_back(n->else_child);
+      stack.push_back(edge_index(n.then_edge));
+      stack.push_back(edge_index(n.else_edge));
     }
   }
   std::vector<double> result(values.begin(), values.end());
@@ -128,14 +135,16 @@ std::vector<double> Add::leaf_values() const {
 std::vector<std::uint8_t> argmax_assignment(const Add& f) {
   CFPM_REQUIRE(!f.is_null());
   NodeStats stats(f);
-  std::vector<std::uint8_t> assignment(f.manager()->num_vars(), 0);
-  const DdNode* n = DdInternal::node(f);
-  while (!n->is_terminal()) {
-    const double max_then = stats.at(n->then_child).max;
-    const double max_else = stats.at(n->else_child).max;
-    const bool take_then = max_then >= max_else;
-    assignment[n->var] = take_then ? 1 : 0;
-    n = take_then ? n->then_child : n->else_child;
+  const DdManager& mgr = *f.manager();
+  std::vector<std::uint8_t> assignment(mgr.num_vars(), 0);
+  std::uint32_t i = edge_index(DdInternal::edge(f));
+  while (!DdInternal::node(mgr, i).is_terminal()) {
+    const DdNode& n = DdInternal::node(mgr, i);
+    const std::uint32_t then_i = edge_index(n.then_edge);
+    const std::uint32_t else_i = edge_index(n.else_edge);
+    const bool take_then = stats.at(then_i).max >= stats.at(else_i).max;
+    assignment[n.var] = take_then ? 1 : 0;
+    i = take_then ? then_i : else_i;
   }
   return assignment;
 }

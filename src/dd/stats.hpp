@@ -8,10 +8,12 @@
 //   min(n)  - minimum value
 //   mse(n)  - var(n) + (max(n) - avg(n))^2, the mean square error of
 //             replacing the sub-function by its maximum (Eq. 8)
-// All statistics are computed in one linear traversal of the DAG.
+// All statistics are computed in one linear traversal of the DAG. ADD
+// edges are always plain, so nodes are identified by bare arena index.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <unordered_map>
 
 #include "dd/manager.hpp"
@@ -41,15 +43,16 @@ class NodeStats {
   /// Computes statistics for every node reachable from `f`.
   explicit NodeStats(const Add& f);
 
-  const Entry& at(const DdNode* n) const;
+  const Entry& at(std::uint32_t node_index) const;
   const Entry& root() const;
   std::size_t node_count() const noexcept { return entries_.size(); }
 
  private:
-  const Entry& compute(const DdNode* n);
+  const Entry& compute(std::uint32_t node_index);
 
-  const DdNode* root_ = nullptr;
-  std::unordered_map<const DdNode*, Entry> entries_;
+  const DdManager* mgr_ = nullptr;
+  std::uint32_t root_ = 0;  // arena index of the root node
+  std::unordered_map<std::uint32_t, Entry> entries_;
 };
 
 }  // namespace cfpm::dd

@@ -161,45 +161,4 @@ AccuracyReport evaluate(const power::PowerModel& model, const Reference& golden,
   return evaluate(std::span(&ptr, 1), golden, grid, options)[0];
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated shims. (Defining a [[deprecated]] function does not itself
-// warn; only calls do, which is what migrates the remaining users.)
-// ---------------------------------------------------------------------------
-
-std::vector<AccuracyReport> evaluate_average_accuracy(
-    std::span<const power::PowerModel* const> models,
-    const sim::GateLevelSimulator& golden,
-    std::span<const stats::InputStatistics> grid, const RunConfig& config) {
-  return evaluate(models, golden, grid, {Metric::kAverage, config, nullptr});
-}
-
-std::vector<AccuracyReport> evaluate_bound_accuracy(
-    std::span<const power::PowerModel* const> models,
-    const sim::GateLevelSimulator& golden,
-    std::span<const stats::InputStatistics> grid, const RunConfig& config) {
-  return evaluate(models, golden, grid, {Metric::kBound, config, nullptr});
-}
-
-std::vector<AccuracyReport> evaluate_average_accuracy(
-    std::span<const power::PowerModel* const> models, std::size_t num_inputs,
-    const ReferenceFn& golden, std::span<const stats::InputStatistics> grid,
-    const RunConfig& config) {
-  return evaluate(models, Reference(num_inputs, golden), grid,
-                  {Metric::kAverage, config, nullptr});
-}
-
-std::vector<AccuracyReport> evaluate_bound_accuracy(
-    std::span<const power::PowerModel* const> models, std::size_t num_inputs,
-    const ReferenceFn& golden, std::span<const stats::InputStatistics> grid,
-    const RunConfig& config) {
-  return evaluate(models, Reference(num_inputs, golden), grid,
-                  {Metric::kBound, config, nullptr});
-}
-
-AccuracyReport evaluate_average_accuracy(
-    const power::PowerModel& model, const sim::GateLevelSimulator& golden,
-    std::span<const stats::InputStatistics> grid, const RunConfig& config) {
-  return evaluate(model, golden, grid, {Metric::kAverage, config, nullptr});
-}
-
 }  // namespace cfpm::eval

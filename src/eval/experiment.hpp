@@ -124,38 +124,4 @@ AccuracyReport evaluate(const power::PowerModel& model, const Reference& golden,
                         std::span<const stats::InputStatistics> grid,
                         const EvalOptions& options = {});
 
-// ---------------------------------------------------------------------------
-// Deprecated pre-unification surface: thin shims over evaluate().
-// ---------------------------------------------------------------------------
-
-[[deprecated("use eval::evaluate(models, golden, grid, options)")]]
-std::vector<AccuracyReport> evaluate_average_accuracy(
-    std::span<const power::PowerModel* const> models,
-    const sim::GateLevelSimulator& golden,
-    std::span<const stats::InputStatistics> grid, const RunConfig& config);
-
-[[deprecated("use eval::evaluate(models, Reference(n, fn), grid, options)")]]
-std::vector<AccuracyReport> evaluate_average_accuracy(
-    std::span<const power::PowerModel* const> models, std::size_t num_inputs,
-    const ReferenceFn& golden, std::span<const stats::InputStatistics> grid,
-    const RunConfig& config);
-
-[[deprecated("use eval::evaluate(models, Reference(n, fn), grid, options)")]]
-std::vector<AccuracyReport> evaluate_bound_accuracy(
-    std::span<const power::PowerModel* const> models, std::size_t num_inputs,
-    const ReferenceFn& golden, std::span<const stats::InputStatistics> grid,
-    const RunConfig& config);
-
-[[deprecated("use eval::evaluate(models, golden, grid, options)")]]
-std::vector<AccuracyReport> evaluate_bound_accuracy(
-    std::span<const power::PowerModel* const> models,
-    const sim::GateLevelSimulator& golden,
-    std::span<const stats::InputStatistics> grid, const RunConfig& config);
-
-[[deprecated("use eval::evaluate(model, golden, grid, options)")]]
-AccuracyReport evaluate_average_accuracy(const power::PowerModel& model,
-                                         const sim::GateLevelSimulator& golden,
-                                         std::span<const stats::InputStatistics> grid,
-                                         const RunConfig& config);
-
 }  // namespace cfpm::eval

@@ -144,6 +144,23 @@ TEST(DdManager, SetOrderAffectsStructure) {
   EXPECT_FALSE(f.eval(a10));
 }
 
+TEST(DdManager, HandleEqualityIsPerManager) {
+  // Regression: handle equality used to compare only the node reference,
+  // so structurally identical functions from different managers -- whose
+  // arena indices coincide by construction order -- compared equal.
+  DdManager mgr_a(2);
+  DdManager mgr_b(2);
+  Bdd fa = mgr_a.bdd_var(0) & mgr_a.bdd_var(1);
+  Bdd fb = mgr_b.bdd_var(0) & mgr_b.bdd_var(1);
+  EXPECT_FALSE(fa == fb);
+  EXPECT_TRUE(fa != fb);
+  // Same manager, same function: still equal (hash-consing).
+  Bdd fa2 = mgr_a.bdd_var(1) & mgr_a.bdd_var(0);
+  EXPECT_TRUE(fa == fa2);
+  // A function and its complement share a node but differ in the edge tag.
+  EXPECT_FALSE(fa == !fa);
+}
+
 TEST(DdManager, CacheStatisticsAdvance) {
   DdManager mgr(6);
   Bdd f = mgr.bdd_var(0);

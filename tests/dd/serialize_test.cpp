@@ -116,6 +116,104 @@ TEST(Serialize, MalformedInputsThrow) {
 }
 
 
+TEST(Serialize, BddWithComplementEdgesRoundTrips) {
+  // x0 XOR x1 OR NOT x2: its BDD carries complement edges (the shared-x1
+  // xor core and the negated literal), so the v2 writer must emit '!'
+  // tokens and the reader must reconstruct the same shared shape.
+  DdManager mgr(3);
+  Bdd f = (mgr.bdd_var(0) ^ mgr.bdd_var(1)) | !mgr.bdd_var(2);
+  std::stringstream ss;
+  write_bdd(ss, f);
+  EXPECT_NE(ss.str().find("cfpm-dd 2 bdd"), std::string::npos);
+  EXPECT_NE(ss.str().find('!'), std::string::npos);
+
+  DdManager mgr2(3);
+  Bdd g = read_bdd(ss, mgr2);
+  EXPECT_EQ(g.size(), f.size());
+  for (unsigned m = 0; m < 8; ++m) {
+    std::uint8_t a[3] = {static_cast<std::uint8_t>(m & 1),
+                         static_cast<std::uint8_t>((m >> 1) & 1),
+                         static_cast<std::uint8_t>((m >> 2) & 1)};
+    EXPECT_EQ(g.eval(a), f.eval(a)) << "minterm " << m;
+  }
+
+  // Constant zero is a complemented root edge to the 1 terminal.
+  std::stringstream zs;
+  write_bdd(zs, mgr.bdd_zero());
+  DdManager mgr3(3);
+  Bdd z = read_bdd(zs, mgr3);
+  EXPECT_TRUE(z.is_zero());
+}
+
+TEST(Serialize, AddWithManyTerminalsRoundTrips) {
+  DdManager mgr(3);
+  Add f = sample_add(mgr);  // leaves {0, 40, 50, 90, 100}
+  ASSERT_GT(f.leaf_values().size(), 2u);
+  std::stringstream ss;
+  write_add(ss, f);
+  EXPECT_NE(ss.str().find("cfpm-dd 2 add"), std::string::npos);
+  EXPECT_EQ(ss.str().find('!'), std::string::npos);  // ADD edges are plain
+
+  DdManager mgr2(3);
+  Add g = read_add(ss, mgr2);
+  EXPECT_EQ(g.leaf_values(), f.leaf_values());
+  for (unsigned m = 0; m < 8; ++m) {
+    std::uint8_t a[3] = {static_cast<std::uint8_t>(m & 1),
+                         static_cast<std::uint8_t>((m >> 1) & 1),
+                         static_cast<std::uint8_t>((m >> 2) & 1)};
+    EXPECT_DOUBLE_EQ(g.eval(a), f.eval(a)) << "minterm " << m;
+  }
+}
+
+TEST(Serialize, V1GoldenFileStillReads) {
+  // A frozen v1 payload (as written by the pre-complement-edge release);
+  // new code must keep loading vendor models shipped in that format.
+  std::stringstream ss;
+  ss << "cfpm-add 1\n"
+     << "vars 3\n"
+     << "order 2 0 1\n"
+     << "nodes 5\n"
+     << "0 T 0\n"
+     << "1 T 7.25\n"
+     << "2 N 1 1 0\n"   // g(x1) = x1 ? 7.25 : 0
+     << "3 N 0 2 0\n"   // h = x0 ? g : 0
+     << "4 N 2 3 2\n"   // f = x2 ? h : g
+     << "root 4\n";
+  DdManager mgr(3);
+  Add f = read_add(ss, mgr);
+  EXPECT_EQ(mgr.var_at_level(0), 2u);
+  const std::uint8_t a110[3] = {1, 1, 0};  // x2=0 -> g, x1=1 -> 7.25
+  const std::uint8_t a011[3] = {0, 1, 1};  // x2=1 -> h, x0=0 -> 0
+  const std::uint8_t a111[3] = {1, 1, 1};  // x2=1 -> h -> g, x1=1 -> 7.25
+  EXPECT_DOUBLE_EQ(f.eval(a110), 7.25);
+  EXPECT_DOUBLE_EQ(f.eval(a011), 0.0);
+  EXPECT_DOUBLE_EQ(f.eval(a111), 7.25);
+}
+
+TEST(Serialize, CorruptHeadersAndKindMismatchesRejected) {
+  DdManager mgr(2);
+  auto expect_add_error = [&](const std::string& text) {
+    std::stringstream ss(text);
+    EXPECT_THROW(read_add(ss, mgr), ParseError) << text;
+  };
+  auto expect_bdd_error = [&](const std::string& text) {
+    std::stringstream ss(text);
+    EXPECT_THROW(read_bdd(ss, mgr), ParseError) << text;
+  };
+  const std::string body = "vars 1\nnodes 1\n0 T 1\nroot 0\n";
+  expect_add_error("cfpm-dd 3 add\n" + body);    // unknown version
+  expect_add_error("cfpm-dd 2 zdd\n" + body);    // unknown kind
+  expect_add_error("cfpm-dd 2 add extra\n" + body);
+  expect_add_error("cfpm-dd 2 bdd\n" + body);    // kind mismatch vs caller
+  expect_bdd_error("cfpm-dd 2 add\n" + body);
+  expect_bdd_error("cfpm-add 1\n" + body);       // v1 files are ADD-only
+  // Complement token outside the BDD fragment.
+  expect_add_error(
+      "cfpm-dd 2 add\nvars 1\nnodes 3\n0 T 0\n1 T 2\n2 N 0 !1 0\nroot 2\n");
+  // BDD terminal other than 1.
+  expect_bdd_error("cfpm-dd 2 bdd\nvars 1\nnodes 1\n0 T 0.5\nroot 0\n");
+}
+
 TEST(Serialize, RoundTripAfterSifting) {
   // Sifting changes the variable order; the format must carry it so a
   // fresh manager reproduces the same function.

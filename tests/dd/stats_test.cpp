@@ -169,9 +169,15 @@ TEST(Stats, SupportListsOnlyDependentVars) {
 
 TEST(Stats, SizeCountsUniqueNodes) {
   DdManager mgr(2);
-  // x0 XOR x1: 3 internal (x0 node, two x1 nodes) + 2 terminals.
+  // x0 XOR x1 with complement edges: the two x1 branches are negations of
+  // each other, so they share one physical x1 node, and the BDD fragment
+  // has the single terminal 1 (zero is a complement edge to it).
   Bdd f = mgr.bdd_var(0) ^ mgr.bdd_var(1);
-  EXPECT_EQ(f.size(), 5u);  // x0 node, two x1 nodes, 0, 1
+  EXPECT_EQ(f.size(), 3u);  // x0 node, shared x1 node, terminal 1
+
+  // The ADD view has no complement edges and recovers the classic shape.
+  Add a(f);
+  EXPECT_EQ(a.size(), 5u);  // x0 node, two x1 nodes, 0, 1
 }
 
 TEST(Stats, LeafValuesSortedUnique) {
