@@ -10,6 +10,7 @@
 #include "dd/dd_internal.hpp"
 #include "support/assert.hpp"
 #include "support/error.hpp"
+#include "support/parse.hpp"
 
 namespace cfpm::dd {
 
@@ -52,11 +53,14 @@ void write_dd(std::ostream& os, const DdManager& mgr, Edge root, bool is_bdd) {
   }
   os << "\n";
   os << "nodes " << order.size() << "\n";
-  os.precision(17);
   for (std::size_t i = 0; i < order.size(); ++i) {
     const DdNode& n = DdInternal::node(mgr, order[i]);
     if (n.is_terminal()) {
-      os << i << " T " << DdInternal::value(mgr, order[i]) << "\n";
+      // Terminal values go through to_chars: shortest exact round-trip,
+      // immune to the stream's imbued locale (a comma decimal point would
+      // corrupt the file).
+      os << i << " T " << format_double(DdInternal::value(mgr, order[i]))
+         << "\n";
     } else {
       os << i << " N " << n.var << " " << token(n.then_edge) << " "
          << token(n.else_edge) << "\n";
@@ -189,18 +193,11 @@ Edge read_dd(std::istream& is, DdManager& mgr, bool want_bdd) {
       complement = true;
       tok.erase(0, 1);
     }
-    std::size_t pos = 0;
-    std::size_t id = 0;
-    try {
-      id = std::stoull(tok, &pos);
-    } catch (...) {
-      pos = 0;
-    }
-    if (pos == 0 || pos != tok.size() || id >= count ||
-        by_id[id] == kNilEdge) {
+    const auto id = parse_number<std::size_t>(tok);
+    if (!id || *id >= count || by_id[*id] == kNilEdge) {
       throw ParseError("read_dd: bad edge token in '" + line + "'", lineno);
     }
-    return complement ? edge_not(by_id[id]) : by_id[id];
+    return complement ? edge_not(by_id[*id]) : by_id[*id];
   };
 
   // Each resolved entry owns one manager reference to its node.
@@ -223,10 +220,16 @@ Edge read_dd(std::istream& is, DdManager& mgr, bool want_bdd) {
       throw ParseError("read_dd: bad node line '" + line + "'", lineno);
     }
     if (kind == 'T') {
-      double value = 0.0;
-      if (!(ss >> value)) {
+      // The value token is parsed with from_chars (never `ss >> double`,
+      // which honors the imbued locale): a full-match parse with nothing
+      // after it, so "1,5" and "5.0garbage" are both rejected.
+      std::string tok, extra;
+      std::optional<double> parsed;
+      if (!(ss >> tok) || !(parsed = parse_number<double>(tok)) ||
+          (ss >> extra)) {
         throw ParseError("read_dd: bad terminal line '" + line + "'", lineno);
       }
+      const double value = *parsed;
       if (file_is_bdd && value != 1.0) {
         // The BDD fragment has the single terminal 1; zero is !1.
         throw ParseError("read_dd: bdd terminal must be 1, got '" + line + "'",

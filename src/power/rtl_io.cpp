@@ -11,6 +11,7 @@
 #include "power/add_model.hpp"
 #include "support/assert.hpp"
 #include "support/error.hpp"
+#include "support/parse.hpp"
 
 namespace cfpm::power {
 
@@ -54,24 +55,30 @@ std::shared_ptr<const PowerModel> load_macro(const std::string& source,
   return std::make_shared<AddPowerModel>(AddPowerModel::build(n, lib, opt));
 }
 
+/// Full-match unsigned parse; rejects garbage, sign, and overflow (stoul
+/// would accept "3x" and wrap "-1").
+std::size_t parse_index(const std::string& token, const char* what,
+                        std::size_t lineno) {
+  const auto v = parse_number<std::size_t>(token);
+  if (!v) {
+    throw ParseError(std::string("rtl: bad ") + what + " '" + token + "'",
+                     lineno);
+  }
+  return *v;
+}
+
 /// Parses "<a>" or "<a>-<b>" bus-bit tokens into indices.
 void append_bits(const std::string& token, std::vector<std::size_t>& bits,
                  std::size_t lineno) {
   const auto dash = token.find('-');
-  try {
-    if (dash == std::string::npos) {
-      bits.push_back(std::stoul(token));
-      return;
-    }
-    const std::size_t lo = std::stoul(token.substr(0, dash));
-    const std::size_t hi = std::stoul(token.substr(dash + 1));
-    if (hi < lo) throw ParseError("rtl: empty bit range '" + token + "'", lineno);
-    for (std::size_t b = lo; b <= hi; ++b) bits.push_back(b);
-  } catch (const std::invalid_argument&) {
-    throw ParseError("rtl: bad bus bit '" + token + "'", lineno);
-  } catch (const std::out_of_range&) {
-    throw ParseError("rtl: bus bit out of range '" + token + "'", lineno);
+  if (dash == std::string::npos) {
+    bits.push_back(parse_index(token, "bus bit", lineno));
+    return;
   }
+  const std::size_t lo = parse_index(token.substr(0, dash), "bus bit", lineno);
+  const std::size_t hi = parse_index(token.substr(dash + 1), "bus bit", lineno);
+  if (hi < lo) throw ParseError("rtl: empty bit range '" + token + "'", lineno);
+  for (std::size_t b = lo; b <= hi; ++b) bits.push_back(b);
 }
 
 }  // namespace
@@ -98,7 +105,7 @@ RtlDescription read_rtl_design(std::istream& is,
       result.name = toks[1];
     } else if (toks[0] == "bus") {
       if (toks.size() != 2) throw ParseError("rtl: bus needs a width", lineno);
-      declared_bus = std::stoul(toks[1]);
+      declared_bus = parse_index(toks[1], "bus width", lineno);
     } else if (toks[0] == "macro") {
       if (toks.size() < 3) {
         throw ParseError("rtl: macro needs a name and a source", lineno);
@@ -111,7 +118,7 @@ RtlDescription read_rtl_design(std::istream& is,
       bool bound = false;
       for (std::size_t i = 3; i < toks.size(); ++i) {
         if (toks[i].rfind("max=", 0) == 0) {
-          max_nodes = std::stoul(toks[i].substr(4));
+          max_nodes = parse_index(toks[i].substr(4), "macro max", lineno);
         } else if (toks[i] == "bound") {
           bound = true;
         } else {

@@ -1,0 +1,47 @@
+// Locale-independent, full-match numeric parsing and formatting.
+//
+// Every textual format this library reads or writes (DD serialization,
+// netlist/RTL descriptions, CLI flag values) is defined over the "C"
+// decimal syntax. iostream extraction and std::sto* are the wrong tools
+// for that: both honor the global/imbued locale (a comma-decimal
+// LC_NUMERIC corrupts round-trips), std::sto* throws on garbage, and both
+// silently accept trailing junk ("0.5x") and negative wrap-around ("-1"
+// into an unsigned). The helpers here wrap std::from_chars/std::to_chars:
+// locale-independent, exception-free, and strict — a parse succeeds only
+// when the entire token is consumed and the value is in range.
+#pragma once
+
+#include <charconv>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <system_error>
+
+namespace cfpm {
+
+/// Parses the whole of `text` as a value of arithmetic type T.
+/// Returns std::nullopt on empty input, leading/trailing garbage
+/// (including whitespace and a '+' sign), out-of-range values, or — for
+/// unsigned T — a leading minus sign. Never throws, never reads locale.
+template <typename T>
+std::optional<T> parse_number(std::string_view text) noexcept {
+  if (text.empty()) return std::nullopt;
+  T value{};
+  const char* const first = text.data();
+  const char* const last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+/// Shortest decimal representation of `value` that round-trips exactly
+/// through parse_number<double> (std::to_chars general format). Output is
+/// locale-independent by construction.
+inline std::string format_double(double value) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  // 32 bytes always suffice for the shortest-round-trip form of a double.
+  return ec == std::errc{} ? std::string(buf, ptr) : std::string("0");
+}
+
+}  // namespace cfpm

@@ -10,6 +10,7 @@
 //   cfpm rtl <design.rtl> [--sp P] [--st P] [--vectors N] [--vdd V]
 //   cfpm sensitivity <model.cfpm>               per-input power attribution
 //   cfpm equiv <golden> <candidate>             formal equivalence check
+//   cfpm fuzz [--runs N] [--seed S] [--checks a,b] [--replay f.repro]
 //
 // <circuit> is a .bench file, a .blif file, or "gen:<name>" for a built-in
 // generator (any Table-1 name, or c17).
@@ -39,9 +40,13 @@
 #include "support/error.hpp"
 #include "support/governor.hpp"
 #include "support/metrics.hpp"
+#include "support/parse.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 #include "support/trace.hpp"
+#include "verify/corpus.hpp"
+#include "verify/fuzzer.hpp"
+#include "verify/oracle.hpp"
 
 namespace {
 
@@ -72,6 +77,9 @@ int usage() {
       "  cfpm rtl <design.rtl> [--sp P] [--st P] [--vectors N] [--vdd V]\n"
       "  cfpm sensitivity <model.cfpm>\n"
       "  cfpm equiv <golden> <candidate>\n"
+      "  cfpm fuzz [--runs N] [--seed S] [--max-gates N] [--patterns N]\n"
+      "            [--checks a,b|list] [--corpus-dir DIR] [--deadline-ms N]\n"
+      "  cfpm fuzz --replay <file.repro>\n"
       "\n"
       "<circuit>: path to a .bench or .blif file, or gen:<name> with <name>\n"
       "one of c17, alu2, alu4, cmb, cm150, cm85, comp, decod, k2, mux,\n"
@@ -87,6 +95,9 @@ int usage() {
       "gauges, histograms) as JSON on exit, whatever the outcome.\n"
       "--trace-json PATH records phase spans and writes Chrome trace_event\n"
       "JSON on exit (load in chrome://tracing or ui.perfetto.dev).\n"
+      "fuzz cross-checks the symbolic engines against independent oracles\n"
+      "on random circuits; failures are minimized into --corpus-dir as\n"
+      ".repro files (--checks list prints the registered invariants).\n"
       "exit codes: 0 ok, 1 error, 2 usage, 3 degraded result, 4 out of\n"
       "memory, 5 internal error.\n";
   return kExitUsage;
@@ -124,6 +135,15 @@ struct Args {
   std::string metrics_json;  // write metrics snapshot here on exit
   std::string trace_json;    // record spans; write Chrome trace here on exit
 
+  // fuzz subcommand
+  std::uint64_t seed = 1;
+  std::size_t runs = 100;
+  std::size_t fuzz_max_gates = 64;
+  std::size_t patterns = 128;
+  std::string checks;                    // comma-separated, or "list"
+  std::string corpus_dir = "fuzz/corpus";
+  std::string replay;                    // .repro file to re-run
+
   /// Build options honoring the resilience flags. A governor is always
   /// attached (its poll/checkpoint counters feed the observability layer);
   /// the deadline is only armed when --deadline-ms asks for one. It is
@@ -142,68 +162,129 @@ struct Args {
   }
 };
 
+/// Parses the command line. Accepts both `--flag value` and `--flag=value`.
+/// Every numeric value goes through parse_number (std::from_chars: full
+/// match, range-checked, locale-free), so `--threads abc`, `--vectors -1`
+/// and `--sp 0.5x` are reported as usage errors naming the flag — the old
+/// std::stoul/std::stod calls threw out of parse() (aborting the process,
+/// since parse runs before main's try block) or silently wrapped -1 to
+/// 2^64-1 and accepted trailing garbage.
 std::optional<Args> parse(int argc, char** argv) {
   Args a;
   for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> std::optional<std::string> {
-      if (i + 1 >= argc) return std::nullopt;
+    std::string flag = argv[i];
+    std::optional<std::string> attached;
+    if (flag.rfind("--", 0) == 0) {
+      if (const auto eq = flag.find('='); eq != std::string::npos) {
+        attached = flag.substr(eq + 1);
+        flag.resize(eq);
+      }
+    }
+
+    auto value = [&]() -> std::optional<std::string> {
+      if (attached) return attached;
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << "\n";
+        return std::nullopt;
+      }
       return std::string(argv[++i]);
     };
-    if (arg == "-m" || arg == "--max-nodes") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      a.max_nodes = std::stoul(*v);
-    } else if (arg == "--bound") {
-      a.bound = true;
-    } else if (arg == "-o" || arg == "--output") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      a.output = *v;
-    } else if (arg == "--sp") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      a.sp = std::stod(*v);
-    } else if (arg == "--st") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      a.st = std::stod(*v);
-    } else if (arg == "--vectors") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      a.vectors = std::stoul(*v);
-    } else if (arg == "--vdd") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      a.vdd = std::stod(*v);
-    } else if (arg == "--threads") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      a.threads = std::stoul(*v);
-    } else if (arg == "--compiled") {
-      a.compiled = true;
-    } else if (arg == "--deadline-ms") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      a.deadline_ms = std::stoul(*v);
-    } else if (arg == "--degrade") {
-      a.degrade = true;
-    } else if (arg == "--no-degrade") {
-      a.degrade = false;
-    } else if (arg == "--metrics-json") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      a.metrics_json = *v;
-    } else if (arg == "--trace-json") {
-      auto v = next();
-      if (!v) return std::nullopt;
-      a.trace_json = *v;
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "unknown option: " << arg << "\n";
-      return std::nullopt;
+    // Reads a numeric value into `out`; false (after reporting the flag
+    // and the offending text) on anything but a clean full-token parse.
+    auto number = [&](auto& out) -> bool {
+      const auto v = value();
+      if (!v) return false;
+      const auto parsed = parse_number<std::decay_t<decltype(out)>>(*v);
+      if (!parsed) {
+        std::cerr << "invalid value for " << flag << ": '" << *v << "'\n";
+        return false;
+      }
+      out = *parsed;
+      return true;
+    };
+    auto probability = [&](double& out) -> bool {
+      if (!number(out)) return false;
+      if (!(out >= 0.0 && out <= 1.0)) {
+        std::cerr << "value of " << flag << " must be in [0, 1], got " << out
+                  << "\n";
+        return false;
+      }
+      return true;
+    };
+    auto text = [&](std::string& out) -> bool {
+      const auto v = value();
+      if (!v) return false;
+      out = *v;
+      return true;
+    };
+    // Boolean flags take no value; "--bound=yes" is a usage error, not a
+    // silently ignored suffix.
+    auto boolean = [&](bool& out, bool v) -> bool {
+      if (attached) {
+        std::cerr << flag << " does not take a value\n";
+        return false;
+      }
+      out = v;
+      return true;
+    };
+
+    bool ok = true;
+    if (flag == "-m" || flag == "--max-nodes") {
+      ok = number(a.max_nodes);
+    } else if (flag == "--bound") {
+      ok = boolean(a.bound, true);
+    } else if (flag == "-o" || flag == "--output") {
+      ok = text(a.output);
+    } else if (flag == "--sp") {
+      ok = probability(a.sp);
+    } else if (flag == "--st") {
+      ok = probability(a.st);
+    } else if (flag == "--vectors") {
+      ok = number(a.vectors);
+    } else if (flag == "--vdd") {
+      ok = number(a.vdd) && [&] {
+        if (a.vdd > 0.0 && a.vdd < 1e3) return true;
+        std::cerr << "value of --vdd must be in (0, 1000) volts, got " << a.vdd
+                  << "\n";
+        return false;
+      }();
+    } else if (flag == "--threads") {
+      ok = number(a.threads);
+    } else if (flag == "--compiled") {
+      ok = boolean(a.compiled, true);
+    } else if (flag == "--deadline-ms") {
+      std::size_t ms = 0;
+      ok = number(ms);
+      if (ok) a.deadline_ms = ms;
+    } else if (flag == "--degrade") {
+      ok = boolean(a.degrade, true);
+    } else if (flag == "--no-degrade") {
+      ok = boolean(a.degrade, false);
+    } else if (flag == "--metrics-json") {
+      ok = text(a.metrics_json);
+    } else if (flag == "--trace-json") {
+      ok = text(a.trace_json);
+    } else if (flag == "--seed") {
+      ok = number(a.seed);
+    } else if (flag == "--runs") {
+      ok = number(a.runs);
+    } else if (flag == "--max-gates") {
+      ok = number(a.fuzz_max_gates);
+    } else if (flag == "--patterns") {
+      ok = number(a.patterns);
+    } else if (flag == "--checks") {
+      ok = text(a.checks);
+    } else if (flag == "--corpus-dir") {
+      ok = text(a.corpus_dir);
+    } else if (flag == "--replay") {
+      ok = text(a.replay);
+    } else if (!flag.empty() && flag[0] == '-') {
+      std::cerr << "unknown option: " << flag << "\n";
+      ok = false;
     } else {
-      a.positional.push_back(arg);
+      a.positional.push_back(std::string(argv[i]));
     }
+    if (!ok) return std::nullopt;
   }
   return a;
 }
@@ -481,6 +562,62 @@ int cmd_rtl(const Args& a) {
   return 0;
 }
 
+int cmd_fuzz(const Args& a) {
+  if (!a.positional.empty()) return usage();
+
+  if (a.checks == "list") {
+    for (const verify::Check& c : verify::all_checks()) {
+      std::cout << c.name << "\n    " << c.invariant << "\n";
+    }
+    return 0;
+  }
+
+  if (!a.replay.empty()) {
+    const verify::Repro repro = verify::read_repro_file(a.replay);
+    std::cout << "replay  : " << a.replay << " (check " << repro.check
+              << ", seed " << repro.seed << ", "
+              << repro.netlist.num_gates() << " gates)\n";
+    if (!repro.note.empty()) std::cout << "note    : " << repro.note << "\n";
+    const verify::CheckResult r = verify::replay(repro);
+    if (r.ok) {
+      std::cout << "PASS: the failure no longer reproduces\n";
+      return 0;
+    }
+    std::cout << "FAIL: " << r.detail << "\n";
+    return kExitError;
+  }
+
+  if (a.patterns == 0) throw Error("fuzz: --patterns must be >= 1");
+  verify::FuzzOptions opt;
+  opt.seed = a.seed;
+  opt.runs = a.runs;
+  opt.max_gates = a.fuzz_max_gates;
+  opt.patterns = a.patterns;
+  opt.corpus_dir = a.corpus_dir;
+  opt.log = &std::cout;
+  for (std::size_t pos = 0; pos < a.checks.size();) {
+    const auto comma = a.checks.find(',', pos);
+    const auto end = comma == std::string::npos ? a.checks.size() : comma;
+    if (end > pos) opt.checks.push_back(a.checks.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  if (a.deadline_ms) {
+    opt.governor = std::make_shared<Governor>();
+    opt.governor->set_deadline(std::chrono::milliseconds(*a.deadline_ms));
+  }
+
+  const verify::FuzzReport report = verify::run_fuzz(opt);
+  std::cout << "fuzz    : " << report.iterations << " iteration(s), "
+            << report.checks_run << " check run(s), " << report.failures.size()
+            << " failure(s)"
+            << (report.deadline_hit ? " [stopped: deadline]" : "") << "\n";
+  if (!report.failures.empty()) {
+    std::cout << "replay with: cfpm fuzz --replay <file.repro>\n";
+    return kExitError;
+  }
+  return kExitOk;
+}
+
 // Sentinel for "not a known command" (distinct from every exit code).
 constexpr int kCmdUnknown = -1;
 
@@ -494,6 +631,7 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "rtl") return cmd_rtl(args);
   if (cmd == "sensitivity") return cmd_sensitivity(args);
   if (cmd == "equiv") return cmd_equiv(args);
+  if (cmd == "fuzz") return cmd_fuzz(args);
   return kCmdUnknown;
 }
 

@@ -1,0 +1,52 @@
+// Failure corpus: minimized repro files and their replay.
+//
+// Every failure the fuzzer finds is persisted as a small self-contained
+// text file — check name, seed, pattern count, and the minimized circuit
+// in .bench syntax. The file is the whole bug report: replaying it
+// re-derives the identical scenario (checks are pure in (netlist, seed))
+// and the committed corpus doubles as a regression suite run by ctest.
+//
+// Format:
+//   cfpm-fuzz-repro 1
+//   check <name>
+//   seed <u64>
+//   patterns <u64>
+//   bench
+//   <.bench text until EOF>
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "verify/oracle.hpp"
+
+namespace cfpm::verify {
+
+struct Repro {
+  std::string check;        ///< registered check name
+  std::uint64_t seed = 1;
+  std::size_t patterns = 128;
+  netlist::Netlist netlist;
+  std::string note;  ///< optional free-text (original failure detail)
+};
+
+/// Parses a repro stream. Throws cfpm::ParseError on malformed input or an
+/// unknown check name.
+Repro read_repro(std::istream& is);
+Repro read_repro_file(const std::string& path);
+
+void write_repro(std::ostream& os, const Repro& r);
+void write_repro_file(const std::string& path, const Repro& r);
+
+/// Re-runs the repro's check on its netlist with its recorded context
+/// (ungoverned). `ok == false` means the failure still reproduces.
+CheckResult replay(const Repro& r);
+
+/// All `*.repro` files under `dir`, sorted by filename; empty when the
+/// directory is missing.
+std::vector<std::string> list_corpus(const std::string& dir);
+
+}  // namespace cfpm::verify

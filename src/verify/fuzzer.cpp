@@ -1,0 +1,186 @@
+#include "verify/fuzzer.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "netlist/generators.hpp"
+#include "netlist/transform.hpp"
+#include "support/error.hpp"
+#include "support/governor.hpp"
+#include "support/metrics.hpp"
+#include "support/rng.hpp"
+#include "verify/corpus.hpp"
+#include "verify/minimize.hpp"
+#include "verify/oracle.hpp"
+
+namespace cfpm::verify {
+
+namespace {
+
+std::string hex_seed(std::uint64_t seed) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = kDigits[seed & 0xf];
+    seed >>= 4;
+  }
+  return s;
+}
+
+}  // namespace
+
+netlist::Netlist sample_netlist(std::uint64_t seed, std::size_t max_gates) {
+  // A salt distinct from every check salt keeps the circuit sample stream
+  // independent of the scenario streams that reuse the same seed.
+  Xoshiro256 rng(SplitMix64(seed ^ 0x5eed0001u).next());
+  // Input counts stay small (<= 9, i.e. <= 18 model variables) so exact
+  // reference models are cheap; the interesting failures are structural,
+  // not wide.
+  switch (rng.next_below(8)) {
+    case 0:
+      return netlist::gen::c17();
+    case 1:
+      return netlist::gen::ripple_carry_adder(
+          1 + static_cast<unsigned>(rng.next_below(3)));
+    case 2:
+      return netlist::gen::magnitude_comparator(
+          1 + static_cast<unsigned>(rng.next_below(3)));
+    case 3:
+      return netlist::gen::parity_tree(
+          3 + static_cast<unsigned>(rng.next_below(6)),
+          static_cast<unsigned>(rng.next_below(3)));
+    case 4:
+      return netlist::gen::mux_flat(2);
+    case 5:
+      return netlist::gen::decoder(2);
+    default: {
+      netlist::gen::RandomLogicSpec spec;
+      spec.name = "fuzz";
+      spec.num_inputs = 4 + static_cast<unsigned>(rng.next_below(6));
+      spec.num_outputs = 1 + static_cast<unsigned>(rng.next_below(4));
+      spec.target_gates = static_cast<unsigned>(
+          8 + rng.next_below(std::max<std::size_t>(9, max_gates - 7)));
+      spec.window =
+          2 + static_cast<unsigned>(rng.next_below(
+                  std::min<std::uint64_t>(5, spec.num_inputs - 1)));
+      spec.xor_fraction = 0.6 * rng.next_double();
+      spec.tree_bias = rng.next_double();
+      spec.not_fraction = 0.25 * rng.next_double();
+      spec.seed = rng.next();
+      netlist::Netlist n = netlist::gen::random_logic(spec);
+      if (rng.next_bool(0.35)) n = netlist::decompose_to_2input(n);
+      return n;
+    }
+  }
+}
+
+FuzzReport run_fuzz(const FuzzOptions& opt) {
+  std::vector<const Check*> selected;
+  if (opt.checks.empty()) {
+    for (const Check& c : all_checks()) selected.push_back(&c);
+  } else {
+    for (const std::string& name : opt.checks) {
+      const Check* c = find_check(name);
+      if (c == nullptr) throw Error("fuzz: unknown check '" + name + "'");
+      selected.push_back(c);
+    }
+  }
+  if (!opt.corpus_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opt.corpus_dir, ec);
+    if (ec) {
+      throw Error("fuzz: cannot create corpus dir '" + opt.corpus_dir +
+                  "': " + ec.message());
+    }
+  }
+
+  static const metrics::Counter c_iterations("verify.fuzz.iterations");
+  static const metrics::Counter c_failures("verify.fuzz.failures");
+  static const metrics::Counter c_minimize_attempts(
+      "verify.fuzz.minimize_attempts");
+
+  FuzzReport report;
+  SplitMix64 seeds(opt.seed);
+  for (std::size_t it = 0; it < opt.runs; ++it) {
+    if (opt.governor && opt.governor->deadline_expired()) {
+      report.deadline_hit = true;
+      break;
+    }
+    const std::uint64_t iter_seed = seeds.next();
+    const netlist::Netlist n = sample_netlist(iter_seed, opt.max_gates);
+
+    CheckContext ctx;
+    ctx.seed = iter_seed;
+    ctx.patterns = opt.patterns;
+    ctx.governor = opt.governor;
+
+    bool stopped = false;
+    for (const Check* check : selected) {
+      CheckResult result;
+      try {
+        result = run_check(*check, n, ctx);
+      } catch (const DeadlineExceeded&) {
+        report.deadline_hit = true;
+        stopped = true;
+        break;
+      } catch (const CancelledError&) {
+        stopped = true;
+        break;
+      }
+      ++report.checks_run;
+      if (result.ok) continue;
+
+      c_failures.add();
+      // Shrink with the governor detached: minimization must be
+      // deterministic, and a deadline mid-shrink would corrupt it.
+      CheckContext replay_ctx;
+      replay_ctx.seed = iter_seed;
+      replay_ctx.patterns = opt.patterns;
+      const MinimizeResult shrunk = minimize(
+          n,
+          [&](const netlist::Netlist& cand) {
+            return !run_check(*check, cand, replay_ctx).ok;
+          },
+          opt.minimize_attempts);
+      c_minimize_attempts.add(shrunk.attempts);
+
+      FuzzFailure failure;
+      failure.check = std::string(check->name);
+      failure.seed = iter_seed;
+      failure.detail = result.detail;
+      failure.original_gates = n.num_gates();
+      failure.minimized_gates = shrunk.netlist.num_gates();
+      if (!opt.corpus_dir.empty()) {
+        Repro repro;
+        repro.check = failure.check;
+        repro.seed = iter_seed;
+        repro.patterns = opt.patterns;
+        repro.netlist = shrunk.netlist;
+        repro.note = result.detail;
+        const std::string path = opt.corpus_dir + "/" + failure.check +
+                                 "-seed" + hex_seed(iter_seed) + ".repro";
+        write_repro_file(path, repro);
+        failure.repro_path = path;
+      }
+      if (opt.log != nullptr) {
+        *opt.log << "FAIL " << failure.check << " seed=" << failure.seed
+                 << " (" << failure.original_gates << " -> "
+                 << failure.minimized_gates << " gates)";
+        if (!failure.repro_path.empty()) {
+          *opt.log << " repro=" << failure.repro_path;
+        }
+        *opt.log << "\n  " << failure.detail << "\n";
+      }
+      report.failures.push_back(std::move(failure));
+    }
+    if (stopped) break;
+    ++report.iterations;
+    c_iterations.add();
+  }
+  return report;
+}
+
+}  // namespace cfpm::verify

@@ -1,0 +1,176 @@
+#include "verify/minimize.hpp"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace cfpm::verify {
+
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SignalId;
+
+/// Name-based editable mirror of a netlist. Gates stay in topological
+/// order through every reduction (a bypass only redirects references to an
+/// earlier-defined name), so rebuilding is a single forward pass.
+struct GateSpec {
+  GateType type;
+  std::vector<std::string> fanins;
+  std::string name;
+};
+
+struct Spec {
+  std::string name;
+  std::vector<std::string> inputs;
+  std::vector<GateSpec> gates;
+  std::vector<std::string> outputs;
+};
+
+Spec to_spec(const Netlist& n) {
+  Spec s;
+  s.name = n.name();
+  for (const SignalId i : n.inputs()) s.inputs.push_back(n.signal(i).name);
+  for (SignalId id = 0; id < n.num_signals(); ++id) {
+    const auto& sig = n.signal(id);
+    if (sig.is_input) continue;
+    GateSpec g{sig.type, {}, sig.name};
+    for (const SignalId f : n.fanins(id)) g.fanins.push_back(n.signal(f).name);
+    s.gates.push_back(std::move(g));
+  }
+  for (const SignalId o : n.outputs()) s.outputs.push_back(n.signal(o).name);
+  return s;
+}
+
+std::optional<Netlist> rebuild(const Spec& s) {
+  try {
+    Netlist n(s.name);
+    std::unordered_map<std::string, SignalId> by_name;
+    for (const std::string& in : s.inputs) by_name.emplace(in, n.add_input(in));
+    for (const GateSpec& g : s.gates) {
+      std::vector<SignalId> fanins;
+      fanins.reserve(g.fanins.size());
+      for (const std::string& f : g.fanins) {
+        const auto it = by_name.find(f);
+        if (it == by_name.end()) return std::nullopt;
+        fanins.push_back(it->second);
+      }
+      by_name.emplace(g.name, n.add_gate(g.type, fanins, g.name));
+    }
+    for (const std::string& o : s.outputs) {
+      const auto it = by_name.find(o);
+      if (it == by_name.end()) return std::nullopt;
+      n.mark_output(it->second);
+    }
+    if (n.outputs().empty()) return std::nullopt;
+    n.validate();
+    return n;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+/// Drops gates outside the output cones and inputs nothing references
+/// (always keeping at least one input so the circuit stays a function).
+void prune(Spec& s) {
+  std::unordered_set<std::string> needed(s.outputs.begin(), s.outputs.end());
+  for (std::size_t i = s.gates.size(); i-- > 0;) {
+    if (needed.contains(s.gates[i].name)) {
+      needed.insert(s.gates[i].fanins.begin(), s.gates[i].fanins.end());
+    }
+  }
+  std::erase_if(s.gates,
+                [&](const GateSpec& g) { return !needed.contains(g.name); });
+  std::vector<std::string> kept;
+  for (const std::string& in : s.inputs) {
+    if (needed.contains(in)) kept.push_back(in);
+  }
+  if (kept.empty()) kept.push_back(s.inputs.front());
+  s.inputs = std::move(kept);
+}
+
+/// Replaces gate `gi` with its first fanin everywhere it is referenced.
+void bypass(Spec& s, std::size_t gi) {
+  const std::string victim = s.gates[gi].name;
+  const std::string repl = s.gates[gi].fanins.front();
+  s.gates.erase(s.gates.begin() + static_cast<std::ptrdiff_t>(gi));
+  for (GateSpec& g : s.gates) {
+    for (std::string& f : g.fanins) {
+      if (f == victim) f = repl;
+    }
+  }
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> outs;
+  for (std::string& o : s.outputs) {
+    if (o == victim) o = repl;
+    if (seen.insert(o).second) outs.push_back(o);
+  }
+  s.outputs = std::move(outs);
+}
+
+}  // namespace
+
+MinimizeResult minimize(const netlist::Netlist& n,
+                        const StillFails& still_fails,
+                        std::size_t max_attempts) {
+  Spec cur = to_spec(n);
+  std::size_t attempts = 0;
+
+  auto accept = [&](Spec cand) -> bool {
+    prune(cand);
+    const auto built = rebuild(cand);
+    if (!built || attempts >= max_attempts) return false;
+    ++attempts;
+    if (!still_fails(*built)) return false;
+    cur = std::move(cand);
+    return true;
+  };
+
+  bool improved = true;
+  while (improved && attempts < max_attempts) {
+    improved = false;
+    // Outputs first: dropping one can delete a whole cone in the prune.
+    for (std::size_t i = cur.outputs.size(); i-- > 0 && cur.outputs.size() > 1;) {
+      Spec cand = cur;
+      cand.outputs.erase(cand.outputs.begin() + static_cast<std::ptrdiff_t>(i));
+      if (accept(std::move(cand))) {
+        improved = true;
+        break;
+      }
+      if (attempts >= max_attempts) break;
+    }
+    if (improved) continue;
+    // Then gates, deepest first — bypassing near the outputs unhooks the
+    // most logic per step.
+    for (std::size_t i = cur.gates.size(); i-- > 0;) {
+      if (cur.gates[i].fanins.empty()) continue;  // const gates: no bypass
+      Spec cand = cur;
+      bypass(cand, i);
+      if (accept(std::move(cand))) {
+        improved = true;
+        break;
+      }
+      if (attempts >= max_attempts) break;
+    }
+  }
+
+  prune(cur);
+  auto built = rebuild(cur);
+  // cur is only ever replaced by specs that rebuilt successfully, so this
+  // cannot fail; fall back to the original if it somehow does.
+  MinimizeResult result;
+  result.netlist = built ? std::move(*built) : n;
+  result.attempts = attempts;
+  result.removed_gates = n.num_gates() - result.netlist.num_gates();
+  result.removed_inputs = n.num_inputs() - result.netlist.num_inputs();
+  result.removed_outputs = n.outputs().size() - result.netlist.outputs().size();
+  return result;
+}
+
+}  // namespace cfpm::verify

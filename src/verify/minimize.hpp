@@ -1,0 +1,40 @@
+// Greedy structural shrinking of failing netlists.
+//
+// When a differential check fails on a sampled circuit, the raw witness is
+// usually far larger than the defect it exposes. The minimizer repeatedly
+// applies three semantics-preserving-enough reductions — bypass a gate
+// with its first fanin, drop a primary output, prune logic outside the
+// output cones — keeping each step only while the caller's predicate still
+// reports a failure. Because checks derive everything from (netlist, seed),
+// re-running the same check on the shrunk circuit is a faithful replay.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "netlist/netlist.hpp"
+
+namespace cfpm::verify {
+
+/// Returns true when the candidate netlist still triggers the failure
+/// being minimized. Called many times; should be deterministic and must
+/// not throw (treat an exception inside a check as "still fails" by
+/// running it through run_check, which converts throws into results).
+using StillFails = std::function<bool(const netlist::Netlist&)>;
+
+struct MinimizeResult {
+  netlist::Netlist netlist;   ///< smallest failing circuit found
+  std::size_t attempts = 0;   ///< predicate invocations spent
+  std::size_t removed_gates = 0;
+  std::size_t removed_inputs = 0;
+  std::size_t removed_outputs = 0;
+};
+
+/// Shrinks `n` while `still_fails` holds, spending at most `max_attempts`
+/// predicate calls. `n` itself must satisfy the predicate; the result is
+/// always a failing circuit (worst case, `n` unchanged).
+MinimizeResult minimize(const netlist::Netlist& n,
+                        const StillFails& still_fails,
+                        std::size_t max_attempts = 300);
+
+}  // namespace cfpm::verify

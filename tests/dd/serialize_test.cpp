@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <locale>
 #include <sstream>
 
 #include "dd/manager.hpp"
@@ -252,6 +253,87 @@ TEST(Serialize, ManagerWithTooFewVarsRejected) {
   write_add(ss, f);
   DdManager small(2);
   EXPECT_THROW(read_add(ss, small), ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Locale independence. The format is defined over the "C" decimal syntax;
+// an imbued (or global) comma-decimal locale must change neither what is
+// written nor how it is parsed. The writer/reader use to_chars/from_chars,
+// so both tests demand BIT-exact terminals, not approximate ones.
+// ---------------------------------------------------------------------------
+
+/// Decimal comma + thousands grouping, as in de_DE — but available
+/// everywhere, unlike the named system locale.
+struct CommaNumpunct : std::numpunct<char> {
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+/// 0.1 etc. are not representable in binary: any parse/format that loses a
+/// bit (or honors the locale) breaks the equality below.
+Add awkward_add(DdManager& mgr) {
+  return Add(mgr.bdd_var(0)).times(0.1) + Add(mgr.bdd_var(1)).times(12345.675) +
+         Add(mgr.bdd_var(0) & mgr.bdd_var(2)).times(1.0 / 3.0);
+}
+
+void expect_bit_exact(const Add& f, const Add& g) {
+  for (unsigned m = 0; m < 8; ++m) {
+    std::uint8_t a[3] = {static_cast<std::uint8_t>(m & 1),
+                         static_cast<std::uint8_t>((m >> 1) & 1),
+                         static_cast<std::uint8_t>((m >> 2) & 1)};
+    EXPECT_EQ(g.eval(a), f.eval(a)) << "minterm " << m;  // bitwise, not near
+  }
+}
+
+TEST(Serialize, RoundTripBitExactUnderImbuedCommaLocale) {
+  DdManager mgr(3);
+  const Add f = awkward_add(mgr);
+
+  std::stringstream ss;
+  ss.imbue(std::locale(std::locale::classic(), new CommaNumpunct));
+  write_add(ss, f);
+  // The payload must be locale-independent: no comma decimal points, no
+  // thousands grouping, whatever the stream's locale says.
+  EXPECT_EQ(ss.str().find(','), std::string::npos) << ss.str();
+
+  DdManager mgr2(3);
+  const Add g = read_add(ss, mgr2);
+  expect_bit_exact(f, g);
+}
+
+TEST(Serialize, RoundTripBitExactUnderGlobalCommaLocale) {
+  std::locale de;
+  try {
+    de = std::locale("de_DE.UTF-8");
+  } catch (const std::runtime_error&) {
+    GTEST_SKIP() << "de_DE.UTF-8 locale not installed";
+  }
+  const std::locale previous = std::locale::global(de);
+  struct Restore {
+    std::locale saved;
+    ~Restore() { std::locale::global(saved); }
+  } restore{previous};
+
+  DdManager mgr(3);
+  const Add f = awkward_add(mgr);
+  std::stringstream ss;  // picks up the global locale
+  write_add(ss, f);
+  EXPECT_EQ(ss.str().find(','), std::string::npos) << ss.str();
+
+  DdManager mgr2(3);
+  const Add g = read_add(ss, mgr2);
+  expect_bit_exact(f, g);
+}
+
+TEST(Serialize, CommaDecimalTerminalIsRejectedNotMisparsed) {
+  // Under the old `ss >> value` reader an imbued stream would happily
+  // parse "1,5" as 1.5 (or as 1). The from_chars reader must reject it.
+  std::istringstream in(
+      "cfpm-dd 2 add\nvars 1\nnodes 1\n0 T 1,5\nroot 0\n");
+  in.imbue(std::locale(std::locale::classic(), new CommaNumpunct));
+  DdManager mgr(1);
+  EXPECT_THROW(read_add(in, mgr), ParseError);
 }
 
 }  // namespace

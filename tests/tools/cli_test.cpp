@@ -238,4 +238,97 @@ TEST(Cli, MalformedNetlistReportsLineNumber) {
   std::remove(path.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// Flag-value parsing. Historically std::stoul/std::stod did this work:
+// `--threads abc` threw out of parse() before main's try block (process
+// abort), `--vectors -1` wrapped to 2^64-1, and `--sp 0.5x` dropped the
+// trailing garbage. All three must be exit-2 usage errors naming the flag.
+// ---------------------------------------------------------------------------
+
+TEST(Cli, NonNumericThreadsIsAUsageError) {
+  const auto r = run("estimate model.cfpm --threads abc");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--threads"), std::string::npos);
+  EXPECT_NE(r.output.find("'abc'"), std::string::npos);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, NegativeVectorsIsAUsageErrorNotAWrapAround) {
+  for (const char* form : {"--vectors -1", "--vectors=-1"}) {
+    const auto r = run(std::string("table1 ") + form);
+    EXPECT_EQ(r.exit_code, 2) << form << "\n" << r.output;
+    EXPECT_NE(r.output.find("--vectors"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("'-1'"), std::string::npos) << r.output;
+  }
+}
+
+TEST(Cli, TrailingGarbageOnDoubleFlagIsAUsageError) {
+  const auto r = run("estimate model.cfpm --sp 0.5x");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--sp"), std::string::npos);
+  EXPECT_NE(r.output.find("'0.5x'"), std::string::npos);
+}
+
+TEST(Cli, OutOfRangeProbabilityIsAUsageError) {
+  const auto r = run("estimate model.cfpm --st 1.5");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--st"), std::string::npos);
+  EXPECT_NE(r.output.find("[0, 1]"), std::string::npos);
+}
+
+TEST(Cli, MissingFlagValueIsAUsageError) {
+  const auto r = run("estimate model.cfpm --vectors");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("missing value for --vectors"), std::string::npos);
+}
+
+TEST(Cli, EqualsFormValuesParse) {
+  // --flag=value must behave exactly like --flag value.
+  const auto r = run("info gen:c17 --vectors=100");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("gates   : 6"), std::string::npos);
+}
+
+TEST(Cli, BooleanFlagRejectsAttachedValue) {
+  const auto r = run("build gen:c17 --bound=yes");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--bound does not take a value"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// fuzz subcommand.
+// ---------------------------------------------------------------------------
+
+TEST(Cli, FuzzListChecksNamesTheInvariants) {
+  const auto r = run("fuzz --checks list");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* name :
+       {"model-vs-sim", "compiled-vs-interp", "collapse-avg", "collapse-max",
+        "serialize-roundtrip", "sift-equivalence", "trace-threads"}) {
+    EXPECT_NE(r.output.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Cli, FuzzSmokeRunsGreen) {
+  const std::string corpus = ::testing::TempDir() + "/cli_fuzz_corpus";
+  const auto r = run("fuzz --runs 2 --seed 5 --max-gates 24 --patterns 16 "
+                     "--corpus-dir " + corpus);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("2 iteration(s)"), std::string::npos);
+  EXPECT_NE(r.output.find("0 failure(s)"), std::string::npos);
+}
+
+TEST(Cli, FuzzRejectsUnknownCheck) {
+  const auto r = run("fuzz --runs 1 --checks bogus");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unknown check 'bogus'"), std::string::npos);
+}
+
+TEST(Cli, FuzzReplayOfACommittedRepro) {
+  const auto r = run(std::string("fuzz --replay ") + CFPM_CORPUS_DIR +
+                     "/model-vs-sim-seed000000000000002a.repro");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("PASS"), std::string::npos);
+}
+
 }  // namespace

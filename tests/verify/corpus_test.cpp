@@ -1,0 +1,86 @@
+// Repro file round-trip and the regression corpus: every committed
+// `fuzz/corpus/*.repro` must replay green (a red entry means a previously
+// fixed — or never-present — defect is back).
+#include "verify/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "netlist/generators.hpp"
+#include "support/error.hpp"
+
+namespace cfpm::verify {
+namespace {
+
+Repro sample_repro() {
+  Repro r;
+  r.check = "model-vs-sim";
+  r.seed = 0xdeadbeefULL;
+  r.patterns = 17;
+  r.netlist = netlist::gen::c17();
+  r.note = "two\nlines";
+  return r;
+}
+
+TEST(Corpus, ReproRoundTrips) {
+  const Repro r = sample_repro();
+  std::stringstream ss;
+  write_repro(ss, r);
+  const Repro back = read_repro(ss);
+  EXPECT_EQ(back.check, r.check);
+  EXPECT_EQ(back.seed, r.seed);
+  EXPECT_EQ(back.patterns, r.patterns);
+  EXPECT_EQ(back.note, r.note);
+  EXPECT_EQ(back.netlist.num_inputs(), r.netlist.num_inputs());
+  EXPECT_EQ(back.netlist.num_gates(), r.netlist.num_gates());
+  EXPECT_EQ(back.netlist.outputs().size(), r.netlist.outputs().size());
+}
+
+TEST(Corpus, RejectsUnknownCheckAndMalformedNumbers) {
+  auto parse = [](const std::string& text) {
+    std::istringstream in(text);
+    return read_repro(in);
+  };
+  EXPECT_THROW(parse("cfpm-fuzz-repro 1\n"
+                     "check not-a-check\nseed 1\npatterns 4\nbench\n"),
+               ParseError);
+  EXPECT_THROW(parse("cfpm-fuzz-repro 1\n"
+                     "check model-vs-sim\nseed -1\npatterns 4\nbench\n"),
+               ParseError);
+  EXPECT_THROW(parse("cfpm-fuzz-repro 1\n"
+                     "check model-vs-sim\nseed 1\npatterns 4x\nbench\n"),
+               ParseError);
+  EXPECT_THROW(parse("cfpm-fuzz-repro 2\n"), ParseError);
+  EXPECT_THROW(parse("cfpm-fuzz-repro 1\n"
+                     "check model-vs-sim\nseed 1\npatterns 4\n"),
+               ParseError);  // missing bench section
+}
+
+TEST(Corpus, ReplayRunsTheNamedCheck) {
+  const Repro r = sample_repro();
+  const CheckResult result = replay(r);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(Corpus, EveryCommittedEntryReplaysGreen) {
+  const auto paths = list_corpus(CFPM_CORPUS_DIR);
+  ASSERT_FALSE(paths.empty())
+      << "no .repro files under " << CFPM_CORPUS_DIR
+      << " — the regression corpus should ship with the repository";
+  for (const std::string& path : paths) {
+    SCOPED_TRACE(path);
+    const Repro r = read_repro_file(path);
+    const CheckResult result = replay(r);
+    EXPECT_TRUE(result.ok) << "regression: " << r.check
+                           << " failed again: " << result.detail;
+  }
+}
+
+TEST(Corpus, ListCorpusOnMissingDirectoryIsEmpty) {
+  EXPECT_TRUE(list_corpus("/nonexistent/fuzz/dir").empty());
+}
+
+}  // namespace
+}  // namespace cfpm::verify
