@@ -1,0 +1,151 @@
+// Model-construction benchmark: serial Fig. 6 loop vs cone-parallel build
+// at 1/2/4/8 worker threads, emitted machine-readably to
+// BENCH_parallel_build.json.
+//
+// Construction is the offline half of the pipeline (eval throughput is the
+// online half, see micro_eval_throughput.cpp), but it gates how large a
+// circuit is practical to model at all: each output cone is an independent
+// ADD build, so the Fig. 6 gate loop parallelizes across cones with a
+// deterministic serialize/import merge. The gate here is bit-identical
+// results at every thread count; speedup is reported per machine (the
+// hardware_concurrency field says how many cores the numbers were taken
+// on — on a single-core host every row degenerates to serial timing).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "eval/table.hpp"
+#include "power/add_model.hpp"
+
+namespace {
+
+using namespace cfpm;
+
+struct Result {
+  std::size_t threads = 1;
+  double seconds = 0.0;  // best observed build
+  std::size_t model_nodes = 0;
+  double average_ff = 0.0;
+};
+
+struct CircuitReport {
+  std::string name;
+  std::size_t inputs = 0;
+  std::size_t gates = 0;
+  std::size_t outputs = 0;
+  std::vector<Result> results;
+};
+
+CircuitReport run_circuit(const std::string& circuit, std::size_t max_nodes) {
+  const netlist::Netlist n = netlist::gen::mcnc_like(circuit);
+  const netlist::GateLibrary lib = bench::experiment_library();
+
+  CircuitReport rep;
+  rep.name = circuit;
+  rep.inputs = n.num_inputs();
+  rep.gates = n.num_gates();
+  rep.outputs = n.outputs().size();
+
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    power::AddModelOptions opt;
+    opt.max_nodes = max_nodes;
+    opt.build_threads = threads;
+    Result r;
+    r.threads = threads;
+    double best = 1e300;
+    double elapsed = 0.0;
+    std::size_t passes = 0;
+    // Builds are orders of magnitude slower than eval passes, so cap the
+    // repeat budget lower; the minimum is still the noise-robust pick.
+    while ((elapsed < 1.0 && passes < 20) || passes < 3) {
+      Timer timer;
+      const power::AddPowerModel model =
+          power::AddPowerModel::build(n, lib, opt);
+      const double t = timer.seconds();
+      best = std::min(best, t);
+      elapsed += t;
+      ++passes;
+      r.model_nodes = model.size();
+      r.average_ff = model.function().average();
+    }
+    r.seconds = best;
+    rep.results.push_back(r);
+  }
+
+  // Correctness gate: thread count must not change a single bit of the
+  // resulting model (deterministic partition + fixed-order merge).
+  for (std::size_t i = 1; i < rep.results.size(); ++i) {
+    if (rep.results[i].model_nodes != rep.results[0].model_nodes ||
+        rep.results[i].average_ff != rep.results[0].average_ff) {
+      std::cerr << "FATAL: thread count changed the model on " << circuit
+                << "\n";
+      std::exit(1);
+    }
+  }
+  return rep;
+}
+
+}  // namespace
+
+int main() {
+  // The same Table-1 circuits micro_eval_throughput.cpp sweeps (so the two
+  // JSON files describe one pipeline end to end), plus decod: its wide
+  // fan of output cones is the shape the cone partition actually spreads
+  // across workers (cm150/mux are single-cone and degenerate to serial).
+  const std::vector<std::pair<std::string, std::size_t>> circuits = {
+      {"cmb", 200}, {"decod", 200}, {"cm150", 1000}, {"mux", 1000}};
+
+  std::vector<CircuitReport> reports;
+  for (const auto& [name, max_nodes] : circuits) {
+    reports.push_back(run_circuit(name, max_nodes));
+  }
+
+  for (const CircuitReport& rep : reports) {
+    const double serial = rep.results[0].seconds;
+    std::cout << "\nparallel build: " << rep.name << " (" << rep.inputs
+              << " inputs, " << rep.gates << " gates, " << rep.outputs
+              << " output cones)\n";
+    eval::TextTable table({"threads", "ms/build", "speedup", "model nodes"});
+    for (const Result& r : rep.results) {
+      table.add_row({std::to_string(r.threads),
+                     eval::TextTable::num(1e3 * r.seconds, 3),
+                     eval::TextTable::num(serial / r.seconds, 2),
+                     std::to_string(r.model_nodes)});
+    }
+    table.print(std::cout);
+  }
+
+  std::ofstream out("BENCH_parallel_build.json");
+  char buf[64];
+  out << "{\n";
+  out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n";
+  out << "  \"circuits\": [\n";
+  for (std::size_t c = 0; c < reports.size(); ++c) {
+    const CircuitReport& rep = reports[c];
+    const double serial = rep.results[0].seconds;
+    out << "    {\"name\": \"" << rep.name << "\", \"inputs\": " << rep.inputs
+        << ", \"gates\": " << rep.gates << ", \"outputs\": " << rep.outputs
+        << ", \"results\": [\n";
+    for (std::size_t i = 0; i < rep.results.size(); ++i) {
+      const Result& r = rep.results[i];
+      std::snprintf(buf, sizeof(buf), "%.4g", serial / r.seconds);
+      out << "      {\"threads\": " << r.threads
+          << ", \"seconds_per_build\": " << r.seconds
+          << ", \"speedup_vs_serial\": " << buf
+          << ", \"model_nodes\": " << r.model_nodes << "}"
+          << (i + 1 < rep.results.size() ? "," : "") << "\n";
+    }
+    out << "    ]}" << (c + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "\nwrote BENCH_parallel_build.json\n";
+  bench::write_metrics_snapshot("BENCH_parallel_build_metrics.json");
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "dd/dd_internal.hpp"
+#include "dd/simd_kernels.hpp"
 #include "support/assert.hpp"
 #include "support/metrics.hpp"
 
@@ -18,15 +19,19 @@ CompiledDd CompiledDd::compile(const Add& f) {
   // to bare arena indices.
   const std::uint32_t root = edge_index(DdInternal::edge(f));
 
-  // Collect the reachable DAG (iterative DFS; the diagram may be deep).
+  // Collect the reachable DAG breadth-first. The discovery rank is the
+  // within-level packing key below: parents enqueue children hi-then-lo,
+  // so a level's nodes end up ordered the way the level above reaches
+  // them and the sweep's child-row stores walk each level as one forward
+  // linear stream (breadth-first-packed layout).
+  std::vector<std::uint32_t> bfs{root};
+  std::unordered_set<std::uint32_t> seen{root};
+  std::unordered_map<std::uint32_t, std::uint32_t> rank;
   std::vector<std::uint32_t> internals;
   std::vector<std::uint32_t> terminals;
-  std::unordered_set<std::uint32_t> seen;
-  std::vector<std::uint32_t> stack{root};
-  seen.insert(root);
-  while (!stack.empty()) {
-    const std::uint32_t i = stack.back();
-    stack.pop_back();
+  for (std::size_t head = 0; head < bfs.size(); ++head) {
+    const std::uint32_t i = bfs[head];
+    rank.emplace(i, static_cast<std::uint32_t>(head));
     const DdNode& n = DdInternal::node(*mgr, i);
     if (n.is_terminal()) {
       terminals.push_back(i);
@@ -35,20 +40,20 @@ CompiledDd CompiledDd::compile(const Add& f) {
     internals.push_back(i);
     for (const std::uint32_t child :
          {edge_index(n.then_edge), edge_index(n.else_edge)}) {
-      if (seen.insert(child).second) stack.push_back(child);
+      if (seen.insert(child).second) bfs.push_back(child);
     }
   }
 
-  // Deterministic layout: internal nodes by (level, arena index), terminal
-  // values ascending. A child is always at a strictly deeper level than its
-  // parent, so every walk moves forward through the array.
+  // Deterministic layout: internal nodes by (level, breadth-first rank),
+  // terminal values ascending. A child is always at a strictly deeper
+  // level than its parent, so every walk moves forward through the array.
   std::sort(internals.begin(), internals.end(),
             [&](std::uint32_t a, std::uint32_t b) {
               const std::uint32_t la =
                   mgr->level_of_var(DdInternal::node(*mgr, a).var);
               const std::uint32_t lb =
                   mgr->level_of_var(DdInternal::node(*mgr, b).var);
-              return la != lb ? la < lb : a < b;
+              return la != lb ? la < lb : rank.at(a) < rank.at(b);
             });
   std::sort(terminals.begin(), terminals.end(),
             [&](std::uint32_t a, std::uint32_t b) {
@@ -76,15 +81,17 @@ CompiledDd CompiledDd::compile(const Add& f) {
   std::uint32_t prev_level = DdNode::kTerminalVar;
   for (const std::uint32_t i : internals) {
     const DdNode& n = DdInternal::node(*mgr, i);
-    c.nodes_.push_back(Node{n.var, index.at(edge_index(n.then_edge)),
-                            index.at(edge_index(n.else_edge))});
-    c.num_vars_needed_ = std::max(c.num_vars_needed_, n.var + 1);
     const std::uint32_t level = mgr->level_of_var(n.var);
     if (level != prev_level) {
+      c.level_offsets_.push_back(static_cast<std::uint32_t>(c.nodes_.size()));
       ++distinct_levels;
       prev_level = level;
     }
+    c.nodes_.push_back(Node{n.var, index.at(edge_index(n.then_edge)),
+                            index.at(edge_index(n.else_edge))});
+    c.num_vars_needed_ = std::max(c.num_vars_needed_, n.var + 1);
   }
+  c.level_offsets_.push_back(c.first_terminal_);
   // Terminal sinks self-loop on a variable every caller must provide anyway
   // (var 0 is always < min_assignment_size() when internal nodes exist; for
   // a constant diagram depth_ is 0 and the sink is never stepped).
@@ -94,6 +101,17 @@ CompiledDd CompiledDd::compile(const Add& f) {
   }
   c.depth_ = distinct_levels;
   c.root_ = index.at(root);
+
+  // Cache-block width for eval_packed_wide: widest power-of-two group
+  // count whose reach scratch still fits the L2 budget, floor 1 (a sweep
+  // must make progress no matter how large the diagram is).
+  std::uint32_t groups = kPackedGroups;
+  while (groups > 1 &&
+         c.nodes_.size() * groups * sizeof(std::uint64_t) >
+             kSweepScratchBudget) {
+    groups >>= 1;
+  }
+  c.sweep_groups_ = groups;
 
   // Mark each node's first incoming edge in sweep order (ascending parent
   // index, hi before lo). The packed evaluators assign through these edges
@@ -191,54 +209,36 @@ void CompiledDd::eval_packed_wide(const std::uint64_t* bits, std::size_t count,
                                   std::vector<std::uint64_t>& scratch) const {
   constexpr std::size_t W = kPackedGroups;
   CFPM_REQUIRE(count >= 1 && count <= 64 * W);
-  std::uint64_t all[W];
-  for (std::size_t w = 0; w < W; ++w) {
-    const std::size_t base = 64 * w;
-    all[w] = count >= base + 64 ? ~std::uint64_t{0}
-             : count > base     ? (std::uint64_t{1} << (count - base)) - 1
-                                : 0;
-  }
   if (root_ >= first_terminal_) {
     const double v = values_[root_ - first_terminal_];
     for (std::size_t k = 0; k < count; ++k) out[k] = v;
     return;
   }
-  if (scratch.size() < W * nodes_.size()) scratch.assign(W * nodes_.size(), 0);
-  std::uint64_t* const __restrict__ reach = scratch.data();
-  const std::uint64_t* const __restrict__ b = bits;
-  for (std::size_t w = 0; w < W; ++w) reach[W * root_ + w] = all[w];
-  const Node* const nodes = nodes_.data();
-  for (std::uint32_t i = 0; i < first_terminal_; ++i) {
-    const Node& n = nodes[i];
-    // Local mask copy so the child stores cannot alias the source reads.
-    std::uint64_t m[W];
-    for (std::size_t w = 0; w < W; ++w) m[w] = reach[W * i + w];
-    const std::uint64_t keep_hi = static_cast<std::uint64_t>(n.hi >> 31) - 1;
-    const std::uint64_t keep_lo = static_cast<std::uint64_t>(n.lo >> 31) - 1;
-    std::uint64_t* const hi = reach + W * (n.hi & kIndexMask);
-    std::uint64_t* const lo = reach + W * (n.lo & kIndexMask);
-    const std::uint64_t* const bv = b + W * n.var;
-    for (std::size_t w = 0; w < W; ++w) {
-      hi[w] = (hi[w] & keep_hi) | (m[w] & bv[w]);
-    }
-    for (std::size_t w = 0; w < W; ++w) {
-      lo[w] = (lo[w] & keep_lo) | (m[w] & ~bv[w]);
-    }
+  const std::size_t block = sweep_groups_;
+  if (scratch.size() < block * nodes_.size()) {
+    scratch.assign(block * nodes_.size(), 0);
   }
-  const std::uint32_t num_nodes = static_cast<std::uint32_t>(nodes_.size());
-  for (std::uint32_t i = first_terminal_; i < num_nodes; ++i) {
-    const std::uint64_t* const m = reach + W * i;
-    std::uint64_t any = 0;
-    for (std::size_t w = 0; w < W; ++w) any |= m[w];
-    if (any == 0) continue;
-    const double v = values_[i - first_terminal_];
-    for (std::size_t w = 0; w < W; ++w) {
-      std::uint64_t mm = m[w];
-      while (mm != 0) {
-        out[64 * w + std::countr_zero(mm)] = v;
-        mm &= mm - 1;
-      }
+  const simd::SweepCtx ctx{nodes_.data(), values_.data(), first_terminal_,
+                           static_cast<std::uint32_t>(nodes_.size()), root_};
+  const std::size_t groups = (count + 63) / 64;
+  // Sub-sweep `block` groups at a time so the reach scratch of one sweep
+  // stays within kSweepScratchBudget. A partial tail block is padded up to
+  // a power of two with zero valid-lane masks (`bits` always has full
+  // kPackedGroups stride, so the padded loads stay in bounds) — that keeps
+  // the wide kernels eligible instead of falling back to scalar on odd
+  // tails; zero root masks propagate zeros and write nothing.
+  for (std::size_t g = 0; g < groups; g += block) {
+    const std::size_t live = std::min(block, groups - g);
+    const std::size_t width = std::bit_ceil(live);
+    std::uint64_t all[W];
+    for (std::size_t w = 0; w < width; ++w) {
+      const std::size_t base = 64 * (g + w);
+      all[w] = count >= base + 64 ? ~std::uint64_t{0}
+               : count > base     ? (std::uint64_t{1} << (count - base)) - 1
+                                  : 0;
     }
+    simd::select_sweep(width)(ctx, bits + g, W, all, out + 64 * g,
+                              scratch.data(), width);
   }
 }
 

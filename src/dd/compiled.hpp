@@ -80,15 +80,30 @@ class CompiledDd {
   void eval_packed(const std::uint64_t* bits, std::size_t count, double* out,
                    std::vector<std::uint64_t>& scratch) const;
 
-  /// Number of 64-assignment groups eval_packed_wide processes per sweep.
-  static constexpr std::size_t kPackedGroups = 4;
+  /// Number of 64-assignment groups eval_packed_wide accepts per call (the
+  /// fixed stride of the caller's `bits` layout). 8 matches one AVX-512
+  /// register per node row.
+  static constexpr std::size_t kPackedGroups = 8;
 
-  /// As eval_packed, but kPackedGroups groups of 64 assignments share one
-  /// sweep: `bits[kPackedGroups * v + w]` packs group w's values of
-  /// variable v, and assignment 64*w + k's value lands in out[64*w + k].
-  /// The wider masks amortize the per-node record loads and give the
-  /// compiler contiguous 4-word blocks to vectorize, which matters once
-  /// the sweep is mask-bandwidth-bound.
+  /// Scratch budget for one sub-sweep (see sweep_groups()): sized so the
+  /// reach rows of a sweep stay resident in a typical 256 KiB-class L2
+  /// instead of streaming through it every node pass.
+  static constexpr std::size_t kSweepScratchBudget = 256 * 1024;
+
+  /// Cache-block width chosen at compile(): the largest power of two
+  /// <= kPackedGroups for which `num_nodes() * groups * 8` bytes of reach
+  /// scratch fit kSweepScratchBudget (floor 1). eval_packed_wide sweeps the
+  /// node array once per this many groups, trading sweeps for locality on
+  /// large diagrams.
+  std::size_t sweep_groups() const noexcept { return sweep_groups_; }
+
+  /// As eval_packed, but up to kPackedGroups groups of 64 assignments per
+  /// call: `bits[kPackedGroups * v + w]` packs group w's values of variable
+  /// v (the stride is kPackedGroups regardless of count), and assignment
+  /// 64*w + k's value lands in out[64*w + k]. Internally the groups are
+  /// processed sweep_groups() at a time through the widest SIMD kernel the
+  /// active dispatch tier supports (dd/simd.hpp); every tier is
+  /// bit-identical to eval().
   void eval_packed_wide(const std::uint64_t* bits, std::size_t count,
                         double* out, std::vector<std::uint64_t>& scratch) const;
 
@@ -101,13 +116,28 @@ class CompiledDd {
   std::uint32_t min_assignment_size() const noexcept { return num_vars_needed_; }
   std::span<const double> values() const noexcept { return values_; }
 
+  /// Read-only view of the flattened records (layout tests, kernels).
+  std::span<const Node> nodes() const noexcept { return nodes_; }
+  std::uint32_t root() const noexcept { return root_; }
+  /// Level boundaries of the breadth-first-packed layout: the nodes of
+  /// distinct level d (0 = root's level) occupy indices
+  /// [level_offsets()[d], level_offsets()[d + 1]); the final entry equals
+  /// num_internal_nodes(). Within a level, nodes are ordered by
+  /// breadth-first discovery rank from the root, so the sweep's stores
+  /// from one level land in one forward linear stream in the next.
+  std::span<const std::uint32_t> level_offsets() const noexcept {
+    return level_offsets_;
+  }
+
  private:
   std::vector<Node> nodes_;    // internal nodes (level-sorted), then sinks
   std::vector<double> values_; // value of sink node first_terminal_ + i
+  std::vector<std::uint32_t> level_offsets_;  // depth_ + 1 entries
   std::uint32_t root_ = 0;
   std::uint32_t first_terminal_ = 0;
   std::uint32_t depth_ = 0;
   std::uint32_t num_vars_needed_ = 0;
+  std::uint32_t sweep_groups_ = kPackedGroups;
 };
 
 }  // namespace cfpm::dd

@@ -1,0 +1,68 @@
+#include "dd/simd_kernels.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace cfpm::dd::simd {
+
+// 256-bit sweep: four mask words per instruction. Compiled with a
+// per-function target attribute so the translation unit builds under the
+// project's baseline flags; select_sweep() only hands this kernel out after
+// cpuid confirms AVX2, so the attribute never executes unguarded.
+__attribute__((target("avx2"))) void sweep_avx2(
+    const SweepCtx& ctx, const std::uint64_t* bits, std::size_t bits_stride,
+    const std::uint64_t* all, double* out, std::uint64_t* reach,
+    std::size_t W) {
+  for (std::size_t w = 0; w < W; ++w) reach[W * ctx.root + w] = all[w];
+  const CompiledDd::Node* const nodes = ctx.nodes;
+  for (std::uint32_t i = 0; i < ctx.first_terminal; ++i) {
+    const CompiledDd::Node& n = nodes[i];
+    // keep masks are all-ones (OR-merge) or all-zero (first-edge store),
+    // broadcast once per node.
+    const __m256i keep_hi = _mm256_set1_epi64x(
+        static_cast<long long>(static_cast<std::uint64_t>(n.hi >> 31) - 1));
+    const __m256i keep_lo = _mm256_set1_epi64x(
+        static_cast<long long>(static_cast<std::uint64_t>(n.lo >> 31) - 1));
+    const std::uint64_t* const m = reach + W * i;
+    std::uint64_t* const hi = reach + W * (n.hi & CompiledDd::kIndexMask);
+    std::uint64_t* const lo = reach + W * (n.lo & CompiledDd::kIndexMask);
+    const std::uint64_t* const bv = bits + bits_stride * n.var;
+    for (std::size_t w = 0; w < W; w += 4) {
+      const __m256i mw =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(m + w));
+      const __m256i bw =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bv + w));
+      const __m256i h =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hi + w));
+      const __m256i l =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lo + w));
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(hi + w),
+          _mm256_or_si256(_mm256_and_si256(h, keep_hi),
+                          _mm256_and_si256(mw, bw)));
+      // andnot(bw, mw) = mw & ~bw — note the operand order of vpandn.
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(lo + w),
+          _mm256_or_si256(_mm256_and_si256(l, keep_lo),
+                          _mm256_andnot_si256(bw, mw)));
+    }
+  }
+  gather_terminals(ctx, reach, out, W);
+}
+
+}  // namespace cfpm::dd::simd
+
+#else  // non-x86: dispatch never selects this kernel; keep the symbol.
+
+namespace cfpm::dd::simd {
+
+void sweep_avx2(const SweepCtx& ctx, const std::uint64_t* bits,
+                std::size_t bits_stride, const std::uint64_t* all, double* out,
+                std::uint64_t* reach, std::size_t W) {
+  sweep_scalar(ctx, bits, bits_stride, all, out, reach, W);
+}
+
+}  // namespace cfpm::dd::simd
+
+#endif

@@ -7,9 +7,11 @@
 
 #include "dd/serialize.hpp"
 #include "dd/stats.hpp"
+#include "power/cone_partition.hpp"
 #include "support/assert.hpp"
 #include "support/error.hpp"
 #include "support/metrics.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 #include "support/trace.hpp"
 
@@ -41,6 +43,15 @@ class SymbolicBuilder {
       : n_(n), loads_(loads), options_(options) {}
 
   AddPowerModel run() {
+    const std::size_t threads =
+        options_.build_threads != 0
+            ? options_.build_threads
+            : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    return threads > 1 ? run_parallel(threads) : run_serial();
+  }
+
+ private:
+  AddPowerModel run_serial() {
     Timer timer;
     const std::size_t num_inputs = n_.num_inputs();
     CFPM_REQUIRE(num_inputs >= 1);
@@ -166,7 +177,162 @@ class SymbolicBuilder {
     return model;
   }
 
- private:
+  /// Cone-parallel Fig. 6: the gate sum is partitioned into per-output
+  /// fanin cones (partition_gate_cones — a pure function of the netlist),
+  /// each cone's partial sum is built in its own DdManager on a pool
+  /// worker, and the partials are merged into the shared manager through
+  /// the textual DD serializer in fixed task order. Everything that can
+  /// alter the result (partition, per-worker collapse points, merge order,
+  /// final reorder/approximation) is thread-count-independent, so any two
+  /// thread counts produce bit-identical models. Workers never sift: the
+  /// serializer records the variable order, and importing under an order
+  /// differing from the shared manager's would require a fresh manager per
+  /// partial; with identity order everywhere the imports all land in one
+  /// manager and merged nodes dedupe against each other.
+  AddPowerModel run_parallel(std::size_t threads) {
+    Timer timer;
+    const std::size_t num_inputs = n_.num_inputs();
+    CFPM_REQUIRE(num_inputs >= 1);
+    CFPM_REQUIRE(loads_.size() == n_.num_signals());
+    AddModelBuildInfo info;
+
+    const std::vector<ConeTask> tasks = partition_gate_cones(n_);
+    cfpm::Governor* governor = options_.dd_config.governor.get();
+    const std::size_t inner_cap =
+        options_.max_nodes == 0 ? 0 : options_.max_nodes * 64;
+
+    static const metrics::Counter c_parallel("power.build.parallel.run");
+    static const metrics::Counter c_cone("power.build.parallel.cone");
+    c_parallel.add();
+    c_cone.add(tasks.size());
+
+    struct TaskResult {
+      std::string dd_text;  ///< serialized partial sum (format v2)
+      std::size_t approximations = 0;
+      std::size_t peak_live_nodes = 0;
+    };
+    std::vector<TaskResult> results(tasks.size());
+
+    auto build_task = [&](std::size_t t) {
+      const ConeTask& task = tasks[t];
+      TaskResult& res = results[t];
+      // Fresh manager per cone; shares the governor (thread-safe), so the
+      // deadline/cancellation cover the whole fleet and every cone is
+      // checkpointed per gate exactly like the serial loop.
+      dd::DdManager wmgr(2 * num_inputs, options_.dd_config);
+      std::vector<dd::Bdd> g_i(n_.num_signals());
+      std::vector<dd::Bdd> g_f(n_.num_signals());
+      std::vector<bool> owned(n_.num_signals(), false);
+      for (const SignalId s : task.owned) owned[s] = true;
+      // Release discipline mirrors the serial loop, restricted to the
+      // support-induced subgraph this worker actually builds.
+      std::vector<std::uint32_t> pending(n_.num_signals(), 0);
+      for (const SignalId s : task.support) {
+        for (const SignalId f : n_.fanins(s)) ++pending[f];
+      }
+      auto release_if_done = [&](SignalId s) {
+        if (pending[s] == 0) {
+          g_i[s] = dd::Bdd();
+          g_f[s] = dd::Bdd();
+        }
+      };
+
+      dd::Add partial = wmgr.constant(0.0);
+      for (const SignalId s : task.support) {
+        if (governor != nullptr) governor->checkpoint();
+        const auto& sig = n_.signal(s);
+        if (sig.is_input) {
+          const std::uint32_t idx = n_.input_index(s);
+          g_i[s] = wmgr.bdd_var(
+              map_var(options_.order, idx, false, num_inputs));
+          g_f[s] = wmgr.bdd_var(
+              map_var(options_.order, idx, true, num_inputs));
+          continue;
+        }
+        g_i[s] = build_gate(wmgr, sig.type, s, g_i);
+        g_f[s] = build_gate(wmgr, sig.type, s, g_f);
+        if (owned[s]) {
+          dd::Bdd rising = (!g_i[s]) & g_f[s];
+          dd::Add delta = dd::Add(rising).times(loads_[s]);
+          rising = dd::Bdd();
+          if (options_.delta_max_nodes != 0 &&
+              delta.size() > options_.delta_max_nodes) {
+            delta = dd::approximate_to(delta, options_.delta_max_nodes,
+                                       options_.mode);
+            ++res.approximations;
+          }
+          partial = partial + delta;
+          // In-construction collapsing is per-cone here (no sifting — see
+          // the merge contract above); the collapse points depend only on
+          // the task's gate list, never on scheduling.
+          if (options_.approximate_during_construction && inner_cap != 0 &&
+              partial.size() > inner_cap) {
+            partial = dd::approximate_to(partial, inner_cap, options_.mode);
+            ++res.approximations;
+          }
+        }
+        res.peak_live_nodes = std::max(res.peak_live_nodes,
+                                       wmgr.live_nodes());
+        for (const SignalId f : n_.fanins(s)) {
+          CFPM_ASSERT(pending[f] > 0);
+          --pending[f];
+          release_if_done(f);
+        }
+        release_if_done(s);
+      }
+      std::ostringstream os;
+      dd::write_add(os, partial);
+      res.dd_text = std::move(os).str();
+    };
+
+    {
+      // The pool rethrows one worker exception after the batch drains, so
+      // DeadlineExceeded/ResourceError/CancelledError reach the ladder in
+      // build() exactly as they do from the serial loop.
+      ThreadPool pool(std::min(threads, std::max<std::size_t>(tasks.size(),
+                                                              1)));
+      pool.run_indexed(tasks.size(), build_task);
+    }
+
+    // Deterministic merge: import and add in task order.
+    auto mgr = std::make_shared<dd::DdManager>(2 * num_inputs,
+                                               options_.dd_config);
+    dd::Add total = mgr->constant(0.0);
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      if (governor != nullptr) governor->checkpoint();
+      std::istringstream is(results[t].dd_text);
+      total = total + dd::read_add(is, *mgr);
+      info.approximations += results[t].approximations;
+      info.peak_live_nodes =
+          std::max(info.peak_live_nodes, results[t].peak_live_nodes);
+      results[t].dd_text = std::string();  // free eagerly
+      info.peak_live_nodes = std::max(info.peak_live_nodes,
+                                      mgr->live_nodes());
+    }
+    mgr->collect_garbage();
+
+    // Same tail as the serial path: reorder, then enforce the budget.
+    if (options_.max_nodes != 0 && total.size() > options_.max_nodes) {
+      for (unsigned pass = 0; pass < options_.reorder_passes; ++pass) {
+        if (mgr->sift() == 0) break;  // converged
+      }
+      ++info.reorder_runs;
+    }
+    if (options_.max_nodes != 0 && total.size() > options_.max_nodes) {
+      total = dd::approximate_to(total, options_.max_nodes, options_.mode);
+      ++info.approximations;
+    }
+    mgr->collect_garbage();
+
+    info.build_seconds = timer.seconds();
+    info.exact_if_zero = info.approximations;
+
+    AddPowerModel model(std::move(mgr), std::move(total), num_inputs,
+                        options_.order, options_.mode, n_.name());
+    model.build_info_ = info;
+    return model;
+  }
+
   dd::Bdd build_gate(dd::DdManager& mgr, netlist::GateType type, SignalId s,
                      const std::vector<dd::Bdd>& env) {
     using netlist::GateType;
@@ -381,17 +547,28 @@ TraceEstimate AddPowerModel::estimate_trace(const sim::InputSequence& seq,
         // assignment blocks the packed evaluator consumes — transition t's
         // initial state of input k is bit t of stream k and its final
         // state is bit t+1 — so the whole gather is two window64 reads
-        // per input per 64 transitions.
-        std::vector<std::uint64_t> bits(2 * num_inputs_);
+        // per input per 64 transitions. Blocks of kPackedGroups groups are
+        // fed to the SIMD-dispatched wide sweep; per-value results and the
+        // t-ascending accumulation below are bit-identical to the
+        // one-group path (kTraceChunk is a multiple of 64*kPackedGroups,
+        // so chunk boundaries never split a wide block unevenly between
+        // runs of different width).
+        constexpr std::size_t W = dd::CompiledDd::kPackedGroups;
+        static_assert(kTraceChunk % (64 * W) == 0,
+                      "chunk boundaries must not split a wide block");
+        std::vector<std::uint64_t> bits(W * 2 * num_inputs_);
         std::vector<std::uint64_t> scratch;
-        double values[64];
-        for (std::size_t base = begin; base < end; base += 64) {
-          const std::size_t m = std::min<std::size_t>(64, end - base);
+        double values[64 * W];
+        for (std::size_t base = begin; base < end; base += 64 * W) {
+          const std::size_t m = std::min<std::size_t>(64 * W, end - base);
+          const std::size_t groups = (m + 63) / 64;
           for (std::uint32_t k = 0; k < num_inputs_; ++k) {
-            bits[vi[k]] = seq.window64(k, base);
-            bits[vf[k]] = seq.window64(k, base + 1);
+            for (std::size_t w = 0; w < groups; ++w) {
+              bits[W * vi[k] + w] = seq.window64(k, base + 64 * w);
+              bits[W * vf[k] + w] = seq.window64(k, base + 64 * w + 1);
+            }
           }
-          compiled.eval_packed(bits.data(), m, values, scratch);
+          compiled.eval_packed_wide(bits.data(), m, values, scratch);
           for (std::size_t t = 0; t < m; ++t) {
             total += values[t];
             peak = std::max(peak, values[t]);

@@ -63,6 +63,16 @@ struct AddModelOptions {
   bool degrade = true;
   /// Smallest MAX the ladder will retry with before the constant fallback.
   std::size_t degrade_floor = 16;
+  /// Worker lanes for construction. 1 (default) runs the serial Fig. 6
+  /// loop; >1 builds independent per-output fanin cones in separate
+  /// DdManager instances on a support::ThreadPool and merges the partial
+  /// sums into the shared manager via a deterministic serialize/import
+  /// step (0 = hardware concurrency). The gate partition and the merge
+  /// order depend only on the netlist, so the parallel result is
+  /// bit-identical across thread counts; it can differ from the serial
+  /// path only in where mid-construction approximation/reordering cuts in
+  /// (never for exact builds with exactly-representable load sums).
+  std::size_t build_threads = 1;
 };
 
 /// How the model left the builder (see AddModelOptions::degrade).

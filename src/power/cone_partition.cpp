@@ -1,0 +1,85 @@
+#include "power/cone_partition.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace cfpm::power {
+
+using netlist::Netlist;
+using netlist::SignalId;
+
+namespace {
+
+/// Collects the unclaimed gates of `root`'s fanin cone into `owned` and
+/// marks them claimed. Iterative DFS; cones can be as deep as the netlist.
+void claim_cone(const Netlist& n, SignalId root, std::vector<bool>& claimed,
+                std::vector<SignalId>& owned) {
+  std::vector<SignalId> stack{root};
+  while (!stack.empty()) {
+    const SignalId s = stack.back();
+    stack.pop_back();
+    if (n.signal(s).is_input || claimed[s]) continue;
+    claimed[s] = true;
+    owned.push_back(s);
+    for (const SignalId f : n.fanins(s)) stack.push_back(f);
+  }
+}
+
+/// support = owned ∪ transitive fanins of owned, ascending.
+std::vector<SignalId> close_support(const Netlist& n,
+                                    const std::vector<SignalId>& owned) {
+  std::vector<bool> in_support(n.num_signals(), false);
+  std::vector<SignalId> stack(owned.begin(), owned.end());
+  for (const SignalId s : owned) in_support[s] = true;
+  while (!stack.empty()) {
+    const SignalId s = stack.back();
+    stack.pop_back();
+    for (const SignalId f : n.fanins(s)) {
+      if (!in_support[f]) {
+        in_support[f] = true;
+        stack.push_back(f);
+      }
+    }
+  }
+  std::vector<SignalId> support;
+  for (SignalId s = 0; s < n.num_signals(); ++s) {
+    if (in_support[s]) support.push_back(s);
+  }
+  return support;
+}
+
+}  // namespace
+
+std::vector<ConeTask> partition_gate_cones(const Netlist& n) {
+  std::vector<ConeTask> tasks;
+  std::vector<bool> claimed(n.num_signals(), false);
+
+  auto push_task = [&](std::vector<SignalId> owned) {
+    if (owned.empty()) return;
+    std::sort(owned.begin(), owned.end());
+    ConeTask t;
+    t.support = close_support(n, owned);
+    t.owned = std::move(owned);
+    tasks.push_back(std::move(t));
+  };
+
+  for (const SignalId o : n.outputs()) {
+    std::vector<SignalId> owned;
+    claim_cone(n, o, claimed, owned);
+    push_task(std::move(owned));
+  }
+  // Gates feeding no primary output still contribute their deltaC (the
+  // paper's sum is over all gates); sweep them into one final task.
+  std::vector<SignalId> leftover;
+  for (SignalId s = 0; s < n.num_signals(); ++s) {
+    if (!n.signal(s).is_input && !claimed[s]) {
+      claimed[s] = true;
+      leftover.push_back(s);
+    }
+  }
+  push_task(std::move(leftover));
+  return tasks;
+}
+
+}  // namespace cfpm::power

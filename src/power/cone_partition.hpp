@@ -1,0 +1,34 @@
+// Deterministic gate partition for cone-parallel model construction.
+//
+// The Fig. 6 sum  C = sum_j deltaC_j  is over gates, and gate j's deltaC
+// depends only on j's transitive fanin cone — so the sum can be split into
+// independent partial sums as long as every gate is owned by exactly one
+// partition. The partition here is a pure function of the netlist (never of
+// the thread count): gates are claimed by the first primary output, in
+// outputs() order, whose fanin cone contains them; gates driving no output
+// (legal, their deltaC still counts) form one final partition. Workers
+// summing the partitions in any schedule and merging in partition order
+// therefore produce a thread-count-independent result.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace cfpm::power {
+
+/// One partition: the owned gates, ascending SignalId (= topological
+/// order), plus the support the owning worker must rebuild locally —
+/// every signal (gates of other cones included) some owned gate
+/// transitively depends on.
+struct ConeTask {
+  std::vector<netlist::SignalId> owned;    ///< gates whose deltaC this task sums
+  std::vector<netlist::SignalId> support;  ///< owned + transitive fanins, ascending
+};
+
+/// Partitions every gate of `n` into cone tasks as described above. The
+/// result depends only on `n`: same netlist, same tasks, byte for byte.
+/// Union of `owned` over all tasks = every non-input signal, disjointly.
+std::vector<ConeTask> partition_gate_cones(const netlist::Netlist& n);
+
+}  // namespace cfpm::power

@@ -31,18 +31,29 @@ TraceEstimate PowerModel::reduce_trace(
   c_call.add();
   c_chunk.add(chunks);
   c_pattern.add(transitions);
+  if (pool == nullptr || pool->num_workers() == 0 || chunks == 1) {
+    // Inline fast path: no queue, no mutex, and no per-chunk slot vectors.
+    // Chunks still run in chunk order with per-chunk zero-initialized
+    // partials folded immediately, which is the same association as the
+    // ordered reduction below — bit-identical to the pooled path.
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * kTraceChunk;
+      const std::size_t end = std::min(begin + kTraceChunk, transitions);
+      double total = 0.0;
+      double peak = 0.0;
+      chunk_fn(begin, end, total, peak);
+      est.total_ff += total;
+      est.peak_ff = std::max(est.peak_ff, peak);
+    }
+    return est;
+  }
   std::vector<double> totals(chunks, 0.0);
   std::vector<double> peaks(chunks, 0.0);
-  auto run_chunk = [&](std::size_t c) {
+  pool->run_indexed(chunks, [&](std::size_t c) {
     const std::size_t begin = c * kTraceChunk;
     const std::size_t end = std::min(begin + kTraceChunk, transitions);
     chunk_fn(begin, end, totals[c], peaks[c]);
-  };
-  if (pool != nullptr && pool->num_threads() > 1 && chunks > 1) {
-    pool->run_indexed(chunks, run_chunk);
-  } else {
-    for (std::size_t c = 0; c < chunks; ++c) run_chunk(c);
-  }
+  });
   // Ordered reduction: identical association regardless of thread count.
   for (std::size_t c = 0; c < chunks; ++c) {
     est.total_ff += totals[c];

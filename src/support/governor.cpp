@@ -21,41 +21,44 @@ void Governor::checkpoint() {
 
 void Governor::check() {
   // Allocation ticks are metered here as a delta rather than per tick, so
-  // on_allocation()'s fast path stays metric-free.
+  // on_allocation()'s fast path stays metric-free. Under concurrent checks
+  // the exchange hands each metered range to exactly one thread; a stale
+  // (larger) previous value just skips the add, so ticks are never counted
+  // twice.
   static const metrics::Counter c_poll("governor.poll.tick");
   static const metrics::Counter c_check("governor.check.run");
   static const metrics::Counter c_cancel("governor.cancel.fired");
   static const metrics::Counter c_deadline("governor.deadline.expired");
-  c_poll.add(allocations_ - polls_flushed_);
-  polls_flushed_ = allocations_;
+  const std::uint64_t ticks = allocations_.load(std::memory_order_relaxed);
+  const std::uint64_t flushed =
+      polls_flushed_.exchange(ticks, std::memory_order_relaxed);
+  if (ticks > flushed) c_poll.add(ticks - flushed);
   c_check.add();
-  ++checks_;
+  checks_.fetch_add(1, std::memory_order_relaxed);
   if (cancellation_requested()) {
     c_cancel.add();
     throw CancelledError("construction cancelled (after " +
-                         std::to_string(allocations_) + " allocations)");
+                         std::to_string(ticks) + " allocations)");
   }
   if (deadline_expired()) {
     c_deadline.add();
     throw DeadlineExceeded("construction deadline exceeded (after " +
-                           std::to_string(allocations_) + " allocations, " +
-                           std::to_string(peak_live_nodes_) +
+                           std::to_string(ticks) + " allocations, " +
+                           std::to_string(peak_live_nodes()) +
                            " peak live nodes)");
   }
 }
 
-void Governor::fire_fault() {
+void Governor::fire_fault(FaultKind kind, std::uint64_t at_tick) {
   static const metrics::Counter c_fault("governor.fault.fired");
   c_fault.add();
-  const FaultKind kind = fault_kind_;
-  fault_kind_ = FaultKind::kNone;  // one-shot
   if (kind == FaultKind::kCancel) {
     request_cancellation();
     throw CancelledError("injected cancellation at allocation " +
-                         std::to_string(allocations_));
+                         std::to_string(at_tick));
   }
   throw ResourceError("injected resource fault at allocation " +
-                      std::to_string(allocations_));
+                      std::to_string(at_tick));
 }
 
 }  // namespace cfpm

@@ -19,8 +19,13 @@
 //  * checkpoint() is a full check; workers call it at coarse safe points
 //    (per gate summed, per adjacent-level swap) where an immediate stop is
 //    cheap and the diagram is structurally consistent.
-//  * Cancellation is thread-safe: any thread may call request_cancellation()
-//    while a build polls the governor on another thread.
+//  * Thread-safety: any thread may call request_cancellation() while a
+//    build polls the governor on another thread, and one Governor may be
+//    shared by several concurrently polling workers (the cone-parallel
+//    model build hands the same governor to every worker manager) — the
+//    tick counters are relaxed atomics and the peak tracker is a CAS max.
+//    Arm the deadline and any injected fault *before* workers start; those
+//    fields are plain loads on the hot path.
 //  * Fault injection (tests): inject_fault() arms a one-shot ResourceError
 //    or CancelledError fired at the Nth subsequent allocation tick, which is
 //    how the exception-safety of DdManager is exercised deterministically.
@@ -70,26 +75,43 @@ class Governor {
 
   // ----- accounting ---------------------------------------------------------
 
-  /// Records the manager's live-node count; keeps the high-water mark.
+  /// Records the manager's live-node count; keeps the high-water mark
+  /// (CAS max, so concurrent workers never lose a larger observation).
   void note_live_nodes(std::size_t live) noexcept {
-    if (live > peak_live_nodes_) peak_live_nodes_ = live;
+    std::size_t cur = peak_live_nodes_.load(std::memory_order_relaxed);
+    while (live > cur && !peak_live_nodes_.compare_exchange_weak(
+                             cur, live, std::memory_order_relaxed)) {
+    }
   }
-  std::size_t peak_live_nodes() const noexcept { return peak_live_nodes_; }
-  std::uint64_t allocation_ticks() const noexcept { return allocations_; }
-  std::uint64_t checks() const noexcept { return checks_; }
+  std::size_t peak_live_nodes() const noexcept {
+    return peak_live_nodes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t allocation_ticks() const noexcept {
+    return allocations_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t checks() const noexcept {
+    return checks_.load(std::memory_order_relaxed);
+  }
 
   // ----- polling ------------------------------------------------------------
 
   /// Per-allocation tick: counts, fires any armed fault, and runs a full
   /// check() every kCheckInterval ticks. Cheap enough for the allocation
-  /// hot path (one increment and two compares on the fast path).
+  /// hot path (one relaxed increment and two compares on the fast path).
+  /// With N workers sharing the governor the check cadence is global: some
+  /// worker runs a full check at least once per kCheckInterval total
+  /// allocations, which is exactly the bound the serial contract gives.
   void on_allocation() {
-    ++allocations_;
-    if (fault_kind_ != FaultKind::kNone && allocations_ >= fault_at_) {
-      fire_fault();
+    const std::uint64_t n =
+        allocations_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (fault_kind_ != FaultKind::kNone && n >= fault_at_) {
+      // One-shot across threads: only the worker that disarms it throws.
+      const FaultKind kind = fault_kind_.exchange(FaultKind::kNone);
+      if (kind != FaultKind::kNone) fire_fault(kind, n);
     }
-    if (++since_check_ >= kCheckInterval) {
-      since_check_ = 0;
+    if (since_check_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+        kCheckInterval) {
+      since_check_.store(0, std::memory_order_relaxed);
       check();
     }
   }
@@ -112,20 +134,24 @@ class Governor {
   using Clock = std::chrono::steady_clock;
 
   void check();
-  [[noreturn]] void fire_fault();
+  [[noreturn]] void fire_fault(FaultKind kind, std::uint64_t at_tick);
 
+  // deadline_ itself is a plain field: armed before polling starts (see the
+  // thread-safety note above); has_deadline_ is atomic so a late-armed
+  // deadline is at worst seen a few ticks later, never torn.
   Clock::time_point deadline_{};
-  bool has_deadline_ = false;
+  std::atomic<bool> has_deadline_{false};
   std::atomic<bool> cancelled_{false};
 
-  std::uint64_t allocations_ = 0;
-  std::uint64_t since_check_ = 0;
-  std::uint64_t checks_ = 0;
-  std::uint64_t polls_flushed_ = 0;  // allocation ticks already metered
-  std::size_t peak_live_nodes_ = 0;
+  std::atomic<std::uint64_t> allocations_{0};
+  std::atomic<std::uint64_t> since_check_{0};
+  std::atomic<std::uint64_t> checks_{0};
+  /// Allocation ticks already metered (see check()).
+  std::atomic<std::uint64_t> polls_flushed_{0};
+  std::atomic<std::size_t> peak_live_nodes_{0};
 
-  FaultKind fault_kind_ = FaultKind::kNone;
-  std::uint64_t fault_at_ = 0;
+  std::atomic<FaultKind> fault_kind_{FaultKind::kNone};
+  std::uint64_t fault_at_ = 0;  // armed before the run, like deadline_
 };
 
 }  // namespace cfpm

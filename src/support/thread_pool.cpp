@@ -2,15 +2,21 @@
 
 #include <algorithm>
 
+#include "support/metrics.hpp"
+
 namespace cfpm {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
+  // Spawns are metered so a test (or a metrics snapshot in production) can
+  // assert that single-lane pools never create a thread.
+  static const metrics::Counter c_spawn("threadpool.worker.spawn");
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   workers_.reserve(num_threads - 1);
   for (std::size_t i = 0; i + 1 < num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
+    c_spawn.add();
   }
 }
 

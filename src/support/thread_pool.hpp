@@ -33,6 +33,11 @@ class ThreadPool {
   /// Total execution lanes (workers + the calling thread).
   std::size_t num_threads() const noexcept { return workers_.size() + 1; }
 
+  /// Spawned worker threads: num_threads() - 1, and 0 for ThreadPool(1) —
+  /// the single-lane pool is a pure inline executor (no threads, and
+  /// run_indexed never touches the queue mutex). Regression-tested.
+  std::size_t num_workers() const noexcept { return workers_.size(); }
+
   /// Invokes fn(i) once for every i in [0, count), distributed over the
   /// pool; the calling thread participates. Blocks until all indices are
   /// done. Which thread runs which index is unspecified. If any invocation

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "dd/simd.hpp"
 #include "eval/experiment.hpp"
 #include "eval/table.hpp"
 #include "netlist/bench_io.hpp"
@@ -68,9 +69,9 @@ int usage() {
       "usage:\n"
       "  cfpm info <circuit>\n"
       "  cfpm build <circuit> [-m MAX] [--bound] [-o model.cfpm]\n"
-      "             [--deadline-ms N] [--no-degrade]\n"
+      "             [--deadline-ms N] [--no-degrade] [--build-threads N]\n"
       "  cfpm estimate <model.cfpm> [--sp P] [--st P] [--vectors N] [--vdd V]\n"
-      "                [--threads N] [--compiled]\n"
+      "                [--threads N] [--compiled] [--simd T]\n"
       "  cfpm worst <model.cfpm>\n"
       "  cfpm accuracy <circuit> [-m MAX] [--vectors N] [--deadline-ms N]\n"
       "  cfpm trace <circuit> -o out.vcd [--sp P] [--st P] [--vectors N]\n"
@@ -87,6 +88,12 @@ int usage() {
       "\n"
       "--threads N shards trace evaluation over a pool of N threads\n"
       "(0 = all hardware threads); results are bit-identical for any N.\n"
+      "--build-threads N builds per-output fanin cones on N worker threads\n"
+      "and merges them deterministically (0 = all hardware threads); the\n"
+      "model is bit-identical for any N >= 2, 1 = the serial Fig. 6 loop.\n"
+      "--simd auto|scalar|avx2|avx512 caps the evaluation kernel tier\n"
+      "(default auto = best the CPU supports; the CFPM_SIMD environment\n"
+      "variable sets the same cap). All tiers are bit-identical.\n"
       "--compiled prints compiled-evaluator diagnostics and throughput.\n"
       "--deadline-ms N bounds model construction by wall clock; on expiry\n"
       "the build degrades (harder approximation, then a constant bound)\n"
@@ -128,7 +135,8 @@ struct Args {
   double st = 0.5;
   std::size_t vectors = 10000;
   double vdd = 3.3;
-  std::size_t threads = 1;  // 0 = hardware concurrency
+  std::size_t threads = 1;        // 0 = hardware concurrency
+  std::size_t build_threads = 1;  // 0 = hardware concurrency
   bool compiled = false;
   std::optional<std::size_t> deadline_ms;  // wall-clock build budget
   bool degrade = true;
@@ -153,6 +161,7 @@ struct Args {
     opt.max_nodes = max_nodes;
     opt.mode = bound ? dd::ApproxMode::kUpperBound : dd::ApproxMode::kAverage;
     opt.degrade = degrade;
+    opt.build_threads = build_threads;
     auto governor = std::make_shared<Governor>();
     if (deadline_ms) {
       governor->set_deadline(std::chrono::milliseconds(*deadline_ms));
@@ -250,6 +259,18 @@ std::optional<Args> parse(int argc, char** argv) {
       }();
     } else if (flag == "--threads") {
       ok = number(a.threads);
+    } else if (flag == "--build-threads") {
+      ok = number(a.build_threads);
+    } else if (flag == "--simd") {
+      // Applied immediately: the tier cap is process-global state, and
+      // request_simd_tier doubles as the validator.
+      std::string name;
+      ok = text(name) && [&] {
+        if (dd::simd::request_simd_tier(name)) return true;
+        std::cerr << "invalid value for --simd: '" << name
+                  << "' (expect auto|scalar|avx2|avx512)\n";
+        return false;
+      }();
     } else if (flag == "--compiled") {
       ok = boolean(a.compiled, true);
     } else if (flag == "--deadline-ms") {

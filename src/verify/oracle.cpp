@@ -14,6 +14,7 @@
 #include "dd/compiled.hpp"
 #include "dd/manager.hpp"
 #include "dd/serialize.hpp"
+#include "dd/simd.hpp"
 #include "netlist/library.hpp"
 #include "power/add_model.hpp"
 #include "sim/simulator.hpp"
@@ -491,6 +492,148 @@ CheckResult check_trace_threads(const Netlist& n, const CheckContext& ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// (f) SIMD dispatch: every kernel tier is bit-identical on eval_packed_wide.
+// ---------------------------------------------------------------------------
+
+/// Restores the process-global requested tier (to auto) on every exit path.
+struct SimdTierGuard {
+  ~SimdTierGuard() { dd::simd::request_simd_auto(); }
+};
+
+CheckResult check_simd_dispatch(const Netlist& n, const CheckContext& ctx) {
+  Xoshiro256 rng = check_rng(ctx.seed, 0xb808u);
+  const std::size_t max_nodes =
+      rng.next_bool(0.5) ? 0 : 16 + rng.next_below(256);
+  const dd::ApproxMode mode = rng.next_bool(0.5) ? dd::ApproxMode::kAverage
+                                                 : dd::ApproxMode::kUpperBound;
+  const auto model = power::AddPowerModel::build(
+      n, lib(), sampled_options(rng, max_nodes, mode, ctx));
+  const dd::CompiledDd& c = model.compiled();
+  const dd::Add& f = model.function();
+  const std::size_t nvars = 2 * n.num_inputs();
+
+  constexpr std::size_t kGroups = dd::CompiledDd::kPackedGroups;
+  constexpr std::size_t kWide = 64 * kGroups;
+  std::vector<std::uint64_t> bits(kGroups * nvars);
+  for (auto& w : bits) w = rng.next();
+
+  // A full block and a partial one: the partial tail exercises the
+  // power-of-two padding of the cache-blocked sub-sweeps.
+  const std::size_t counts[] = {kWide, 1 + rng.next_below(kWide - 1)};
+  const SimdTierGuard guard;
+  std::vector<std::uint8_t> a(nvars);
+  for (const std::size_t count : counts) {
+    // Reference: the interpreted Add on each lane's unpacked assignment.
+    std::vector<double> want(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      for (std::size_t v = 0; v < nvars; ++v) {
+        a[v] = static_cast<std::uint8_t>(
+            (bits[kGroups * v + k / 64] >> (k % 64)) & 1);
+      }
+      want[k] = f.eval(a);
+    }
+    const dd::simd::Tier tiers[] = {dd::simd::Tier::kScalar,
+                                    dd::simd::Tier::kAvx2,
+                                    dd::simd::Tier::kAvx512};
+    for (const dd::simd::Tier tier : tiers) {
+      dd::simd::request_simd_tier(tier);
+      // Tiers above the CPU clamp down, so every row of this loop runs on
+      // every machine; on an AVX-512 host all three kernels execute.
+      const dd::simd::Tier active = dd::simd::active_simd_tier();
+      std::vector<std::uint64_t> scratch;
+      std::vector<double> out(count);
+      c.eval_packed_wide(bits.data(), count, out.data(), scratch);
+      for (std::size_t k = 0; k < count; ++k) {
+        if (out[k] != want[k]) {
+          return fail(
+              std::string("eval_packed_wide on tier '") +
+              std::string(dd::simd::simd_tier_name(active)) +
+              "' diverges from Add::eval: got " + format_double(out[k]) +
+              " want " + format_double(want[k]) + " at lane " +
+              std::to_string(k) + " of " + std::to_string(count));
+        }
+      }
+    }
+  }
+  return pass();
+}
+
+// ---------------------------------------------------------------------------
+// (g) Cone-parallel construction: thread-count-independent, serial-equal
+//     for exact builds.
+// ---------------------------------------------------------------------------
+
+CheckResult check_parallel_build(const Netlist& n, const CheckContext& ctx) {
+  Xoshiro256 rng = check_rng(ctx.seed, 0xc909u);
+  const std::size_t nvars = 2 * n.num_inputs();
+
+  // (1) Any options: two different worker counts must produce bit-identical
+  // models (the partition and merge order depend only on the netlist).
+  {
+    const std::size_t max_nodes =
+        rng.next_bool(0.5) ? 0 : 16 + rng.next_below(256);
+    const dd::ApproxMode mode = rng.next_bool(0.5)
+                                    ? dd::ApproxMode::kAverage
+                                    : dd::ApproxMode::kUpperBound;
+    auto opt = sampled_options(rng, max_nodes, mode, ctx);
+    opt.build_threads = 2;
+    const auto a2 = power::AddPowerModel::build(n, lib(), opt);
+    opt.build_threads = 3 + rng.next_below(6);
+    const auto ak = power::AddPowerModel::build(n, lib(), opt);
+    if (a2.size() != ak.size()) {
+      return fail("parallel build not thread-count-independent: " +
+                  std::to_string(a2.size()) + " nodes at 2 threads vs " +
+                  std::to_string(ak.size()) + " at " +
+                  std::to_string(opt.build_threads));
+    }
+    std::vector<std::uint8_t> xi(n.num_inputs()), xf(n.num_inputs());
+    for (std::size_t p = 0; p < ctx.patterns; ++p) {
+      fill_random_bits(rng, xi);
+      fill_random_bits(rng, xf);
+      const double v2 = a2.estimate_ff(xi, xf);
+      const double vk = ak.estimate_ff(xi, xf);
+      if (v2 != vk) {  // bit-identical, not merely close
+        return fail("parallel build not thread-count-independent: " +
+                    format_double(v2) + " at 2 threads vs " +
+                    format_double(vk) + " at " +
+                    std::to_string(opt.build_threads) + " on x_i=" +
+                    bits_string(xi) + " x_f=" + bits_string(xf));
+      }
+    }
+  }
+
+  // (2) Exact build: parallel must equal the serial Fig. 6 loop exactly.
+  // The standard library's loads are small integers, so the per-path sums
+  // are exact in any association order and bitwise comparison is sound.
+  {
+    auto opt = sampled_options(rng, /*max_nodes=*/0,
+                               dd::ApproxMode::kAverage, ctx);
+    opt.build_threads = 1;
+    const auto serial = power::AddPowerModel::build(n, lib(), opt);
+    opt.build_threads = 2 + rng.next_below(6);
+    const auto parallel = power::AddPowerModel::build(n, lib(), opt);
+    std::vector<std::uint8_t> a(nvars);
+    for (std::size_t p = 0; p < ctx.patterns; ++p) {
+      fill_random_bits(rng, a);
+      const double s = serial.function().eval(a);
+      const double q = parallel.function().eval(a);
+      if (s != q) {
+        return fail("exact parallel build diverges from serial: " +
+                    format_double(q) + " vs " + format_double(s) + " with " +
+                    std::to_string(opt.build_threads) +
+                    " threads on assignment " + bits_string(a));
+      }
+    }
+    if (serial.function().average() != parallel.function().average()) {
+      return fail("exact parallel build changed the average: " +
+                  format_double(parallel.function().average()) + " vs " +
+                  format_double(serial.function().average()));
+    }
+  }
+  return pass();
+}
+
+// ---------------------------------------------------------------------------
 
 constexpr Check kChecks[] = {
     {"model-vs-sim",
@@ -520,6 +663,14 @@ constexpr Check kChecks[] = {
      "estimate_trace is bit-identical to the scalar loop and across thread "
      "counts",
      check_trace_threads},
+    {"simd-dispatch",
+     "eval_packed_wide is bit-identical to Add::eval on every SIMD tier "
+     "(scalar/AVX2/AVX-512), including power-of-two-padded tails",
+     check_simd_dispatch},
+    {"parallel-build",
+     "cone-parallel construction is bit-identical across thread counts and "
+     "equals the serial Fig. 6 loop exactly for exact builds",
+     check_parallel_build},
 };
 
 struct CheckCounters {

@@ -1,0 +1,154 @@
+// Cone-parallel model construction: the gate partition's structural
+// invariants, bit-identical results across thread counts, and exact
+// equality with the serial Fig. 6 loop when no approximation cuts in.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "netlist/generators.hpp"
+#include "netlist/library.hpp"
+#include "power/add_model.hpp"
+#include "power/cone_partition.hpp"
+#include "support/rng.hpp"
+
+namespace cfpm {
+namespace {
+
+netlist::Netlist random_netlist(int index) {
+  netlist::gen::RandomLogicSpec spec;
+  spec.name = "pbuild" + std::to_string(index);
+  spec.num_inputs = 5 + index % 7;
+  spec.num_outputs = 1 + index % 5;
+  spec.target_gates = 15 + 3 * index;
+  spec.window = 5;
+  spec.seed = 4200 + static_cast<std::uint64_t>(index);
+  return netlist::gen::random_logic(spec);
+}
+
+TEST(ConePartition, OwnsEveryGateExactlyOnceWithClosedSupport) {
+  for (int i = 0; i < 12; ++i) {
+    const netlist::Netlist n = random_netlist(i);
+    const auto tasks = power::partition_gate_cones(n);
+    SCOPED_TRACE("netlist " + std::to_string(i));
+
+    std::set<netlist::SignalId> owned_union;
+    for (const power::ConeTask& task : tasks) {
+      EXPECT_FALSE(task.owned.empty()) << "empty partition emitted";
+      EXPECT_TRUE(std::is_sorted(task.owned.begin(), task.owned.end()));
+      EXPECT_TRUE(std::is_sorted(task.support.begin(), task.support.end()));
+      for (const netlist::SignalId s : task.owned) {
+        EXPECT_FALSE(n.is_input(s));
+        EXPECT_TRUE(owned_union.insert(s).second)
+            << "signal " << s << " owned twice";
+      }
+      // Support closure: owned ⊆ support, and every fanin of a support
+      // gate is itself in the support (the worker can rebuild the cone
+      // without reaching outside it).
+      const std::set<netlist::SignalId> support(task.support.begin(),
+                                                task.support.end());
+      for (const netlist::SignalId s : task.owned) {
+        EXPECT_TRUE(support.count(s));
+      }
+      for (const netlist::SignalId s : task.support) {
+        if (n.is_input(s)) continue;
+        for (const netlist::SignalId f : n.fanins(s)) {
+          EXPECT_TRUE(support.count(f))
+              << "support of task not transitively closed at " << s;
+        }
+      }
+    }
+    std::size_t non_inputs = 0;
+    for (netlist::SignalId s = 0; s < n.num_signals(); ++s) {
+      if (!n.is_input(s)) ++non_inputs;
+    }
+    EXPECT_EQ(owned_union.size(), non_inputs)
+        << "partition does not cover every gate";
+  }
+}
+
+/// Fingerprints a model on random transitions for bitwise comparison.
+std::vector<double> probe(const power::AddPowerModel& model, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> xi(model.num_inputs()), xf(model.num_inputs());
+  std::vector<double> out;
+  for (int p = 0; p < 64; ++p) {
+    for (auto& b : xi) b = static_cast<std::uint8_t>(rng.next() & 1u);
+    for (auto& b : xf) b = static_cast<std::uint8_t>(rng.next() & 1u);
+    out.push_back(model.estimate_ff(xi, xf));
+  }
+  out.push_back(model.function().average());
+  out.push_back(static_cast<double>(model.size()));
+  return out;
+}
+
+TEST(ParallelBuild, BitIdenticalAcrossThreadCounts) {
+  const netlist::GateLibrary lib = netlist::GateLibrary::standard();
+  for (int i = 0; i < 8; ++i) {
+    const netlist::Netlist n = random_netlist(i);
+    power::AddModelOptions opt;
+    // Mix exact and approximated builds: determinism must not depend on
+    // whether the degradation machinery fires.
+    opt.max_nodes = (i % 2 == 0) ? 0 : 40;
+    opt.mode = (i % 4 < 2) ? dd::ApproxMode::kAverage
+                           : dd::ApproxMode::kUpperBound;
+    std::vector<std::vector<double>> prints;
+    for (const std::size_t threads : {2u, 3u, 5u, 8u}) {
+      opt.build_threads = threads;
+      prints.push_back(
+          probe(power::AddPowerModel::build(n, lib, opt), 0xf00d + i));
+    }
+    for (std::size_t k = 1; k < prints.size(); ++k) {
+      EXPECT_EQ(prints[k], prints[0])
+          << "netlist " << i << ": thread count changed the model";
+    }
+  }
+}
+
+TEST(ParallelBuild, ExactBuildEqualsSerialBitwise) {
+  // With max_nodes=0 nothing is approximated, and the standard library's
+  // integer pin loads make every per-path sum exact, so the serial loop
+  // and the cone merge must agree to the last bit despite summing the
+  // gates in different association orders.
+  const netlist::GateLibrary lib = netlist::GateLibrary::standard();
+  for (int i = 0; i < 8; ++i) {
+    const netlist::Netlist n = random_netlist(i);
+    power::AddModelOptions opt;
+    opt.max_nodes = 0;
+    opt.build_threads = 1;
+    const auto serial = probe(power::AddPowerModel::build(n, lib, opt),
+                              0xbee5 + i);
+    opt.build_threads = 4;
+    const auto parallel = probe(power::AddPowerModel::build(n, lib, opt),
+                                0xbee5 + i);
+    EXPECT_EQ(parallel, serial) << "netlist " << i;
+  }
+}
+
+TEST(ParallelBuild, SingleConeNetlistStillBuildsInParallelMode) {
+  // One output cone -> one task; the parallel path must handle the
+  // degenerate partition (and still match the serial build).
+  netlist::gen::RandomLogicSpec spec;
+  spec.name = "pbuild_single";
+  spec.num_inputs = 6;
+  spec.num_outputs = 1;
+  spec.target_gates = 20;
+  spec.window = 5;
+  spec.seed = 77;
+  const netlist::Netlist n = netlist::gen::random_logic(spec);
+  ASSERT_EQ(n.outputs().size(), 1u);
+
+  const netlist::GateLibrary lib = netlist::GateLibrary::standard();
+  power::AddModelOptions opt;
+  opt.max_nodes = 0;
+  opt.build_threads = 1;
+  const auto serial = probe(power::AddPowerModel::build(n, lib, opt), 0xabc);
+  opt.build_threads = 8;
+  const auto parallel = probe(power::AddPowerModel::build(n, lib, opt), 0xabc);
+  EXPECT_EQ(parallel, serial);
+}
+
+}  // namespace
+}  // namespace cfpm
