@@ -16,6 +16,7 @@
 #include "power/factory.hpp"
 #include "sim/simulator.hpp"
 #include "stats/markov.hpp"
+#include "support/io.hpp"
 #include "support/metrics.hpp"
 #include "support/timer.hpp"
 
@@ -78,12 +79,14 @@ inline std::size_t env_vectors(std::size_t fallback = 10000) {
 /// Dumps the process metrics snapshot next to a driver's numbers so a
 /// result always carries the pipeline statistics that produced it.
 inline void write_metrics_snapshot(const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "warning: cannot write metrics snapshot to " << path << "\n";
+  try {
+    atomic_write_file(
+        path, [](std::ostream& os) { metrics::snapshot().write_json(os); });
+  } catch (const std::exception& e) {
+    std::cerr << "warning: cannot write metrics snapshot to " << path << ": "
+              << e.what() << "\n";
     return;
   }
-  metrics::snapshot().write_json(out);
   std::cerr << "metrics snapshot: " << path << "\n";
 }
 

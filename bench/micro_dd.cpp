@@ -24,6 +24,7 @@
 #include "netlist/generators.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/simulator.hpp"
+#include "support/io.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
 
@@ -353,22 +354,25 @@ int run_dd_core(bool smoke) {
     std::cout << "dd-core smoke: ok\n";
     return 0;
   }
-  std::ofstream out("BENCH_dd_core.json");
-  out << "{\n  \"node_footprint_bytes\": " << node_bytes << ",\n";
-  out << "  \"circuits\": [\n";
-  out.precision(6);
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const CoreCircuitResult& r = results[i];
-    out << "    {\"name\": \"" << r.name << "\", \"inputs\": " << r.inputs
-        << ", \"binary_apply_ops\": " << r.binary_ops
-        << ", \"build_seconds\": " << r.build_seconds
-        << ", \"apply_ops_per_sec\": " << r.apply_ops_per_sec
-        << ", \"live_nodes\": " << r.live_nodes
-        << ", \"sift_seconds\": " << r.sift_seconds
-        << ", \"nodes_after_sift\": " << r.nodes_after_sift << "}"
-        << (i + 1 < results.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
+  // Atomic write: a crashed or interrupted run never leaves a truncated
+  // JSON where the dashboard expects a complete one.
+  cfpm::atomic_write_file("BENCH_dd_core.json", [&](std::ostream& out) {
+    out << "{\n  \"node_footprint_bytes\": " << node_bytes << ",\n";
+    out << "  \"circuits\": [\n";
+    out.precision(6);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const CoreCircuitResult& r = results[i];
+      out << "    {\"name\": \"" << r.name << "\", \"inputs\": " << r.inputs
+          << ", \"binary_apply_ops\": " << r.binary_ops
+          << ", \"build_seconds\": " << r.build_seconds
+          << ", \"apply_ops_per_sec\": " << r.apply_ops_per_sec
+          << ", \"live_nodes\": " << r.live_nodes
+          << ", \"sift_seconds\": " << r.sift_seconds
+          << ", \"nodes_after_sift\": " << r.nodes_after_sift << "}"
+          << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  });
   std::cout << "wrote BENCH_dd_core.json\n";
   return 0;
 }

@@ -20,6 +20,7 @@
 #include "dd/simd.hpp"
 #include "eval/table.hpp"
 #include "power/power_model.hpp"
+#include "support/io.hpp"
 #include "support/thread_pool.hpp"
 
 namespace {
@@ -287,34 +288,38 @@ int main() {
     }
   }
 
-  std::ofstream out("BENCH_eval_throughput.json");
-  char buf[64];
-  out << "{\n";
-  out << "  \"transitions\": " << vectors - 1 << ",\n";
-  out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
-      << ",\n";
-  out << "  \"circuits\": [\n";
-  for (std::size_t c = 0; c < reports.size(); ++c) {
-    const CircuitReport& rep = reports[c];
-    const double scalar_pps = rep.results[0].patterns_per_sec;
-    out << "    {\"name\": \"" << rep.name << "\", \"inputs\": " << rep.inputs
-        << ", \"model_nodes\": " << rep.model_nodes
-        << ", \"compiled_records\": " << rep.compiled_records
-        << ", \"compiled_depth\": " << rep.compiled_depth
-        << ", \"results\": [\n";
-    for (std::size_t i = 0; i < rep.results.size(); ++i) {
-      const Result& r = rep.results[i];
-      std::snprintf(buf, sizeof(buf), "%.6g", r.patterns_per_sec);
-      out << "      {\"engine\": \"" << r.engine
-          << "\", \"threads\": " << r.threads
-          << ", \"seconds_per_trace\": " << r.seconds
-          << ", \"patterns_per_sec\": " << buf << ", \"speedup_vs_scalar\": ";
-      std::snprintf(buf, sizeof(buf), "%.4g", r.patterns_per_sec / scalar_pps);
-      out << buf << "}" << (i + 1 < rep.results.size() ? "," : "") << "\n";
+  // Atomic write: a crashed or interrupted run never leaves a truncated
+  // JSON where the dashboard expects a complete one.
+  atomic_write_file("BENCH_eval_throughput.json", [&](std::ostream& out) {
+    char buf[64];
+    out << "{\n";
+    out << "  \"transitions\": " << vectors - 1 << ",\n";
+    out << "  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << ",\n";
+    out << "  \"circuits\": [\n";
+    for (std::size_t c = 0; c < reports.size(); ++c) {
+      const CircuitReport& rep = reports[c];
+      const double scalar_pps = rep.results[0].patterns_per_sec;
+      out << "    {\"name\": \"" << rep.name << "\", \"inputs\": " << rep.inputs
+          << ", \"model_nodes\": " << rep.model_nodes
+          << ", \"compiled_records\": " << rep.compiled_records
+          << ", \"compiled_depth\": " << rep.compiled_depth
+          << ", \"results\": [\n";
+      for (std::size_t i = 0; i < rep.results.size(); ++i) {
+        const Result& r = rep.results[i];
+        std::snprintf(buf, sizeof(buf), "%.6g", r.patterns_per_sec);
+        out << "      {\"engine\": \"" << r.engine
+            << "\", \"threads\": " << r.threads
+            << ", \"seconds_per_trace\": " << r.seconds
+            << ", \"patterns_per_sec\": " << buf << ", \"speedup_vs_scalar\": ";
+        std::snprintf(buf, sizeof(buf), "%.4g",
+                      r.patterns_per_sec / scalar_pps);
+        out << buf << "}" << (i + 1 < rep.results.size() ? "," : "") << "\n";
+      }
+      out << "    ]}" << (c + 1 < reports.size() ? "," : "") << "\n";
     }
-    out << "    ]}" << (c + 1 < reports.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
+    out << "  ]\n}\n";
+  });
   std::cout << "\nwrote BENCH_eval_throughput.json\n";
   bench::write_metrics_snapshot("BENCH_eval_throughput_metrics.json");
   return 0;

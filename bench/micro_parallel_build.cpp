@@ -22,6 +22,7 @@
 #include "bench_util.hpp"
 #include "eval/table.hpp"
 #include "power/add_model.hpp"
+#include "support/io.hpp"
 
 namespace {
 
@@ -121,30 +122,33 @@ int main() {
     table.print(std::cout);
   }
 
-  std::ofstream out("BENCH_parallel_build.json");
-  char buf[64];
-  out << "{\n";
-  out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
-      << ",\n";
-  out << "  \"circuits\": [\n";
-  for (std::size_t c = 0; c < reports.size(); ++c) {
-    const CircuitReport& rep = reports[c];
-    const double serial = rep.results[0].seconds;
-    out << "    {\"name\": \"" << rep.name << "\", \"inputs\": " << rep.inputs
-        << ", \"gates\": " << rep.gates << ", \"outputs\": " << rep.outputs
-        << ", \"results\": [\n";
-    for (std::size_t i = 0; i < rep.results.size(); ++i) {
-      const Result& r = rep.results[i];
-      std::snprintf(buf, sizeof(buf), "%.4g", serial / r.seconds);
-      out << "      {\"threads\": " << r.threads
-          << ", \"seconds_per_build\": " << r.seconds
-          << ", \"speedup_vs_serial\": " << buf
-          << ", \"model_nodes\": " << r.model_nodes << "}"
-          << (i + 1 < rep.results.size() ? "," : "") << "\n";
+  // Atomic write: a crashed or interrupted run never leaves a truncated
+  // JSON where the dashboard expects a complete one.
+  atomic_write_file("BENCH_parallel_build.json", [&](std::ostream& out) {
+    char buf[64];
+    out << "{\n";
+    out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+        << ",\n";
+    out << "  \"circuits\": [\n";
+    for (std::size_t c = 0; c < reports.size(); ++c) {
+      const CircuitReport& rep = reports[c];
+      const double serial = rep.results[0].seconds;
+      out << "    {\"name\": \"" << rep.name << "\", \"inputs\": " << rep.inputs
+          << ", \"gates\": " << rep.gates << ", \"outputs\": " << rep.outputs
+          << ", \"results\": [\n";
+      for (std::size_t i = 0; i < rep.results.size(); ++i) {
+        const Result& r = rep.results[i];
+        std::snprintf(buf, sizeof(buf), "%.4g", serial / r.seconds);
+        out << "      {\"threads\": " << r.threads
+            << ", \"seconds_per_build\": " << r.seconds
+            << ", \"speedup_vs_serial\": " << buf
+            << ", \"model_nodes\": " << r.model_nodes << "}"
+            << (i + 1 < rep.results.size() ? "," : "") << "\n";
+      }
+      out << "    ]}" << (c + 1 < reports.size() ? "," : "") << "\n";
     }
-    out << "    ]}" << (c + 1 < reports.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
+    out << "  ]\n}\n";
+  });
   std::cout << "\nwrote BENCH_parallel_build.json\n";
   bench::write_metrics_snapshot("BENCH_parallel_build_metrics.json");
   return 0;

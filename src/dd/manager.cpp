@@ -5,6 +5,7 @@
 
 #include "support/assert.hpp"
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 #include "support/governor.hpp"
 #include "support/metrics.hpp"
 
@@ -145,6 +146,10 @@ std::uint32_t DdManager::allocate_node() {
     config_.governor->note_live_nodes(live_);
     config_.governor->on_allocation();  // may throw
   }
+  // Same exclusion zone as the governor: an injected throw unwinds through
+  // the strongly exception-safe apply/ite/make_node paths, but must never
+  // fire inside an in-place reorder swap.
+  if (!in_reorder_) CFPM_FAILPOINT("dd.allocate_node");
   if (free_list_ != kNilIndex) {
     const std::uint32_t i = free_list_;
     free_list_ = nodes_[i].next;

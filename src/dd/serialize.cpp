@@ -1,25 +1,41 @@
 #include "dd/serialize.hpp"
 
+#include <charconv>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "dd/dd_internal.hpp"
 #include "support/assert.hpp"
+#include "support/crc32.hpp"
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 #include "support/parse.hpp"
 
 namespace cfpm::dd {
 
 namespace {
 
+/// 8-digit lowercase hex, the textual form of the CRC trailer value.
+std::string crc_hex(std::uint32_t crc) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[crc & 0xfu];
+    crc >>= 4;
+  }
+  return out;
+}
+
 /// Writes the DAG under `root` in format v2. File ids number the *regular*
 /// (uncomplemented) nodes in post-order; complement bits ride on the edge
 /// tokens, so a function and its negation serialize to the same node list.
 void write_dd(std::ostream& os, const DdManager& mgr, Edge root, bool is_bdd) {
+  CFPM_FAILPOINT("dd.serialize.write");
   std::unordered_map<std::uint32_t, std::size_t> ids;
   std::vector<std::uint32_t> order;
   std::vector<std::pair<std::uint32_t, bool>> stack{{edge_index(root), false}};
@@ -43,31 +59,37 @@ void write_dd(std::ostream& os, const DdManager& mgr, Edge root, bool is_bdd) {
     return s + std::to_string(ids.at(edge_index(e)));
   };
 
-  os << "cfpm-dd 2 " << (is_bdd ? "bdd" : "add") << "\n";
-  os << "vars " << mgr.num_vars() << "\n";
+  // The body is rendered into memory first so the CRC trailer can cover the
+  // exact bytes written. Every line is already canonical (no comments, no
+  // stray whitespace), which is what the reader checksums too.
+  std::ostringstream body;
+  body << "cfpm-dd 2 " << (is_bdd ? "bdd" : "add") << "\n";
+  body << "vars " << mgr.num_vars() << "\n";
   // The node structure is only canonical under the manager's variable
   // order (which sifting may have changed); record it.
-  os << "order";
+  body << "order";
   for (std::uint32_t l = 0; l < mgr.num_vars(); ++l) {
-    os << " " << mgr.var_at_level(l);
+    body << " " << mgr.var_at_level(l);
   }
-  os << "\n";
-  os << "nodes " << order.size() << "\n";
+  body << "\n";
+  body << "nodes " << order.size() << "\n";
   for (std::size_t i = 0; i < order.size(); ++i) {
     const DdNode& n = DdInternal::node(mgr, order[i]);
     if (n.is_terminal()) {
       // Terminal values go through to_chars: shortest exact round-trip,
       // immune to the stream's imbued locale (a comma decimal point would
       // corrupt the file).
-      os << i << " T " << format_double(DdInternal::value(mgr, order[i]))
-         << "\n";
+      body << i << " T " << format_double(DdInternal::value(mgr, order[i]))
+           << "\n";
     } else {
-      os << i << " N " << n.var << " " << token(n.then_edge) << " "
-         << token(n.else_edge) << "\n";
+      body << i << " N " << n.var << " " << token(n.then_edge) << " "
+           << token(n.else_edge) << "\n";
     }
   }
-  os << "root " << token(root) << "\n";
-  if (!os) throw Error("write_dd: stream failure");
+  body << "root " << token(root) << "\n";
+  const std::string text = body.str();
+  os << text << "crc " << crc_hex(Crc32::of(text)) << "\n";
+  if (!os) throw IoError("write_dd: stream failure");
 }
 
 /// Next non-empty, non-comment line; returns false at EOF.
@@ -87,18 +109,27 @@ bool next_line(std::istream& is, std::string& line, std::size_t& lineno) {
 
 /// Shared v1/v2 reader. Returns a referenced root edge (plain for ADDs).
 Edge read_dd(std::istream& is, DdManager& mgr, bool want_bdd) {
+  CFPM_FAILPOINT("dd.serialize.read");
   std::string line;
   std::size_t lineno = 0;
 
+  // Integrity check: the CRC runs over the canonical form of every consumed
+  // line (trimmed, comments stripped, '\n'-terminated) — exactly the bytes
+  // write_dd emits — so a hand-annotated but otherwise intact file still
+  // verifies against its trailer.
+  Crc32 crc;
   auto expect_line = [&](const char* what) {
     if (!next_line(is, line, lineno)) {
       throw ParseError(std::string("read_dd: missing ") + what, lineno);
     }
+    crc.update(line);
+    crc.update("\n");
   };
 
   expect_line("header");
   bool file_is_bdd = false;
-  if (line != "cfpm-add 1") {  // v1 header: legacy ADD-only format
+  const bool file_is_v1 = line == "cfpm-add 1";
+  if (!file_is_v1) {  // v1 header: legacy ADD-only format
     std::istringstream ss(line);
     std::string magic, kind, extra;
     int v = 0;
@@ -252,16 +283,54 @@ Edge read_dd(std::istream& is, DdManager& mgr, bool want_bdd) {
   }
 
   expect_line("root");
+  Edge root = kNilEdge;
   {
     std::istringstream ss(line);
     std::string kw;
     if (!(ss >> kw) || kw != "root") {
       throw ParseError("read_dd: bad root line", lineno);
     }
-    const Edge root = parse_edge(ss);
-    DdInternal::ref(mgr, root);
-    return root;  // by_id's references die with the releaser
+    root = parse_edge(ss);
   }
+
+  // v2 trailer: "crc <8 hex digits>" over the canonical body. Optional for
+  // backward compatibility — pre-trailer v2 files simply end after `root` —
+  // but when present it must match. The lookahead seeks back when the next
+  // line belongs to someone else (concatenated-DD streams), and v1 files
+  // never carry a trailer, so their lookahead is skipped entirely.
+  if (!file_is_v1) {
+    const std::uint32_t body_crc = crc.value();
+    const std::istream::pos_type after_root = is.tellg();
+    std::string trailer;
+    std::size_t trailer_lineno = lineno;
+    if (next_line(is, trailer, trailer_lineno)) {
+      if (trailer.rfind("crc ", 0) == 0) {
+        lineno = trailer_lineno;
+        const std::string_view hex = std::string_view(trailer).substr(4);
+        std::uint32_t stored = 0;
+        const auto [ptr, ec] =
+            std::from_chars(hex.data(), hex.data() + hex.size(), stored, 16);
+        if (ec != std::errc{} || ptr != hex.data() + hex.size() ||
+            hex.empty()) {
+          throw ParseError("read_dd: bad crc trailer '" + trailer + "'",
+                           lineno);
+        }
+        if (stored != body_crc) {
+          throw ParseError("read_dd: checksum mismatch (file says " +
+                               crc_hex(stored) + ", content is " +
+                               crc_hex(body_crc) + ") — truncated or corrupt",
+                           lineno);
+        }
+      } else {
+        // Not ours: restore the stream so a following reader sees it.
+        is.clear();
+        is.seekg(after_root);
+      }
+    }
+  }
+
+  DdInternal::ref(mgr, root);
+  return root;  // by_id's references die with the releaser
 }
 
 }  // namespace

@@ -10,7 +10,9 @@
 #include "power/cone_partition.hpp"
 #include "support/assert.hpp"
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 #include "support/metrics.hpp"
+#include "support/retry.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 #include "support/trace.hpp"
@@ -203,6 +205,9 @@ class SymbolicBuilder {
 
     static const metrics::Counter c_parallel("power.build.parallel.run");
     static const metrics::Counter c_cone("power.build.parallel.cone");
+    static const metrics::Counter c_retry("power.build.cone.retry");
+    static const metrics::Counter c_serial_fb(
+        "power.build.cone.serial_fallback");
     c_parallel.add();
     c_cone.add(tasks.size());
 
@@ -212,10 +217,18 @@ class SymbolicBuilder {
       std::size_t peak_live_nodes = 0;
     };
     std::vector<TaskResult> results(tasks.size());
+    std::vector<std::size_t> retry_counts(tasks.size(), 0);
+    std::vector<char> needs_rebuild(tasks.size(), 0);
 
-    auto build_task = [&](std::size_t t) {
+    // A cone build is a pure function of (netlist, options, t): reruns —
+    // worker retries and the coordinator's serial fallback alike — produce
+    // byte-identical dd_text, which is what keeps the bit-identical-across-
+    // thread-counts guarantee intact under transient faults.
+    auto build_cone = [&](std::size_t t) {
+      CFPM_FAILPOINT("power.cone.build");
       const ConeTask& task = tasks[t];
       TaskResult& res = results[t];
+      res = TaskResult{};  // retries and the serial fallback start clean
       // Fresh manager per cone; shares the governor (thread-safe), so the
       // deadline/cancellation cover the whole fleet and every cone is
       // checkpointed per gate exactly like the serial loop.
@@ -285,14 +298,57 @@ class SymbolicBuilder {
       res.dd_text = std::move(os).str();
     };
 
+    // Deadlines and cancellations are verdicts on the whole build, not this
+    // attempt — never retried. Everything else (allocation pressure, node
+    // budget, injected faults) may be transient and is worth another try.
+    auto transient = [](std::exception_ptr ep) {
+      try {
+        std::rethrow_exception(ep);
+      } catch (const DeadlineExceeded&) {
+        return false;
+      } catch (const CancelledError&) {
+        return false;
+      } catch (...) {
+        return true;
+      }
+    };
+
+    auto run_task = [&](std::size_t t) {
+      try {
+        run_with_retry(options_.cone_retry, [&] { build_cone(t); }, transient,
+                       &retry_counts[t]);
+      } catch (const DeadlineExceeded&) {
+        throw;
+      } catch (const CancelledError&) {
+        throw;
+      } catch (...) {
+        // Retry budget exhausted: park the cone for the coordinator's
+        // serial rebuild below instead of failing the whole batch.
+        needs_rebuild[t] = 1;
+      }
+    };
+
     {
       // The pool rethrows one worker exception after the batch drains, so
       // DeadlineExceeded/ResourceError/CancelledError reach the ladder in
       // build() exactly as they do from the serial loop.
       ThreadPool pool(std::min(threads, std::max<std::size_t>(tasks.size(),
                                                               1)));
-      pool.run_indexed(tasks.size(), build_task);
+      pool.run_indexed(tasks.size(), run_task);
     }
+
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      info.cone_retries += retry_counts[t];
+      if (needs_rebuild[t] == 0) continue;
+      // Last resort before the ladder: one governed rebuild on the
+      // coordinator, with the pool gone and its memory returned. A failure
+      // here is persistent, not transient — it propagates to the
+      // degradation ladder in build() like any serial-path failure.
+      c_serial_fb.add();
+      ++info.cone_serial_rebuilds;
+      build_cone(t);
+    }
+    if (info.cone_retries > 0) c_retry.add(info.cone_retries);
 
     // Deterministic merge: import and add in task order.
     auto mgr = std::make_shared<dd::DdManager>(2 * num_inputs,
@@ -300,6 +356,7 @@ class SymbolicBuilder {
     dd::Add total = mgr->constant(0.0);
     for (std::size_t t = 0; t < tasks.size(); ++t) {
       if (governor != nullptr) governor->checkpoint();
+      CFPM_FAILPOINT("power.cone.merge");
       std::istringstream is(results[t].dd_text);
       total = total + dd::read_add(is, *mgr);
       info.approximations += results[t].approximations;
@@ -631,7 +688,7 @@ void AddPowerModel::save(std::ostream& os) const {
   os << "mode "
      << (mode_ == dd::ApproxMode::kAverage ? "average" : "upper-bound") << "\n";
   dd::write_add(os, function_);
-  if (!os) throw Error("AddPowerModel::save: stream failure");
+  if (!os) throw IoError("AddPowerModel::save: stream failure");
 }
 
 AddPowerModel AddPowerModel::load(std::istream& is) {

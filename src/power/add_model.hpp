@@ -25,6 +25,7 @@
 #include "netlist/netlist.hpp"
 #include "power/power_model.hpp"
 #include "support/governor.hpp"
+#include "support/retry.hpp"
 
 namespace cfpm::power {
 
@@ -73,6 +74,16 @@ struct AddModelOptions {
   /// path only in where mid-construction approximation/reordering cuts in
   /// (never for exact builds with exactly-representable load sums).
   std::size_t build_threads = 1;
+  /// Self-healing for parallel builds: a cone task that throws anything but
+  /// DeadlineExceeded/CancelledError is retried under this policy on its
+  /// worker, and after the last retry fails the coordinator rebuilds the
+  /// cone serially before the merge. Because a cone build is a
+  /// deterministic function of (netlist, options), a retried or serially
+  /// rebuilt cone serializes to the same bytes as an undisturbed one, so
+  /// the bit-identical-across-thread-counts guarantee survives any number
+  /// of transient faults. Only a fault that also defeats the serial rebuild
+  /// escalates to the degradation ladder (see `degrade`).
+  RetryPolicy cone_retry;
 };
 
 /// How the model left the builder (see AddModelOptions::degrade).
@@ -101,6 +112,14 @@ struct AddModelBuildInfo {
   std::vector<BuildRung> rungs;     ///< ladder rungs taken, in order
   /// Total attempts across the ladder (1 for a clean build).
   std::size_t attempts = 1;
+  /// Parallel builds only: cone-task retries absorbed by
+  /// AddModelOptions::cone_retry (0 for an undisturbed build)...
+  std::size_t cone_retries = 0;
+  /// ...and cones the coordinator had to rebuild serially after the retry
+  /// budget was exhausted. Nonzero values mean transient faults were
+  /// absorbed; the model itself is unaffected (bit-identical to a clean
+  /// run).
+  std::size_t cone_serial_rebuilds = 0;
 };
 
 class AddPowerModel final : public PowerModel {

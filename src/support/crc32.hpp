@@ -1,0 +1,55 @@
+// Incremental CRC-32 (ISO 3309 / zlib polynomial 0xEDB88320, reflected).
+//
+// Used as an integrity trailer on serialize v2 DD files: fast enough to be
+// free next to text formatting, and compatible with external tooling
+// (`crc32 <(head -n -1 file)` reproduces the trailer). Not a cryptographic
+// digest — it detects truncation and bit rot, not tampering.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace cfpm {
+
+class Crc32 {
+ public:
+  /// Feeds `data` into the running checksum.
+  void update(std::string_view data) noexcept {
+    std::uint32_t crc = state_;
+    for (const char c : data) {
+      crc = table()[(crc ^ static_cast<unsigned char>(c)) & 0xffu] ^
+            (crc >> 8);
+    }
+    state_ = crc;
+  }
+
+  /// Checksum of everything fed so far. update() may continue afterwards.
+  std::uint32_t value() const noexcept { return state_ ^ 0xffffffffu; }
+
+  static std::uint32_t of(std::string_view data) noexcept {
+    Crc32 crc;
+    crc.update(data);
+    return crc.value();
+  }
+
+ private:
+  static const std::array<std::uint32_t, 256>& table() noexcept {
+    static const std::array<std::uint32_t, 256> t = [] {
+      std::array<std::uint32_t, 256> out{};
+      for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) {
+          c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        }
+        out[i] = c;
+      }
+      return out;
+    }();
+    return t;
+  }
+
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+}  // namespace cfpm

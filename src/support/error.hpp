@@ -32,6 +32,14 @@ class ParseError : public Error {
   std::size_t line_;
 };
 
+/// A filesystem or stream operation failed (short write, failed rename,
+/// unwritable path). Crash-safe writers (support/io) throw this instead of
+/// silently truncating output.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
 /// Resource limit exceeded (e.g. decision-diagram node budget).
 class ResourceError : public Error {
  public:

@@ -1,0 +1,73 @@
+#include "support/io.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "support/error.hpp"
+#include "support/failpoint.hpp"
+#include "support/metrics.hpp"
+
+namespace cfpm {
+
+namespace {
+
+// Flushes file contents to stable storage. Advisory on filesystems without
+// fsync semantics; an error here still aborts the protocol because a write
+// the kernel already rejected will not get better.
+void fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw IoError("cannot reopen '" + path + "' for fsync: " +
+                  std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    throw IoError("fsync failed for '" + path + "': " +
+                  std::strerror(saved_errno));
+  }
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer) {
+  static const metrics::Counter c_write("io.atomic_write");
+  static const metrics::Counter c_failed("io.atomic_write.failed");
+  const std::string tmp = path + ".tmp";
+  try {
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        throw IoError("cannot open '" + tmp + "' for writing: " +
+                      std::strerror(errno));
+      }
+      writer(out);
+      CFPM_FAILPOINT("io.atomic_write.write");
+      out.flush();
+      if (!out) {
+        throw IoError("write to '" + tmp + "' failed (disk full?)");
+      }
+    }
+    fsync_path(tmp);
+    CFPM_FAILPOINT("io.atomic_write.rename");
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      throw IoError("cannot rename '" + tmp + "' to '" + path + "': " +
+                    std::strerror(errno));
+    }
+  } catch (...) {
+    c_failed.add();
+    std::remove(tmp.c_str());
+    throw;
+  }
+  c_write.add();
+}
+
+}  // namespace cfpm

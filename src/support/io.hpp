@@ -1,0 +1,33 @@
+// Crash-safe file output.
+//
+// A plain `std::ofstream out(path); write(out);` has two failure modes this
+// library cannot afford: a full disk or I/O error silently truncates the
+// file (ofstream never throws by default), and a crash mid-write leaves a
+// torn file under the final name — fatal for model persistence, fuzz-corpus
+// commits and metrics artifacts that downstream jobs parse.
+//
+// atomic_write_file implements the standard write-temp-then-rename protocol:
+// the writer runs against `path + ".tmp"`, the stream is flushed and checked,
+// the temp file is fsync'ed, and only then renamed over `path`. POSIX
+// rename(2) is atomic, so readers observe either the complete old file or
+// the complete new one — never a partial write. Any failure (including an
+// exception from the writer itself) removes the temp file and leaves the
+// destination untouched.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace cfpm {
+
+/// Writes `path` atomically: `writer` streams into a temp file that replaces
+/// `path` only after a successful flush + fsync + rename. Throws
+/// cfpm::IoError when the temp file cannot be opened, the stream ends in a
+/// failed state, or fsync/rename fail; rethrows whatever `writer` throws.
+/// In every failure case the previous contents of `path` are preserved and
+/// the temp file is removed.
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer);
+
+}  // namespace cfpm

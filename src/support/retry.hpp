@@ -1,0 +1,64 @@
+// Bounded exponential backoff for transient-failure retry loops.
+//
+// Deliberately deterministic — no jitter. The consumers (per-cone workers in
+// power/add_model) guarantee bit-identical results at any thread count, so
+// retry timing must never be able to influence *what* is computed, only
+// *when*; and tests assert exact backoff schedules. Jitter earns its keep
+// when many clients hammer one contended server, which is not this shape:
+// retries here absorb transient local faults (allocation pressure, injected
+// failpoints), not cross-process thundering herds.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <exception>
+#include <thread>
+#include <utility>
+
+namespace cfpm {
+
+/// Retry schedule: up to `max_attempts` tries, sleeping
+/// initial_backoff * multiplier^(attempt-1) (capped at max_backoff) between
+/// consecutive tries.
+struct RetryPolicy {
+  std::size_t max_attempts = 3;  ///< total tries, including the first
+  std::chrono::milliseconds initial_backoff{1};
+  double multiplier = 2.0;
+  std::chrono::milliseconds max_backoff{50};
+
+  /// Sleep that precedes attempt `failed_attempt + 1`, where
+  /// `failed_attempt` is 1-based. Saturates at max_backoff.
+  std::chrono::milliseconds backoff_after(std::size_t failed_attempt) const {
+    double ms = static_cast<double>(initial_backoff.count());
+    const double cap = static_cast<double>(max_backoff.count());
+    for (std::size_t k = 1; k < failed_attempt; ++k) {
+      ms *= multiplier;
+      if (ms >= cap) return max_backoff;
+    }
+    if (ms >= cap) return max_backoff;
+    return std::chrono::milliseconds(static_cast<long long>(ms));
+  }
+};
+
+/// Runs `fn` under `policy`. An attempt that throws is retried (after the
+/// scheduled backoff) while `retryable(std::current_exception())` is true
+/// and attempts remain; otherwise the exception propagates. A policy with
+/// max_attempts == 0 still runs `fn` once. Each retry increments
+/// *retries_out when provided.
+template <typename Fn, typename Retryable>
+auto run_with_retry(const RetryPolicy& policy, Fn&& fn, Retryable&& retryable,
+                    std::size_t* retries_out = nullptr) -> decltype(fn()) {
+  const std::size_t attempts = policy.max_attempts == 0 ? 1
+                                                        : policy.max_attempts;
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (...) {
+      if (attempt >= attempts || !retryable(std::current_exception())) throw;
+      if (retries_out != nullptr) ++*retries_out;
+      std::this_thread::sleep_for(policy.backoff_after(attempt));
+    }
+  }
+}
+
+}  // namespace cfpm

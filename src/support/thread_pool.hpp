@@ -33,9 +33,13 @@ class ThreadPool {
   /// Total execution lanes (workers + the calling thread).
   std::size_t num_threads() const noexcept { return workers_.size() + 1; }
 
-  /// Spawned worker threads: num_threads() - 1, and 0 for ThreadPool(1) —
-  /// the single-lane pool is a pure inline executor (no threads, and
-  /// run_indexed never touches the queue mutex). Regression-tested.
+  /// Spawned worker threads: at most num_threads() - 1, and 0 for
+  /// ThreadPool(1) — the single-lane pool is a pure inline executor (no
+  /// threads, and run_indexed never touches the queue mutex). May be lower
+  /// than requested when std::thread construction fails (resource limits):
+  /// the constructor degrades to the workers that did spawn instead of
+  /// throwing, counting each loss in `threadpool.worker.spawn_failed`.
+  /// Regression-tested.
   std::size_t num_workers() const noexcept { return workers_.size(); }
 
   /// Invokes fn(i) once for every i in [0, count), distributed over the

@@ -10,7 +10,8 @@
 //   cfpm rtl <design.rtl> [--sp P] [--st P] [--vectors N] [--vdd V]
 //   cfpm sensitivity <model.cfpm>               per-input power attribution
 //   cfpm equiv <golden> <candidate>             formal equivalence check
-//   cfpm fuzz [--runs N] [--seed S] [--checks a,b] [--replay f.repro]
+//   cfpm fuzz [--runs N] [--seed S] [--checks a,b] [--faults]
+//             [--replay f.repro]
 //
 // <circuit> is a .bench file, a .blif file, or "gen:<name>" for a built-in
 // generator (any Table-1 name, or c17).
@@ -39,7 +40,9 @@
 #include "sim/trace_io.hpp"
 #include "stats/markov.hpp"
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 #include "support/governor.hpp"
+#include "support/io.hpp"
 #include "support/metrics.hpp"
 #include "support/parse.hpp"
 #include "support/thread_pool.hpp"
@@ -80,6 +83,7 @@ int usage() {
       "  cfpm equiv <golden> <candidate>\n"
       "  cfpm fuzz [--runs N] [--seed S] [--max-gates N] [--patterns N]\n"
       "            [--checks a,b|list] [--corpus-dir DIR] [--deadline-ms N]\n"
+      "            [--faults]\n"
       "  cfpm fuzz --replay <file.repro>\n"
       "\n"
       "<circuit>: path to a .bench or .blif file, or gen:<name> with <name>\n"
@@ -98,6 +102,14 @@ int usage() {
       "--deadline-ms N bounds model construction by wall clock; on expiry\n"
       "the build degrades (harder approximation, then a constant bound)\n"
       "instead of running unbounded. --no-degrade fails fast instead.\n"
+      "--build-retries N retries a failed parallel cone build up to N times\n"
+      "with exponential backoff before the coordinator rebuilds it serially\n"
+      "(default 2; 0 disables retries). Deadline expiry is never retried.\n"
+      "--failpoints SPEC arms fault-injection points for this run, same\n"
+      "grammar as the CFPM_FAILPOINTS environment variable:\n"
+      "  name=action[:count][,name=action[:count]...]\n"
+      "with action one of throw_bad_alloc, throw_deadline, throw_resource,\n"
+      "delay_ms(N), fail_io (count 0 = fire forever; default once).\n"
       "--metrics-json PATH writes the pipeline metrics snapshot (counters,\n"
       "gauges, histograms) as JSON on exit, whatever the outcome.\n"
       "--trace-json PATH records phase spans and writes Chrome trace_event\n"
@@ -105,6 +117,9 @@ int usage() {
       "fuzz cross-checks the symbolic engines against independent oracles\n"
       "on random circuits; failures are minimized into --corpus-dir as\n"
       ".repro files (--checks list prints the registered invariants).\n"
+      "fuzz --faults additionally arms a seed-derived failpoint spec per\n"
+      "check and asserts deterministic recovery: injected faults may fail\n"
+      "typed, but a clean rerun must pass and values must never corrupt.\n"
       "exit codes: 0 ok, 1 error, 2 usage, 3 degraded result, 4 out of\n"
       "memory, 5 internal error.\n";
   return kExitUsage;
@@ -140,6 +155,7 @@ struct Args {
   bool compiled = false;
   std::optional<std::size_t> deadline_ms;  // wall-clock build budget
   bool degrade = true;
+  std::size_t build_retries = 2;  // per-cone retries before serial rebuild
   std::string metrics_json;  // write metrics snapshot here on exit
   std::string trace_json;    // record spans; write Chrome trace here on exit
 
@@ -151,6 +167,7 @@ struct Args {
   std::string checks;                    // comma-separated, or "list"
   std::string corpus_dir = "fuzz/corpus";
   std::string replay;                    // .repro file to re-run
+  bool fuzz_faults = false;              // fault-injection campaign mode
 
   /// Build options honoring the resilience flags. A governor is always
   /// attached (its poll/checkpoint counters feed the observability layer);
@@ -162,6 +179,9 @@ struct Args {
     opt.mode = bound ? dd::ApproxMode::kUpperBound : dd::ApproxMode::kAverage;
     opt.degrade = degrade;
     opt.build_threads = build_threads;
+    // --build-retries N is "N retries after the first try"; RetryPolicy
+    // counts total attempts.
+    opt.cone_retry.max_attempts = build_retries + 1;
     auto governor = std::make_shared<Governor>();
     if (deadline_ms) {
       governor->set_deadline(std::chrono::milliseconds(*deadline_ms));
@@ -281,6 +301,26 @@ std::optional<Args> parse(int argc, char** argv) {
       ok = boolean(a.degrade, true);
     } else if (flag == "--no-degrade") {
       ok = boolean(a.degrade, false);
+    } else if (flag == "--build-retries") {
+      ok = number(a.build_retries);
+    } else if (flag == "--failpoints") {
+      // Applied immediately: the registry is process-global state, and
+      // arm_from_spec doubles as the validator (same grammar as the
+      // CFPM_FAILPOINTS environment variable).
+      std::string spec;
+      ok = text(spec) && [&] {
+        try {
+          failpoint::arm_from_spec(spec);
+        } catch (const cfpm::Error& e) {
+          std::cerr << "invalid value for --failpoints: " << e.what() << "\n";
+          return false;
+        }
+        if (!failpoint::compiled_in()) {
+          std::cerr << "warning: --failpoints ignored (built with "
+                       "CFPM_NO_FAILPOINTS)\n";
+        }
+        return true;
+      }();
     } else if (flag == "--metrics-json") {
       ok = text(a.metrics_json);
     } else if (flag == "--trace-json") {
@@ -299,6 +339,8 @@ std::optional<Args> parse(int argc, char** argv) {
       ok = text(a.corpus_dir);
     } else if (flag == "--replay") {
       ok = text(a.replay);
+    } else if (flag == "--faults") {
+      ok = boolean(a.fuzz_faults, true);
     } else if (!flag.empty() && flag[0] == '-') {
       std::cerr << "unknown option: " << flag << "\n";
       ok = false;
@@ -374,9 +416,10 @@ int cmd_build(const Args& a) {
             << model.build_info().reorder_runs << " reorder runs\n";
   const int outcome = report_build_outcome(model.build_info());
   if (!a.output.empty()) {
-    std::ofstream out(a.output);
-    if (!out) throw Error("cannot write " + a.output);
-    model.save(out);
+    // Crash-safe: the model appears complete or not at all; a failure
+    // mid-save never leaves a truncated file where a previous good model
+    // used to be.
+    atomic_write_file(a.output, [&](std::ostream& os) { model.save(os); });
     std::cout << "saved   : " << a.output << "\n";
   }
   return outcome;
@@ -484,9 +527,9 @@ int cmd_trace(const Args& a) {
   stats::MarkovSequenceGenerator gen({a.sp, a.st}, 0xcf9e);
   const auto seq = gen.generate(n.num_inputs(), a.vectors);
   const sim::GateLevelSimulator simulator(n, kLib);
-  std::ofstream out(a.output);
-  if (!out) throw Error("cannot write " + a.output);
-  sim::write_vcd(out, n, seq, &simulator);
+  atomic_write_file(a.output, [&](std::ostream& os) {
+    sim::write_vcd(os, n, seq, &simulator);
+  });
   const auto energy = simulator.simulate(seq);
   std::cout << "wrote " << a.output << " (" << a.vectors << " vectors, "
             << n.num_signals() << " signals)\n";
@@ -615,6 +658,7 @@ int cmd_fuzz(const Args& a) {
   opt.max_gates = a.fuzz_max_gates;
   opt.patterns = a.patterns;
   opt.corpus_dir = a.corpus_dir;
+  opt.faults = a.fuzz_faults;
   opt.log = &std::cout;
   for (std::size_t pos = 0; pos < a.checks.size();) {
     const auto comma = a.checks.find(',', pos);
@@ -632,6 +676,10 @@ int cmd_fuzz(const Args& a) {
             << report.checks_run << " check run(s), " << report.failures.size()
             << " failure(s)"
             << (report.deadline_hit ? " [stopped: deadline]" : "") << "\n";
+  if (a.fuzz_faults) {
+    std::cout << "faults  : " << report.faults_fired << " fired, "
+              << report.fault_recoveries << " typed-failure recover(ies)\n";
+  }
   if (!report.failures.empty()) {
     std::cout << "replay with: cfpm fuzz --replay <file.repro>\n";
     return kExitError;
@@ -662,21 +710,23 @@ int dispatch(const std::string& cmd, const Args& args) {
 /// the command's exit code (an unwritable path only warns).
 void write_observability(const Args& args) {
   if (!args.metrics_json.empty()) {
-    std::ofstream out(args.metrics_json);
-    if (out) {
-      metrics::snapshot().write_json(out);
-    } else {
+    try {
+      atomic_write_file(args.metrics_json, [](std::ostream& os) {
+        metrics::snapshot().write_json(os);
+      });
+    } catch (const std::exception& e) {
       std::cerr << "warning: cannot write metrics to " << args.metrics_json
-                << "\n";
+                << ": " << e.what() << "\n";
     }
   }
   if (!args.trace_json.empty()) {
-    std::ofstream out(args.trace_json);
-    if (out) {
-      trace::write_chrome_json(out);
-    } else {
+    try {
+      atomic_write_file(args.trace_json, [](std::ostream& os) {
+        trace::write_chrome_json(os);
+      });
+    } catch (const std::exception& e) {
       std::cerr << "warning: cannot write trace to " << args.trace_json
-                << "\n";
+                << ": " << e.what() << "\n";
     }
   }
 }

@@ -10,6 +10,8 @@
 #include "netlist/bench_io.hpp"
 #include "support/assert.hpp"
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
+#include "support/io.hpp"
 #include "support/parse.hpp"
 
 namespace cfpm::verify {
@@ -60,7 +62,7 @@ Repro read_repro(std::istream& is) {
   }
   r.patterns = *patterns;
 
-  // Optional "note ..." lines, then the mandatory "bench" marker.
+  // Optional "faults"/"note ..." lines, then the mandatory "bench" marker.
   for (;;) {
     if (!std::getline(is, line)) {
       throw ParseError("repro: missing 'bench' section", lineno);
@@ -68,6 +70,18 @@ Repro read_repro(std::istream& is) {
     ++lineno;
     if (line.empty() || line[0] == '#') continue;
     if (line == "bench") break;
+    if (line.rfind("faults ", 0) == 0) {
+      if (!r.faults.empty()) {
+        throw ParseError("repro: duplicate 'faults' line", lineno);
+      }
+      r.faults = line.substr(7);
+      try {
+        failpoint::validate_spec(r.faults);
+      } catch (const Error& e) {
+        throw ParseError(std::string("repro: ") + e.what(), lineno);
+      }
+      continue;
+    }
     if (line.rfind("note ", 0) == 0) {
       if (!r.note.empty()) r.note += "\n";
       r.note += line.substr(5);
@@ -95,18 +109,19 @@ void write_repro(std::ostream& os, const Repro& r) {
   os << "check " << r.check << "\n";
   os << "seed " << r.seed << "\n";
   os << "patterns " << r.patterns << "\n";
+  if (!r.faults.empty()) os << "faults " << r.faults << "\n";
   std::istringstream note(r.note);
   std::string line;
   while (std::getline(note, line)) os << "note " << line << "\n";
   os << "bench\n";
   netlist::write_bench(os, r.netlist);
-  if (!os) throw Error("write_repro: stream failure");
+  if (!os) throw IoError("write_repro: stream failure");
 }
 
 void write_repro_file(const std::string& path, const Repro& r) {
-  std::ofstream f(path);
-  if (!f) throw Error("cannot write repro: " + path);
-  write_repro(f, r);
+  // Corpus commits are regression inputs: a torn repro from a full disk or
+  // a crash would replay as a *parse* failure and mask the original bug.
+  atomic_write_file(path, [&](std::ostream& os) { write_repro(os, r); });
 }
 
 CheckResult replay(const Repro& r) {
@@ -115,7 +130,28 @@ CheckResult replay(const Repro& r) {
   CheckContext ctx;
   ctx.seed = r.seed;
   ctx.patterns = r.patterns;
-  return run_check(*check, r.netlist, ctx);
+  if (r.faults.empty()) return run_check(*check, r.netlist, ctx);
+
+  // Fault-campaign repro: the recorded spec replaces whatever is armed for
+  // the duration of the check, then everything is disarmed (the repro's
+  // budget is its own; a standing CFPM_FAILPOINTS config would make replay
+  // nondeterministic anyway).
+  struct DisarmGuard {
+    ~DisarmGuard() { failpoint::disarm_all(); }
+  } guard;
+  failpoint::disarm_all();
+  failpoint::arm_from_spec(r.faults);
+  try {
+    return run_check(*check, r.netlist, ctx);
+  } catch (const DeadlineExceeded& e) {
+    // An armed throw_deadline fault propagates out of run_check by design;
+    // during a fault replay it is a typed finding, not a stop signal.
+    CheckResult result;
+    result.ok = false;
+    result.detail = std::string("injected deadline: ") + e.what();
+    result.threw = true;
+    return result;
+  }
 }
 
 std::vector<std::string> list_corpus(const std::string& dir) {

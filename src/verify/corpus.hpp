@@ -11,8 +11,14 @@
 //   check <name>
 //   seed <u64>
 //   patterns <u64>
+//   faults <failpoint-spec>     (optional; at most one)
+//   note <free text>            (optional; repeatable)
 //   bench
 //   <.bench text until EOF>
+//
+// A `faults` line records the failpoint spec that was armed when the
+// failure was found (fault-campaign findings only); replay() re-arms it for
+// the duration of the check so fault-dependent failures reproduce.
 #pragma once
 
 #include <cstdint>
@@ -30,7 +36,8 @@ struct Repro {
   std::uint64_t seed = 1;
   std::size_t patterns = 128;
   netlist::Netlist netlist;
-  std::string note;  ///< optional free-text (original failure detail)
+  std::string faults;  ///< failpoint spec armed during replay ("" = none)
+  std::string note;    ///< optional free-text (original failure detail)
 };
 
 /// Parses a repro stream. Throws cfpm::ParseError on malformed input or an

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <iterator>
 #include <ostream>
 #include <sstream>
 #include <utility>
@@ -9,6 +10,7 @@
 #include "netlist/generators.hpp"
 #include "netlist/transform.hpp"
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 #include "support/governor.hpp"
 #include "support/metrics.hpp"
 #include "support/rng.hpp"
@@ -28,6 +30,50 @@ std::string hex_seed(std::uint64_t seed) {
     seed >>= 4;
   }
   return s;
+}
+
+/// Failure surfaces the fault campaign arms. Some fire in every scenario
+/// (dd.allocate_node is on the path of every symbolic build); others only
+/// when the sampled scenario takes that path (power.cone.* need a parallel
+/// build). Both are useful — a spec that never fires is a free control run.
+constexpr const char* kFaultSites[] = {
+    "dd.allocate_node", "threadpool.task",    "threadpool.spawn",
+    "power.cone.build", "power.cone.merge",   "dd.serialize.write",
+    "dd.serialize.read",
+};
+
+/// Deterministic per-iteration fault plan: 1-2 sites, a random action, a
+/// small fire budget. A function of the iteration seed alone, like every
+/// other sampled knob, so fault-campaign failures replay exactly.
+std::string sample_fault_spec(std::uint64_t iter_seed) {
+  Xoshiro256 rng(SplitMix64(iter_seed ^ 0xfa110001u).next());
+  const std::size_t entries = 1 + rng.next_below(2);
+  std::string spec;
+  for (std::size_t i = 0; i < entries; ++i) {
+    const char* site =
+        kFaultSites[rng.next_below(std::size(kFaultSites))];
+    std::string action;
+    switch (rng.next_below(5)) {
+      case 0:
+        action = "throw_bad_alloc";
+        break;
+      case 1:
+        action = "throw_resource";
+        break;
+      case 2:
+        action = "throw_deadline";
+        break;
+      case 3:
+        action = "fail_io";
+        break;
+      default:
+        action = "delay_ms(" + std::to_string(1 + rng.next_below(3)) + ")";
+    }
+    const std::uint64_t fires = 1 + rng.next_below(3);
+    if (!spec.empty()) spec += ",";
+    spec += std::string(site) + "=" + action + ":" + std::to_string(fires);
+  }
+  return spec;
 }
 
 }  // namespace
@@ -78,6 +124,11 @@ netlist::Netlist sample_netlist(std::uint64_t seed, std::size_t max_gates) {
 }
 
 FuzzReport run_fuzz(const FuzzOptions& opt) {
+  if (opt.faults && !failpoint::compiled_in()) {
+    throw Error(
+        "fuzz: faults mode needs failpoint hooks, but this binary was built "
+        "with CFPM_NO_FAILPOINTS");
+  }
   std::vector<const Check*> selected;
   if (opt.checks.empty()) {
     for (const Check& c : all_checks()) selected.push_back(&c);
@@ -104,6 +155,14 @@ FuzzReport run_fuzz(const FuzzOptions& opt) {
 
   FuzzReport report;
   SplitMix64 seeds(opt.seed);
+  // Whatever happens mid-campaign (throws included), a faults run never
+  // leaks armed failpoints into the caller's process.
+  struct DisarmGuard {
+    bool active;
+    ~DisarmGuard() {
+      if (active) failpoint::disarm_all();
+    }
+  } fault_guard{opt.faults};
   for (std::size_t it = 0; it < opt.runs; ++it) {
     if (opt.governor && opt.governor->deadline_expired()) {
       report.deadline_hit = true;
@@ -111,6 +170,8 @@ FuzzReport run_fuzz(const FuzzOptions& opt) {
     }
     const std::uint64_t iter_seed = seeds.next();
     const netlist::Netlist n = sample_netlist(iter_seed, opt.max_gates);
+    const std::string fault_spec =
+        opt.faults ? sample_fault_spec(iter_seed) : std::string();
 
     CheckContext ctx;
     ctx.seed = iter_seed;
@@ -119,19 +180,77 @@ FuzzReport run_fuzz(const FuzzOptions& opt) {
 
     bool stopped = false;
     for (const Check* check : selected) {
+      std::uint64_t fires_before = 0;
+      if (opt.faults) {
+        // Fresh fault budget per check: drop whatever the previous check
+        // left behind, arm this iteration's plan.
+        failpoint::disarm_all();
+        failpoint::arm_from_spec(fault_spec);
+        fires_before = failpoint::total_fires();
+      }
       CheckResult result;
       try {
         result = run_check(*check, n, ctx);
-      } catch (const DeadlineExceeded&) {
-        report.deadline_hit = true;
-        stopped = true;
-        break;
+      } catch (const DeadlineExceeded& e) {
+        if (opt.faults && failpoint::total_fires() > fires_before) {
+          // An armed throw_deadline fault propagated (run_check treats
+          // deadlines as a stop signal, so it cannot convert them). In a
+          // fault campaign it is a typed finding like any injected throw.
+          result.ok = false;
+          result.detail = std::string("injected deadline: ") + e.what();
+          result.threw = true;
+        } else {
+          report.deadline_hit = true;
+          stopped = true;
+          break;
+        }
       } catch (const CancelledError&) {
         stopped = true;
         break;
       }
+      bool fired = false;
+      if (opt.faults) {
+        const std::uint64_t delta = failpoint::total_fires() - fires_before;
+        report.faults_fired += delta;
+        fired = delta > 0;
+        failpoint::disarm_all();
+      }
       ++report.checks_run;
       if (result.ok) continue;
+
+      std::string failure_faults;  // spec to record with the repro
+      if (opt.faults && result.threw) {
+        // Deterministic-recovery contract: the identical scenario with
+        // faults disarmed must pass. When it does, the injected fault was
+        // surfaced as a typed error and fully recovered from — the
+        // behavior the campaign exists to confirm, not a finding.
+        CheckResult clean;
+        try {
+          clean = run_check(*check, n, ctx);
+        } catch (const DeadlineExceeded&) {
+          report.deadline_hit = true;
+          stopped = true;
+          break;
+        } catch (const CancelledError&) {
+          stopped = true;
+          break;
+        }
+        if (clean.ok) {
+          ++report.fault_recoveries;
+          continue;
+        }
+        // Fails clean too: a fault-independent finding; report the clean
+        // result so the repro needs no faults line.
+        result = clean;
+      } else if (opt.faults && fired) {
+        // A value mismatch while faults were armed, with no throw anywhere:
+        // recovery machinery silently corrupted a result. The spec is part
+        // of the finding and rides along into the repro.
+        failure_faults = fault_spec;
+        result.detail =
+            "silent corruption under fault injection [" + fault_spec +
+            "]: " + result.detail;
+      }
 
       c_failures.add();
       // Shrink with the governor detached: minimization must be
@@ -142,7 +261,22 @@ FuzzReport run_fuzz(const FuzzOptions& opt) {
       const MinimizeResult shrunk = minimize(
           n,
           [&](const netlist::Netlist& cand) {
-            return !run_check(*check, cand, replay_ctx).ok;
+            if (failure_faults.empty()) {
+              return !run_check(*check, cand, replay_ctx).ok;
+            }
+            // Hold the *silent* failure mode under the same fault plan: a
+            // candidate that merely throws has shrunk past the bug.
+            failpoint::disarm_all();
+            failpoint::arm_from_spec(failure_faults);
+            bool still_fails = false;
+            try {
+              const CheckResult r = run_check(*check, cand, replay_ctx);
+              still_fails = !r.ok && !r.threw;
+            } catch (const DeadlineExceeded&) {
+              still_fails = false;  // injected deadline: typed, not silent
+            }
+            failpoint::disarm_all();
+            return still_fails;
           },
           opt.minimize_attempts);
       c_minimize_attempts.add(shrunk.attempts);
@@ -153,12 +287,14 @@ FuzzReport run_fuzz(const FuzzOptions& opt) {
       failure.detail = result.detail;
       failure.original_gates = n.num_gates();
       failure.minimized_gates = shrunk.netlist.num_gates();
+      failure.faults = failure_faults;
       if (!opt.corpus_dir.empty()) {
         Repro repro;
         repro.check = failure.check;
         repro.seed = iter_seed;
         repro.patterns = opt.patterns;
         repro.netlist = shrunk.netlist;
+        repro.faults = failure_faults;
         repro.note = result.detail;
         const std::string path = opt.corpus_dir + "/" + failure.check +
                                  "-seed" + hex_seed(iter_seed) + ".repro";
@@ -169,6 +305,9 @@ FuzzReport run_fuzz(const FuzzOptions& opt) {
         *opt.log << "FAIL " << failure.check << " seed=" << failure.seed
                  << " (" << failure.original_gates << " -> "
                  << failure.minimized_gates << " gates)";
+        if (!failure.faults.empty()) {
+          *opt.log << " faults=" << failure.faults;
+        }
         if (!failure.repro_path.empty()) {
           *opt.log << " repro=" << failure.repro_path;
         }

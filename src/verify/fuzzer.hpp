@@ -42,6 +42,15 @@ struct FuzzOptions {
   std::size_t minimize_attempts = 250;
   /// Progress/failure log (nullptr silences).
   std::ostream* log = nullptr;
+  /// Fault-injection campaign mode: each check runs with a failpoint spec
+  /// sampled from the iteration seed armed (allocation faults, worker
+  /// faults, serializer faults, delays). The contract under test is
+  /// *deterministic recovery*: a fault may surface as a typed failure, but
+  /// then the identical check re-run with faults disarmed must pass; a
+  /// value mismatch that is NOT a typed throw while faults are armed is
+  /// silent corruption and is reported (and minimized with the same spec
+  /// re-armed). Requires failpoint::compiled_in().
+  bool faults = false;
 };
 
 struct FuzzFailure {
@@ -51,6 +60,9 @@ struct FuzzFailure {
   std::string repro_path;         ///< written corpus file ("" if disabled)
   std::size_t original_gates = 0;
   std::size_t minimized_gates = 0;
+  /// Failpoint spec that was armed when this failure surfaced ("" when the
+  /// failure reproduces without fault injection).
+  std::string faults;
 };
 
 struct FuzzReport {
@@ -58,6 +70,9 @@ struct FuzzReport {
   std::size_t checks_run = 0;
   bool deadline_hit = false;
   std::vector<FuzzFailure> failures;
+  // Fault-campaign statistics (faults mode only).
+  std::size_t faults_fired = 0;      ///< failpoint actions actually taken
+  std::size_t fault_recoveries = 0;  ///< typed failure, then clean rerun ok
 };
 
 /// Samples one random circuit for iteration seed `seed`. Exposed so tests

@@ -723,6 +723,7 @@ CheckResult run_check(const Check& check, const netlist::Netlist& n,
     throw;
   } catch (const std::exception& e) {
     result = fail(std::string("unexpected exception: ") + e.what());
+    result.threw = true;
   }
   if (!result.ok) counters.failures.add();
   return result;

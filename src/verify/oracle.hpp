@@ -33,6 +33,13 @@ namespace cfpm::verify {
 struct CheckResult {
   bool ok = true;
   std::string detail;  ///< human-readable mismatch description; empty when ok
+  /// The failure is a converted exception, not a value mismatch. The fault
+  /// campaign (`cfpm fuzz --faults`) keys its classification on this:
+  /// checks build with degrade=false, so an injected fault can only surface
+  /// as a typed throw — a failing comparison with `threw == false` under
+  /// fault injection therefore means silent corruption, the one thing
+  /// recovery must never produce.
+  bool threw = false;
 };
 
 struct CheckContext {

@@ -336,5 +336,155 @@ TEST(Serialize, CommaDecimalTerminalIsRejectedNotMisparsed) {
   EXPECT_THROW(read_add(in, mgr), ParseError);
 }
 
+// ---------------------------------------------------------------------------
+// CRC trailer (v2). Written files end in "crc <8 hex>"; a reader must reject
+// a mismatch as a typed ParseError — never return a silently wrong DD — while
+// trailerless v2 files (pre-trailer era) and v1 files keep loading.
+// ---------------------------------------------------------------------------
+
+TEST(Serialize, WriterEmitsCrcTrailerAndRoundTrips) {
+  DdManager mgr(3);
+  const Add f = sample_add(mgr);
+  std::stringstream ss;
+  write_add(ss, f);
+  const std::string text = ss.str();
+  // Last line is the trailer: "crc " + 8 hex digits.
+  const auto pos = text.rfind("crc ");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_EQ(text.substr(pos).size(), 4 + 8 + 1);  // "crc " + hex + '\n'
+
+  DdManager mgr2(3);
+  const Add g = read_add(ss, mgr2);
+  EXPECT_EQ(g.size(), f.size());
+}
+
+TEST(Serialize, FlippedPayloadDigitFailsTheChecksum) {
+  DdManager mgr(3);
+  std::stringstream ss;
+  write_add(ss, sample_add(mgr));
+  std::string text = ss.str();
+  // Corrupt one terminal value (40 -> 41): still perfectly parseable, so
+  // only the checksum can catch it.
+  const auto pos = text.find("T 40");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 3] = '1';
+
+  std::istringstream corrupted(text);
+  DdManager mgr2(3);
+  try {
+    read_add(corrupted, mgr2);
+    FAIL() << "corrupted payload was accepted";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Serialize, TrailerlessV2FileStillLoads) {
+  DdManager mgr(3);
+  const Add f = sample_add(mgr);
+  std::stringstream ss;
+  write_add(ss, f);
+  std::string text = ss.str();
+  const auto pos = text.rfind("crc ");
+  ASSERT_NE(pos, std::string::npos);
+  text.erase(pos);  // the pre-trailer on-disk format
+
+  std::istringstream old(text);
+  DdManager mgr2(3);
+  const Add g = read_add(old, mgr2);
+  EXPECT_EQ(g.size(), f.size());
+}
+
+TEST(Serialize, MalformedCrcTrailerRejected) {
+  DdManager mgr(3);
+  std::stringstream ss;
+  write_add(ss, sample_add(mgr));
+  std::string text = ss.str();
+  const auto pos = text.rfind("crc ");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, std::string::npos, "crc zzzzzzzz\n");
+
+  std::istringstream bad(text);
+  DdManager mgr2(3);
+  EXPECT_THROW(read_add(bad, mgr2), ParseError);
+}
+
+TEST(Serialize, TruncationMidNodesIsATypedError) {
+  DdManager mgr(3);
+  std::stringstream ss;
+  write_add(ss, sample_add(mgr));
+  const std::string text = ss.str();
+  // Every proper prefix must fail with ParseError — a torn file (crash or
+  // full disk under the old non-atomic writer) can never parse as a
+  // smaller-but-valid DD because the node count is declared up front.
+  for (const double frac : {0.3, 0.5, 0.7}) {
+    std::istringstream torn(
+        text.substr(0, static_cast<std::size_t>(frac * text.size())));
+    DdManager mgr2(3);
+    EXPECT_THROW(read_add(torn, mgr2), ParseError) << "fraction " << frac;
+  }
+}
+
+TEST(Serialize, HandAnnotatedFileStillVerifiesItsTrailer) {
+  // The CRC covers the canonical form of each line (comments stripped,
+  // whitespace trimmed), so a user annotating a model file by hand does not
+  // invalidate the checksum.
+  DdManager mgr(3);
+  const Add f = sample_add(mgr);
+  std::stringstream ss;
+  write_add(ss, f);
+  std::string text = "# hand-written banner\n" + ss.str();
+  const auto pos = text.find("\nvars");
+  ASSERT_NE(pos, std::string::npos);
+  text.insert(pos + 1, "  \t ");  // leading whitespace on the vars line
+
+  std::istringstream annotated(text);
+  DdManager mgr2(3);
+  const Add g = read_add(annotated, mgr2);
+  EXPECT_EQ(g.size(), f.size());
+}
+
+TEST(Serialize, ConcatenatedDdsBothReadFromOneStream) {
+  // The power-model format embeds a DD mid-file, so the trailer lookahead
+  // must never consume a line that belongs to the next section.
+  DdManager mgr(3);
+  const Add f = sample_add(mgr);
+  std::stringstream ss;
+  write_add(ss, f);
+  write_add(ss, f);
+  ss << "EPILOGUE\n";
+
+  DdManager mgr2(3);
+  const Add a = read_add(ss, mgr2);
+  const Add b = read_add(ss, mgr2);
+  EXPECT_EQ(a, b);
+  std::string rest;
+  ASSERT_TRUE(std::getline(ss, rest));
+  EXPECT_EQ(rest, "EPILOGUE");
+}
+
+TEST(Serialize, TrailerlessDdLeavesFollowingLinesUntouched) {
+  // Same mid-file scenario for a legacy trailerless v2 payload: the reader
+  // peeks one line, sees it is not a crc trailer, and seeks back.
+  DdManager mgr(3);
+  const Add f = sample_add(mgr);
+  std::stringstream body;
+  write_add(body, f);
+  std::string text = body.str();
+  const auto pos = text.rfind("crc ");
+  ASSERT_NE(pos, std::string::npos);
+  text.erase(pos);
+
+  std::stringstream ss(text + "load 12.5\n");
+  DdManager mgr2(3);
+  const Add g = read_add(ss, mgr2);
+  EXPECT_EQ(g.size(), f.size());
+  std::string rest;
+  ASSERT_TRUE(std::getline(ss, rest));
+  EXPECT_EQ(rest, "load 12.5");
+}
+
 }  // namespace
 }  // namespace cfpm::dd

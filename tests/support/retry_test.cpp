@@ -1,0 +1,136 @@
+// RetryPolicy backoff arithmetic and the run_with_retry driver. The policy
+// is deliberately jitter-free, so the schedule is asserted exactly.
+#include "support/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+
+#include "support/error.hpp"
+
+namespace cfpm {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(RetryPolicy, BackoffDoublesUntilTheCap) {
+  RetryPolicy p;
+  p.initial_backoff = milliseconds(1);
+  p.multiplier = 2.0;
+  p.max_backoff = milliseconds(50);
+  EXPECT_EQ(p.backoff_after(1), milliseconds(1));
+  EXPECT_EQ(p.backoff_after(2), milliseconds(2));
+  EXPECT_EQ(p.backoff_after(3), milliseconds(4));
+  EXPECT_EQ(p.backoff_after(4), milliseconds(8));
+  EXPECT_EQ(p.backoff_after(5), milliseconds(16));
+  EXPECT_EQ(p.backoff_after(6), milliseconds(32));
+  EXPECT_EQ(p.backoff_after(7), milliseconds(50));  // 64 capped
+  EXPECT_EQ(p.backoff_after(20), milliseconds(50));
+}
+
+TEST(RetryPolicy, NonIntegerMultiplierTruncatesToMilliseconds) {
+  RetryPolicy p;
+  p.initial_backoff = milliseconds(10);
+  p.multiplier = 1.5;
+  p.max_backoff = milliseconds(100);
+  EXPECT_EQ(p.backoff_after(1), milliseconds(10));
+  EXPECT_EQ(p.backoff_after(2), milliseconds(15));
+  EXPECT_EQ(p.backoff_after(3), milliseconds(22));  // 22.5 truncated
+}
+
+/// Fast policy for driver tests: real sleeps, but trivially short ones.
+RetryPolicy fast_policy(std::size_t attempts) {
+  RetryPolicy p;
+  p.max_attempts = attempts;
+  p.initial_backoff = milliseconds(0);
+  p.max_backoff = milliseconds(0);
+  return p;
+}
+
+constexpr auto kAlwaysRetry = [](const std::exception_ptr&) { return true; };
+
+TEST(RunWithRetry, SucceedsAfterTransientFailures) {
+  int calls = 0;
+  std::size_t retries = 0;
+  const int result = run_with_retry(
+      fast_policy(5),
+      [&] {
+        if (++calls < 3) throw ResourceError("transient");
+        return 42;
+      },
+      kAlwaysRetry, &retries);
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);
+}
+
+TEST(RunWithRetry, ExhaustedAttemptsRethrowTheLastError) {
+  int calls = 0;
+  std::size_t retries = 0;
+  EXPECT_THROW(run_with_retry(
+                   fast_policy(3),
+                   [&]() -> int {
+                     ++calls;
+                     throw ResourceError("persistent");
+                   },
+                   kAlwaysRetry, &retries),
+               ResourceError);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);  // retries, not attempts
+}
+
+TEST(RunWithRetry, NonRetryableErrorPropagatesImmediately) {
+  int calls = 0;
+  auto transient_only = [](const std::exception_ptr& ep) {
+    try {
+      std::rethrow_exception(ep);
+    } catch (const ResourceError&) {
+      return true;
+    } catch (...) {
+      return false;
+    }
+  };
+  EXPECT_THROW(run_with_retry(
+                   fast_policy(5),
+                   [&]() -> int {
+                     ++calls;
+                     throw DeadlineExceeded("not transient");
+                   },
+                   transient_only),
+               DeadlineExceeded);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RunWithRetry, ZeroMaxAttemptsStillRunsOnce) {
+  int calls = 0;
+  EXPECT_EQ(run_with_retry(
+                fast_policy(0), [&] { return ++calls; }, kAlwaysRetry),
+            1);
+  EXPECT_EQ(calls, 1);
+
+  calls = 0;
+  EXPECT_THROW(run_with_retry(
+                   fast_policy(0),
+                   [&]() -> int {
+                     ++calls;
+                     throw std::runtime_error("boom");
+                   },
+                   kAlwaysRetry),
+               std::runtime_error);
+  EXPECT_EQ(calls, 1);  // one try, no retry even though retryable
+}
+
+TEST(RunWithRetry, VoidFunctionsWork) {
+  int calls = 0;
+  run_with_retry(
+      fast_policy(3),
+      [&] {
+        if (++calls < 2) throw ResourceError("once");
+      },
+      kAlwaysRetry);
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace cfpm

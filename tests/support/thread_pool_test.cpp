@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "support/failpoint.hpp"
 #include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
 
@@ -17,6 +18,10 @@ namespace {
 
 std::uint64_t spawn_count() {
   return metrics::snapshot().counter("threadpool.worker.spawn");
+}
+
+std::uint64_t spawn_failed_count() {
+  return metrics::snapshot().counter("threadpool.worker.spawn_failed");
 }
 
 TEST(ThreadPool, SingleLanePoolSpawnsNoThreads) {
@@ -91,6 +96,51 @@ TEST(ThreadPool, ZeroCountIsANoOp) {
   bool called = false;
   pool.run_indexed(0, [&](std::size_t) { called = true; });
   EXPECT_FALSE(called);
+}
+
+// ---------------------------------------------------------------------------
+// Spawn-failure degradation: a thread/memory limit at construction time is a
+// capacity problem, not a correctness one. The pool keeps whatever workers
+// it managed to create (down to pure inline execution) and run_indexed's
+// contract is unchanged.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, SpawnFailureDegradesToFewerWorkers) {
+  if (!failpoint::compiled_in()) GTEST_SKIP() << "no failpoint hooks";
+  failpoint::disarm_all();
+  const std::uint64_t failed_before = spawn_failed_count();
+  failpoint::arm_from_spec("threadpool.spawn=throw_bad_alloc:1");
+  ThreadPool pool(4);  // 3 spawn attempts; the first is shot down
+  failpoint::disarm_all();
+  EXPECT_EQ(pool.num_workers(), 2u);
+  EXPECT_EQ(pool.num_threads(), 3u);
+#ifndef CFPM_NO_METRICS
+  EXPECT_EQ(spawn_failed_count(), failed_before + 1);
+#endif
+
+  // The degraded pool still runs every index exactly once.
+  std::atomic<std::size_t> sum{0};
+  pool.run_indexed(100, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 99u * 100u / 2u);
+}
+
+TEST(ThreadPool, AllSpawnsFailingDegradesToInlineExecution) {
+  if (!failpoint::compiled_in()) GTEST_SKIP() << "no failpoint hooks";
+  failpoint::disarm_all();
+  failpoint::arm_from_spec("threadpool.spawn=throw_bad_alloc:0");
+  ThreadPool pool(4);
+  failpoint::disarm_all();
+  EXPECT_EQ(pool.num_workers(), 0u);
+  EXPECT_EQ(pool.num_threads(), 1u);
+
+  // workers_.empty() routes through the inline path: calling thread only.
+  const std::thread::id self = std::this_thread::get_id();
+  std::size_t ran = 0;
+  pool.run_indexed(8, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), self);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 8u);
 }
 
 }  // namespace
