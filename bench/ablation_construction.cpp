@@ -52,7 +52,7 @@ int main() {
       Timer timer;
       const auto model = power::AddPowerModel::build(n, lib, opt);
       const double secs = timer.seconds();
-      const auto report = eval::evaluate(model, golden, grid, options);
+      const auto report = bench::evaluate_one(model, golden, grid, options);
       table.add_row({name, v.label, std::to_string(model.size()),
                      std::to_string(model.build_info().peak_live_nodes),
                      eval::TextTable::num(secs, 3),

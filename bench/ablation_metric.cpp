@@ -67,7 +67,7 @@ int main() {
         }
       };
       Wrapper model(&exact, small);
-      return eval::evaluate(model, golden, grid, options).are;
+      return bench::evaluate_one(model, golden, grid, options).are;
     };
 
     table.add_row(

@@ -61,7 +61,7 @@ int main() {
 
     auto report = [&](const char* label, const dd::Add& f) {
       DerivedModel model(&exact, f);
-      const double are = eval::evaluate(model, golden, grid, options).are;
+      const double are = bench::evaluate_one(model, golden, grid, options).are;
       table.add_row({name, label, std::to_string(f.size()),
                      std::to_string(f.leaf_values().size()),
                      eval::TextTable::num(100.0 * are, 1)});

@@ -68,6 +68,16 @@ inline Baselines characterize_baselines(const netlist::Netlist& n,
                    power::make_model(power::ModelKind::kLinear, n, options)};
 }
 
+/// Single-model accuracy via the one multi-model eval::evaluate entry point
+/// (the old single-model overload was superseded by the service facade).
+inline eval::AccuracyReport evaluate_one(
+    const power::PowerModel& model, const eval::Reference& golden,
+    std::span<const stats::InputStatistics> grid,
+    const eval::EvalOptions& options = {}) {
+  const power::PowerModel* ptr = &model;
+  return eval::evaluate(std::span(&ptr, 1), golden, grid, options)[0];
+}
+
 /// Vector count for a driver run; defers to RunConfig::from_env's strict
 /// CFPM_VECTORS parsing (a typo'd value aborts instead of silently running
 /// the fallback size).

@@ -37,14 +37,14 @@ int main() {
   eval::TextTable table({"ADD nodes", "ARE(%)"});
   for (std::size_t size : {500u, 200u, 100u, 50u, 20u, 10u, 5u, 2u, 1u}) {
     const auto model = exact.compress(size);
-    const auto report = eval::evaluate(model, golden, grid, options);
+    const auto report = bench::evaluate_one(model, golden, grid, options);
     table.add_row({std::to_string(model.size()),
                    eval::TextTable::num(100.0 * report.are, 1)});
   }
   table.print(std::cout);
 
-  const auto lin_report = eval::evaluate(*base.lin, golden, grid, options);
-  const auto con_report = eval::evaluate(*base.con, golden, grid, options);
+  const auto lin_report = bench::evaluate_one(*base.lin, golden, grid, options);
+  const auto con_report = bench::evaluate_one(*base.con, golden, grid, options);
   std::cout << "\nReference (characterized baselines on the same grid): Lin "
             << eval::TextTable::num(100.0 * lin_report.are, 1) << "%  Con "
             << eval::TextTable::num(100.0 * con_report.are, 1) << "%\n";

@@ -1,0 +1,125 @@
+// Micro-benchmarks of the model server's lookup path.
+//
+// The registry's design premise is that lookups are millions-per-second
+// cheap — an acquire load, two MPH array reads, and a key compare — while
+// admissions are rare and may pay an offline index rebuild. These numbers
+// back that split: MPH query cost flat across table sizes, registry hit
+// and miss lookups in the same few-nanosecond class, MPH construction
+// (the admission rebuild) linear in the table.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "power/baselines.hpp"
+#include "serve/mph.hpp"
+#include "serve/registry.hpp"
+#include "serve/service.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace cfpm;
+
+std::vector<std::uint64_t> random_keys(std::size_t n) {
+  SplitMix64 rng(0x5eedu + n);
+  std::vector<std::uint64_t> keys(n);
+  for (std::uint64_t& k : keys) k = rng.next();
+  return keys;
+}
+
+void BM_MphBuild(benchmark::State& state) {
+  const auto keys = random_keys(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const serve::Mph mph = serve::Mph::build(keys);
+    benchmark::DoNotOptimize(mph.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_MphBuild)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_MphSlotOf(benchmark::State& state) {
+  const auto keys = random_keys(static_cast<std::size_t>(state.range(0)));
+  const serve::Mph mph = serve::Mph::build(keys);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mph.slot_of(keys[i]));
+    if (++i == keys.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MphSlotOf)->Arg(16)->Arg(256)->Arg(4096);
+
+serve::Registry& filled_registry(std::size_t entries) {
+  // One registry per size, shared across benchmark repetitions: admission
+  // cost is benchmarked separately and the lookup path is read-only.
+  static std::vector<std::unique_ptr<serve::Registry>> cache;
+  for (const auto& r : cache) {
+    if (r->size() == entries) return *r;
+  }
+  auto registry = std::make_unique<serve::Registry>();
+  const auto keys = random_keys(entries);
+  for (const std::uint64_t key : keys) {
+    serve::Registry::Entry e;
+    e.id = {key, key ^ 0x5a5a5a5a5a5a5a5aull};
+    e.model = std::make_shared<power::ConstantModel>(1.0, 4);
+    e.circuit = "bench";
+    registry->admit(std::move(e));
+  }
+  cache.push_back(std::move(registry));
+  return *cache.back();
+}
+
+void BM_RegistryLookupHit(benchmark::State& state) {
+  serve::Registry& registry = filled_registry(
+      static_cast<std::size_t>(state.range(0)));
+  const auto keys = random_keys(static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const service::ModelId id{keys[i], keys[i] ^ 0x5a5a5a5a5a5a5a5aull};
+    benchmark::DoNotOptimize(registry.lookup(id));
+    if (++i == keys.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RegistryLookupHit)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_RegistryLookupMiss(benchmark::State& state) {
+  serve::Registry& registry = filled_registry(
+      static_cast<std::size_t>(state.range(0)));
+  SplitMix64 rng(0xabcdef);
+  for (auto _ : state) {
+    const std::uint64_t k = rng.next();
+    benchmark::DoNotOptimize(registry.lookup({k, k}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RegistryLookupMiss)->Arg(256);
+
+void BM_RegistryAdmit(benchmark::State& state) {
+  // Cost of one admission into a registry of range(0) existing entries —
+  // includes the full MPH index rebuild and snapshot republish.
+  const std::size_t base = static_cast<std::size_t>(state.range(0));
+  const auto keys = random_keys(base);
+  for (auto _ : state) {
+    state.PauseTiming();
+    serve::Registry registry;
+    for (const std::uint64_t key : keys) {
+      serve::Registry::Entry e;
+      e.id = {key, key ^ 0x5a5a5a5a5a5a5a5aull};
+      e.model = std::make_shared<power::ConstantModel>(1.0, 4);
+      registry.admit(std::move(e));
+    }
+    state.ResumeTiming();
+    serve::Registry::Entry e;
+    e.id = {0x0123456789abcdefull, 1};
+    e.model = std::make_shared<power::ConstantModel>(1.0, 4);
+    registry.admit(std::move(e));
+  }
+}
+BENCHMARK(BM_RegistryAdmit)->Arg(16)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

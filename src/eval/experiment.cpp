@@ -6,6 +6,7 @@
 #include <limits>
 #include <thread>
 
+#include "serve/service.hpp"
 #include "support/assert.hpp"
 #include "support/error.hpp"
 #include "support/metrics.hpp"
@@ -88,8 +89,11 @@ std::vector<AccuracyReport> evaluate(
       try {
         // One batched pass over the trace yields average and peak together
         // (the compiled fast path for ADD models, chunked loops otherwise).
-        const power::TraceEstimate est = models[m]->estimate_trace(seq);
-        p.model = options.metric == Metric::kAverage ? est.average_ff()
+        // Routed through the service facade so the harness scores exactly
+        // the evaluation path the CLI and the daemon serve.
+        const service::EvalReply est =
+            service::evaluate_trace(*models[m], seq);
+        p.model = options.metric == Metric::kAverage ? est.average_ff
                                                      : est.peak_ff;
       } catch (const std::exception& e) {
         fail_cell(m, e.what());
@@ -152,13 +156,6 @@ std::vector<AccuracyReport> evaluate(
   for (const AccuracyReport& r : reports) failed += r.failed_points;
   if (failed != 0) c_failed.add(failed);
   return reports;
-}
-
-AccuracyReport evaluate(const power::PowerModel& model, const Reference& golden,
-                        std::span<const stats::InputStatistics> grid,
-                        const EvalOptions& options) {
-  const power::PowerModel* ptr = &model;
-  return evaluate(std::span(&ptr, 1), golden, grid, options)[0];
 }
 
 }  // namespace cfpm::eval

@@ -119,9 +119,4 @@ std::vector<AccuracyReport> evaluate(
     std::span<const stats::InputStatistics> grid,
     const EvalOptions& options = {});
 
-/// Convenience for a single model.
-AccuracyReport evaluate(const power::PowerModel& model, const Reference& golden,
-                        std::span<const stats::InputStatistics> grid,
-                        const EvalOptions& options = {});
-
 }  // namespace cfpm::eval

@@ -1,0 +1,95 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace cfpm::serve {
+
+Client::Client(const std::string& socket_path) {
+  sockaddr_un addr{};
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    throw ContractError("Client: bad socket path: " + socket_path);
+  }
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw IoError(std::string("client: socket: ") + std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw IoError("client: cannot connect to " + socket_path + ": " +
+                  std::strerror(err));
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+wire::Frame Client::call(wire::MsgType type, const std::string& payload,
+                         wire::MsgType expected_reply) {
+  wire::write_frame(fd_, type, payload);
+  wire::Frame reply;
+  if (!wire::read_frame(fd_, reply)) {
+    throw IoError("client: server closed the connection before replying");
+  }
+  if (reply.type == wire::MsgType::kError) {
+    service::rethrow(wire::decode_error(reply.payload));
+  }
+  if (reply.type != expected_reply) {
+    throw ParseError("client: unexpected reply type " +
+                     std::to_string(static_cast<unsigned>(reply.type)));
+  }
+  return reply;
+}
+
+service::BuildReply Client::build(const service::BuildRequest& request) {
+  const wire::Frame reply =
+      call(wire::MsgType::kBuildRequest, wire::encode_build_request(request),
+           wire::MsgType::kBuildReply);
+  return wire::decode_build_reply(reply.payload);
+}
+
+service::EvalReply Client::evaluate(const service::ModelId& id,
+                                    const service::EvalRequest& request) {
+  const wire::Frame reply =
+      call(wire::MsgType::kEvalRequest,
+           wire::encode_eval_query({id, request}), wire::MsgType::kEvalReply);
+  return wire::decode_eval_reply(reply.payload);
+}
+
+service::EvalReply Client::evaluate_trace(const service::ModelId& id,
+                                          const sim::InputSequence& trace) {
+  wire::TraceQuery query{id, trace};
+  const wire::Frame reply =
+      call(wire::MsgType::kTraceRequest, wire::encode_trace_query(query),
+           wire::MsgType::kTraceReply);
+  return wire::decode_eval_reply(reply.payload);
+}
+
+wire::StatsReply Client::stats() {
+  const wire::Frame reply =
+      call(wire::MsgType::kStatsRequest, "", wire::MsgType::kStatsReply);
+  return wire::decode_stats_reply(reply.payload);
+}
+
+std::string Client::ping() {
+  const wire::Frame reply = call(wire::MsgType::kPing, "", wire::MsgType::kPong);
+  return reply.payload;
+}
+
+void Client::shutdown_server() {
+  call(wire::MsgType::kShutdownRequest, "", wire::MsgType::kShutdownReply);
+}
+
+}  // namespace cfpm::serve

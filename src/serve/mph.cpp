@@ -1,0 +1,87 @@
+#include "serve/mph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace cfpm::serve {
+
+Mph Mph::build(std::span<const std::uint64_t> keys) {
+  Mph mph;
+  mph.size_ = keys.size();
+  if (keys.empty()) return mph;
+
+  {
+    std::vector<std::uint64_t> sorted(keys.begin(), keys.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      throw ContractError("Mph::build: duplicate key");
+    }
+  }
+
+  const std::size_t n = keys.size();
+  // Load factor 1 on buckets keeps the displacement search short in
+  // expectation while the displacement array stays one word per key.
+  const std::size_t num_buckets = n;
+
+  // Retry with a fresh bucket seed in the (vanishingly rare) event that a
+  // bucket's displacement search stalls: two keys that collide under
+  // mix(., d) for every d would need identical avalanche inputs.
+  for (std::uint64_t attempt = 0; attempt < 64; ++attempt) {
+    const std::uint64_t bucket_seed = 0x5eed5eedull + attempt;
+    std::vector<std::vector<std::uint64_t>> buckets(num_buckets);
+    for (const std::uint64_t key : keys) {
+      buckets[mix(key, bucket_seed) % num_buckets].push_back(key);
+    }
+
+    std::vector<std::size_t> order(num_buckets);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return buckets[a].size() > buckets[b].size();
+    });
+
+    std::vector<std::uint64_t> displacement(num_buckets, 0);
+    std::vector<bool> used(n, false);
+    std::vector<std::size_t> placed;
+    bool ok = true;
+    for (const std::size_t b : order) {
+      const std::vector<std::uint64_t>& bucket = buckets[b];
+      if (bucket.empty()) continue;
+      bool seated = false;
+      // Displacements start at 1 so slot_of never reuses the bucket hash.
+      for (std::uint64_t d = 1; d < 100000 + 100 * n; ++d) {
+        placed.clear();
+        bool fits = true;
+        for (const std::uint64_t key : bucket) {
+          const std::size_t slot = mix(key, d) % n;
+          if (used[slot]) {
+            fits = false;
+            break;
+          }
+          // Two keys of the same bucket may also collide with each other.
+          used[slot] = true;
+          placed.push_back(slot);
+        }
+        if (fits) {
+          displacement[b] = d;
+          seated = true;
+          break;
+        }
+        for (const std::size_t slot : placed) used[slot] = false;
+      }
+      if (!seated) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      mph.bucket_seed_ = bucket_seed;
+      mph.displacement_ = std::move(displacement);
+      return mph;
+    }
+  }
+  throw ContractError("Mph::build: could not seat keys (degenerate key set)");
+}
+
+}  // namespace cfpm::serve

@@ -1,0 +1,62 @@
+// Minimal perfect hashing over 64-bit keys (hash-and-displace / CHD).
+//
+// The model registry is frozen between admissions: a new compiled model is
+// admitted rarely (once per unique netlist+options), after which the key set
+// is immutable until the next admission. That is the textbook fit for a
+// minimal perfect hash (cxxmph's mph_map serves the same frozen-read-mostly
+// pattern): rebuild the index offline at admission, then answer every
+// query-path lookup with two array reads and zero probing or chaining.
+//
+// Scheme (CHD with load factor 1): keys are split into n buckets by a first
+// hash; buckets are seated largest-first, each searching for a displacement
+// d such that h(key, d) lands every member in a still-free slot of [0, n).
+// Lookup recomputes bucket -> displacement -> slot. Slots are a permutation
+// of [0, n), hence minimal; the caller stores its keys slot-indexed and
+// confirms membership by comparing the stored key (an MPH maps *non*-keys
+// to arbitrary slots by construction).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cfpm::serve {
+
+class Mph {
+ public:
+  /// Identity-shaped empty hash (every lookup is a miss for the caller,
+  /// since there are no slots to verify against).
+  Mph() = default;
+
+  /// Builds a minimal perfect hash over `keys`. Keys must be distinct;
+  /// throws cfpm::ContractError otherwise. Expected O(n) time.
+  static Mph build(std::span<const std::uint64_t> keys);
+
+  std::size_t size() const noexcept { return size_; }
+
+  /// Slot of `key` in [0, size()). For a key that was in the build set this
+  /// is its unique slot; for any other key it is some arbitrary valid slot
+  /// (or size() when the hash is empty) — the caller must verify the key it
+  /// stored at the slot.
+  std::size_t slot_of(std::uint64_t key) const noexcept {
+    if (size_ == 0) return 0;
+    const std::uint64_t b = mix(key, bucket_seed_) % displacement_.size();
+    return mix(key, displacement_[b]) % size_;
+  }
+
+ private:
+  /// One round of splitmix64-style avalanche keyed by `seed`; cheap and
+  /// well distributed for the small key sets the registry holds.
+  static std::uint64_t mix(std::uint64_t x, std::uint64_t seed) noexcept {
+    x += 0x9e3779b97f4a7c15ull + (seed * 0xbf58476d1ce4e5b9ull);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  std::size_t size_ = 0;
+  std::uint64_t bucket_seed_ = 0;
+  std::vector<std::uint64_t> displacement_;  // one per bucket
+};
+
+}  // namespace cfpm::serve

@@ -1,0 +1,113 @@
+// Content-addressed registry of compiled power models — the daemon's cache.
+//
+// The registry is a read-mostly shared structure: the query path looks a
+// ModelId up millions of times; admission (first build of a unique
+// netlist+options) is rare. The split follows that shape:
+//
+//  * Lookups are lock-free. The index — a minimal perfect hash over the
+//    admitted primary keys plus a slot-indexed entry table — is an
+//    immutable snapshot published through one std::atomic pointer; a reader
+//    does an acquire load, two MPH array reads, and a key compare. No
+//    mutex, no reference counting, no retries.
+//  * Admission takes a mutex, appends the entry to a std::deque (stable
+//    addresses; readers of the old snapshot are never invalidated), rebuilds
+//    the MPH index offline, and publishes the new snapshot with a release
+//    store. Retired snapshots go to a graveyard freed only when the
+//    registry dies: admissions are rare and an index is a few words per
+//    model, so leaking superseded snapshots until shutdown is cheaper and
+//    simpler than hazard pointers or epochs. (A registry serving millions
+//    of queries admits what fits in memory anyway — thousands of models —
+//    so the graveyard stays kilobytes.)
+//
+// Collision safety: the 64-bit primary key indexes the MPH; the independent
+// 64-bit check hash is compared on every hit. Two distinct contents
+// colliding on the primary key is detected (typed error) instead of
+// silently serving the wrong macro's model; matching on both halves by
+// accident requires a 128-bit collision.
+//
+// Persistence: save() writes one serialize-v2 model file per entry (each
+// carrying its own CRC trailer) plus a CRC-tailed MANIFEST, all via
+// atomic_write_file — a crash mid-persist leaves the previous snapshot
+// intact. load() warm-starts from such a directory, skipping (and
+// counting) entries whose model file is corrupt rather than refusing to
+// boot.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "power/power_model.hpp"
+#include "serve/mph.hpp"
+#include "serve/service.hpp"
+
+namespace cfpm::serve {
+
+class Registry {
+ public:
+  struct Entry {
+    service::ModelId id;
+    std::shared_ptr<const power::PowerModel> model;
+    std::string circuit;     ///< display name (stats query)
+    std::size_t nodes = 0;   ///< ADD size (0 for non-ADD kinds)
+  };
+
+  Registry() = default;
+  ~Registry();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Lock-free: the model admitted under `id`, or nullptr when absent.
+  /// Throws cfpm::Error when the primary key is admitted but the check
+  /// hash differs (64-bit content-hash collision — serving would return
+  /// the wrong model). Counts `registry.lookup.hit` / `registry.lookup.miss`.
+  std::shared_ptr<const power::PowerModel> lookup(
+      const service::ModelId& id) const;
+
+  /// Admits a model and republishes the index. Idempotent: re-admitting an
+  /// id already present returns false and changes nothing. Throws
+  /// cfpm::Error on a primary-key collision (same key, different check) and
+  /// cfpm::ContractError on a null model.
+  bool admit(Entry entry);
+
+  std::size_t size() const;
+
+  /// Stable snapshot of the admitted entries, in admission order.
+  std::vector<Entry> entries() const;
+
+  /// Persists every serializable entry into `dir` (created if missing):
+  /// <hex-id>.cfpm model files + MANIFEST, each written atomically.
+  /// Entries whose model kind has no serializer (Con/Lin baselines) are
+  /// skipped and counted in `serve.persist.skipped`. Failpoint:
+  /// `serve.persist`.
+  void save(const std::string& dir) const;
+
+  /// Warm-starts from a directory written by save(). Returns the number of
+  /// entries admitted. A missing directory or MANIFEST is a cold start
+  /// (returns 0); a corrupt MANIFEST (CRC/format) throws ParseError; a
+  /// corrupt or missing model file skips that entry and counts it in
+  /// `serve.persist.rejected` — a damaged cache degrades to rebuilding,
+  /// never to serving damaged bits.
+  std::size_t load(const std::string& dir);
+
+ private:
+  struct Index {
+    Mph mph;
+    std::vector<const Entry*> slots;  // slot-indexed, same order as mph
+  };
+
+  /// Rebuilds and publishes the index from entries_. Caller holds mutex_.
+  void publish_locked();
+
+  mutable std::mutex mutex_;                   // admission path only
+  std::deque<Entry> entries_;                  // stable addresses
+  std::atomic<const Index*> index_{nullptr};   // lock-free read path
+  std::vector<std::unique_ptr<const Index>> graveyard_;  // retired snapshots
+};
+
+}  // namespace cfpm::serve

@@ -1,0 +1,242 @@
+#include "serve/service.hpp"
+
+#include <charconv>
+#include <chrono>
+#include <sstream>
+
+#include "netlist/bench_io.hpp"
+#include "support/error.hpp"
+#include "support/governor.hpp"
+#include "support/hash.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
+
+namespace cfpm::service {
+
+// ---------------------------------------------------------------------------
+// Error classification
+// ---------------------------------------------------------------------------
+
+ErrorPayload classify(const std::exception_ptr& error) noexcept {
+  ErrorPayload p;
+  if (!error) {
+    p.code = StatusCode::kInternal;
+    p.kind = ErrorKind::kInternal;
+    p.message = "classify: empty exception_ptr";
+    return p;
+  }
+  try {
+    std::rethrow_exception(error);
+  } catch (const UsageError& e) {
+    p = {StatusCode::kUsage, ErrorKind::kUsage, e.what()};
+  } catch (const ParseError& e) {
+    p = {StatusCode::kError, ErrorKind::kParse, e.what()};
+  } catch (const IoError& e) {
+    p = {StatusCode::kError, ErrorKind::kIo, e.what()};
+  } catch (const ResourceError& e) {
+    p = {StatusCode::kError, ErrorKind::kResource, e.what()};
+  } catch (const DeadlineExceeded& e) {
+    p = {StatusCode::kError, ErrorKind::kDeadline, e.what()};
+  } catch (const CancelledError& e) {
+    p = {StatusCode::kError, ErrorKind::kCancelled, e.what()};
+  } catch (const Error& e) {
+    // ContractError intentionally folds into kGeneric: it rethrows as
+    // cfpm::Error, which every caller treats identically (exit code 1).
+    p = {StatusCode::kError, ErrorKind::kGeneric, e.what()};
+  } catch (const std::bad_alloc&) {
+    p = {StatusCode::kOom, ErrorKind::kOom, "out of memory"};
+  } catch (const std::exception& e) {
+    p = {StatusCode::kInternal, ErrorKind::kInternal, e.what()};
+  } catch (...) {
+    p = {StatusCode::kInternal, ErrorKind::kInternal, "unknown exception"};
+  }
+  return p;
+}
+
+void rethrow(const ErrorPayload& payload) {
+  switch (payload.kind) {
+    case ErrorKind::kUsage:
+      throw UsageError(payload.message);
+    case ErrorKind::kParse:
+      throw ParseError(payload.message);
+    case ErrorKind::kIo:
+      throw IoError(payload.message);
+    case ErrorKind::kResource:
+      throw ResourceError(payload.message);
+    case ErrorKind::kDeadline:
+      throw DeadlineExceeded(payload.message);
+    case ErrorKind::kCancelled:
+      throw CancelledError(payload.message);
+    case ErrorKind::kOom:
+      throw std::bad_alloc();
+    case ErrorKind::kInternal:
+      throw std::runtime_error(payload.message);
+    case ErrorKind::kGeneric:
+      break;
+  }
+  throw Error(payload.message);
+}
+
+// ---------------------------------------------------------------------------
+// Model identity
+// ---------------------------------------------------------------------------
+
+std::string ModelId::to_hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string s(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    s[15 - i] = kDigits[(key >> (4 * i)) & 0xf];
+    s[31 - i] = kDigits[(check >> (4 * i)) & 0xf];
+  }
+  return s;
+}
+
+std::optional<ModelId> ModelId::from_hex(std::string_view text) {
+  if (text.size() != 32) return std::nullopt;
+  auto half = [](std::string_view hex) -> std::optional<std::uint64_t> {
+    std::uint64_t v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(hex.data(), hex.data() + hex.size(), v, 16);
+    if (ec != std::errc() || ptr != hex.data() + hex.size()) {
+      return std::nullopt;
+    }
+    return v;
+  };
+  // from_chars accepts uppercase; to_hex emits lowercase only. Reject
+  // anything to_hex could not have produced so ids round-trip exactly.
+  for (const char c : text) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) {
+      return std::nullopt;
+    }
+  }
+  const auto key = half(text.substr(0, 16));
+  const auto check = half(text.substr(16, 16));
+  if (!key || !check) return std::nullopt;
+  return ModelId{*key, *check};
+}
+
+ModelId model_id(const netlist::Netlist& n, const BuildOptions& o) {
+  // Canonical content: the .bench serialization is a deterministic function
+  // of the netlist (stable signal order, no timestamps), so equal circuits
+  // hash equal regardless of how they were loaded (file, generator, wire).
+  std::ostringstream text;
+  netlist::write_bench(text, n);
+  const std::string canon = text.str();
+
+  auto fingerprint = [&](std::uint64_t h) {
+    h = fnv1a_64_mix(h, static_cast<std::uint64_t>(o.kind));
+    h = fnv1a_64_mix(h, o.max_nodes);
+    h = fnv1a_64_mix(h, static_cast<std::uint64_t>(o.order));
+    h = fnv1a_64_mix(h, o.reorder_passes);
+    h = fnv1a_64_mix(h, o.approximate_during_construction ? 1 : 0);
+    // Serial and parallel construction may approximate at different points;
+    // parallel results are identical for any thread count >= 2, so only the
+    // serial/parallel split is identity-relevant.
+    h = fnv1a_64_mix(h, o.build_threads == 1 ? 0 : 1);
+    h = fnv1a_64_mix(h, o.characterization_vectors);
+    h = fnv1a_64_mix(h, o.characterization_seed);
+    return h;
+  };
+  ModelId id;
+  id.key = fingerprint(fnv1a_64(canon));
+  id.check = fingerprint(fnv1a_64(canon, /*seed=*/0x9e3779b97f4a7c15ull));
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Build
+// ---------------------------------------------------------------------------
+
+power::ModelOptions to_model_options(const BuildOptions& o,
+                                     const netlist::GateLibrary& library,
+                                     std::shared_ptr<Governor> governor) {
+  power::ModelOptions mo;
+  mo.add.max_nodes = o.max_nodes;
+  mo.add.mode = o.kind == power::ModelKind::kAddUpperBound
+                    ? dd::ApproxMode::kUpperBound
+                    : dd::ApproxMode::kAverage;
+  mo.add.order = o.order;
+  mo.add.reorder_passes = o.reorder_passes;
+  mo.add.approximate_during_construction = o.approximate_during_construction;
+  mo.add.degrade = o.degrade;
+  mo.add.build_threads = o.build_threads;
+  mo.add.cone_retry.max_attempts = o.build_retries + 1;
+  if (!governor) governor = std::make_shared<Governor>();
+  if (o.deadline_ms) {
+    governor->set_deadline(std::chrono::milliseconds(*o.deadline_ms));
+  }
+  mo.add.dd_config.governor = std::move(governor);
+  mo.library = library;
+  mo.characterization_vectors = o.characterization_vectors;
+  mo.characterization_seed = o.characterization_seed;
+  return mo;
+}
+
+BuildReply build(const netlist::Netlist& n, power::ModelKind kind,
+                 const power::ModelOptions& options) {
+  CFPM_TRACE_SPAN("service.build");
+  static const metrics::Counter c_build("service.build.count");
+  c_build.add();
+  BuildReply reply;
+  std::shared_ptr<power::PowerModel> model = power::make_model(kind, n, options);
+  if (const auto* add = dynamic_cast<const power::AddPowerModel*>(model.get())) {
+    reply.build_info = add->build_info();
+    reply.model_nodes = add->size();
+    if (reply.build_info.outcome != power::BuildOutcome::kClean) {
+      reply.status = StatusCode::kDegraded;
+    }
+  }
+  reply.model = std::move(model);
+  return reply;
+}
+
+BuildReply build(const BuildRequest& request) {
+  if (request.api_version != kApiVersion) {
+    throw UsageError("unsupported api version " +
+                     std::to_string(request.api_version) + " (expected " +
+                     std::to_string(kApiVersion) + ")");
+  }
+  BuildReply reply = build(request.netlist, request.options.kind,
+                           to_model_options(request.options));
+  reply.id = model_id(request.netlist, request.options);
+  return reply;
+}
+
+// ---------------------------------------------------------------------------
+// Evaluate
+// ---------------------------------------------------------------------------
+
+EvalReply evaluate(const power::PowerModel& model, const EvalRequest& request,
+                   ThreadPool* pool) {
+  if (request.api_version != kApiVersion) {
+    throw UsageError("unsupported api version " +
+                     std::to_string(request.api_version) + " (expected " +
+                     std::to_string(kApiVersion) + ")");
+  }
+  if (!stats::feasible(request.statistics)) {
+    // Deliberately cfpm::Error, not UsageError: this is the message (and
+    // exit code 1) the one-shot CLI has always produced for an infeasible
+    // workload, and scripts key on it.
+    throw Error("infeasible statistics: st must be <= 2*min(sp, 1-sp)");
+  }
+  stats::MarkovSequenceGenerator gen(request.statistics, request.seed);
+  const sim::InputSequence seq =
+      gen.generate(model.num_inputs(), request.vectors);
+  return evaluate_trace(model, seq, pool);
+}
+
+EvalReply evaluate_trace(const power::PowerModel& model,
+                         const sim::InputSequence& seq, ThreadPool* pool) {
+  CFPM_TRACE_SPAN("service.evaluate");
+  static const metrics::Counter c_eval("service.eval.count");
+  c_eval.add();
+  const power::TraceEstimate est = model.estimate_trace(seq, pool);
+  EvalReply reply;
+  reply.total_ff = est.total_ff;
+  reply.average_ff = est.average_ff();
+  reply.peak_ff = est.peak_ff;
+  reply.transitions = est.transitions;
+  return reply;
+}
+
+}  // namespace cfpm::service

@@ -1,0 +1,39 @@
+// Non-cryptographic content hashing for cache keys.
+//
+// The model registry (src/serve) addresses compiled models by the content
+// of their canonical netlist text plus a build-option fingerprint. FNV-1a
+// is enough for that: keys are verified with an independent second hash on
+// every hit (a primary/check pair, like git's short-hash + object header),
+// so a collision is detected and rejected rather than silently served.
+// Nothing here defends against adversarial inputs — integrity against
+// tampering is out of scope, exactly as for support/crc32.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cfpm {
+
+/// 64-bit FNV-1a of `data`. `seed` selects an independent stream (the
+/// registry uses two: the primary cache key and the collision-check hash).
+inline std::uint64_t fnv1a_64(std::string_view data,
+                              std::uint64_t seed = 0) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull ^ seed;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Feeds an integer into a running FNV stream (e.g. option fingerprints).
+inline std::uint64_t fnv1a_64_mix(std::uint64_t h, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= v & 0xffu;
+    h *= 0x100000001b3ull;
+    v >>= 8;
+  }
+  return h;
+}
+
+}  // namespace cfpm

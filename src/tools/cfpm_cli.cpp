@@ -36,6 +36,9 @@
 #include "power/baselines.hpp"
 #include "power/factory.hpp"
 #include "power/rtl_io.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace_io.hpp"
 #include "stats/markov.hpp"
@@ -56,16 +59,20 @@ namespace {
 
 using namespace cfpm;
 
-// Exit codes: distinguishable failure classes for scripts and CI.
+// Exit codes: distinguishable failure classes for scripts and CI. The
+// numeric taxonomy is defined once, by service::StatusCode (the same codes
+// travel in daemon error payloads); these aliases keep command code
+// readable. 6 (Server::kExitSignal) is the daemon's signal-initiated clean
+// drain.
 //  0 clean, 1 runtime error (cfpm::Error), 2 usage, 3 completed but
 //  degraded (build walked the degradation ladder), 4 out of memory,
-//  5 internal error (unexpected std::exception).
-constexpr int kExitOk = 0;
-constexpr int kExitError = 1;
-constexpr int kExitUsage = 2;
-constexpr int kExitDegraded = 3;
-constexpr int kExitOom = 4;
-constexpr int kExitInternal = 5;
+//  5 internal error (unexpected std::exception), 6 daemon stopped by
+//  SIGINT/SIGTERM after a clean drain.
+constexpr int kExitOk = service::exit_code(service::StatusCode::kOk);
+constexpr int kExitError = service::exit_code(service::StatusCode::kError);
+constexpr int kExitUsage = service::exit_code(service::StatusCode::kUsage);
+constexpr int kExitDegraded =
+    service::exit_code(service::StatusCode::kDegraded);
 
 int usage() {
   std::cerr <<
@@ -85,6 +92,13 @@ int usage() {
       "            [--checks a,b|list] [--corpus-dir DIR] [--deadline-ms N]\n"
       "            [--faults]\n"
       "  cfpm fuzz --replay <file.repro>\n"
+      "  cfpm serve --socket PATH [--persist DIR] [--threads N]\n"
+      "             [--build-threads N] [--deadline-ms N]\n"
+      "  cfpm query <verb> --socket PATH [args]   with <verb> one of:\n"
+      "             build <circuit> [-m MAX] [--bound] [--deadline-ms N]\n"
+      "             eval <circuit|model-id> [--sp P] [--st P] [--vectors N]\n"
+      "             trace <circuit> [--sp P] [--st P] [--vectors N]\n"
+      "             stats | ping | shutdown\n"
       "\n"
       "<circuit>: path to a .bench or .blif file, or gen:<name> with <name>\n"
       "one of c17, alu2, alu4, cmb, cm150, cm85, comp, decod, k2, mux,\n"
@@ -120,8 +134,14 @@ int usage() {
       "fuzz --faults additionally arms a seed-derived failpoint spec per\n"
       "check and asserts deterministic recovery: injected faults may fail\n"
       "typed, but a clean rerun must pass and values must never corrupt.\n"
+      "serve runs the long-lived model server (same daemon as the cfpmd\n"
+      "binary): cached build replies perform zero construction work and\n"
+      "eval replies are bit-identical to the one-shot CLI. query talks to\n"
+      "a running daemon; eval/trace accept the circuit spec (the content\n"
+      "id is computed locally) or the 32-hex model id a build printed.\n"
       "exit codes: 0 ok, 1 error, 2 usage, 3 degraded result, 4 out of\n"
-      "memory, 5 internal error.\n";
+      "memory, 5 internal error, 6 daemon stopped by SIGINT/SIGTERM after\n"
+      "a clean drain.\n";
   return kExitUsage;
 }
 
@@ -159,6 +179,10 @@ struct Args {
   std::string metrics_json;  // write metrics snapshot here on exit
   std::string trace_json;    // record spans; write Chrome trace here on exit
 
+  // serve / query subcommands
+  std::string socket;       // Unix-domain socket path of the daemon
+  std::string persist_dir;  // registry warm-start directory (serve)
+
   // fuzz subcommand
   std::uint64_t seed = 1;
   std::size_t runs = 100;
@@ -188,6 +212,21 @@ struct Args {
     }
     opt.dd_config.governor = std::move(governor);
     return opt;
+  }
+
+  /// The same knobs in the facade's wire-shape form — what `build`,
+  /// `query build` and `query eval` send through cfpm::service, so the
+  /// one-shot and daemon paths compute identical content ids and models.
+  service::BuildOptions service_options() const {
+    service::BuildOptions o;
+    o.kind = bound ? power::ModelKind::kAddUpperBound
+                   : power::ModelKind::kAddAverage;
+    o.max_nodes = max_nodes;
+    o.degrade = degrade;
+    o.build_threads = build_threads;
+    o.build_retries = build_retries;
+    o.deadline_ms = deadline_ms;
+    return o;
   }
 };
 
@@ -321,6 +360,10 @@ std::optional<Args> parse(int argc, char** argv) {
         }
         return true;
       }();
+    } else if (flag == "--socket") {
+      ok = text(a.socket);
+    } else if (flag == "--persist") {
+      ok = text(a.persist_dir);
     } else if (flag == "--metrics-json") {
       ok = text(a.metrics_json);
     } else if (flag == "--trace-json") {
@@ -407,19 +450,27 @@ int report_build_outcome(const power::AddModelBuildInfo& info) {
 int cmd_build(const Args& a) {
   if (a.positional.size() != 1) return usage();
   const netlist::Netlist n = load_circuit(a.positional[0]);
-  const auto model = power::AddPowerModel::build(n, kLib, a.model_options());
-  std::cout << "model   : " << model.size() << " nodes ("
+  // Through the service facade: the same BuildRequest path the daemon
+  // executes, so the printed content id addresses the identical model in a
+  // cfpmd registry.
+  const service::BuildReply reply =
+      service::build({service::kApiVersion, n, a.service_options()});
+  std::cout << "model   : " << reply.model_nodes << " nodes ("
             << (a.bound ? "upper bound" : "average") << " mode, MAX "
             << a.max_nodes << ")\n";
-  std::cout << "built in " << model.build_info().build_seconds << " s, "
-            << model.build_info().approximations << " approximations, "
-            << model.build_info().reorder_runs << " reorder runs\n";
-  const int outcome = report_build_outcome(model.build_info());
+  std::cout << "id      : " << reply.id.to_hex() << "\n";
+  std::cout << "built in " << reply.build_info.build_seconds << " s, "
+            << reply.build_info.approximations << " approximations, "
+            << reply.build_info.reorder_runs << " reorder runs\n";
+  const int outcome = report_build_outcome(reply.build_info);
   if (!a.output.empty()) {
+    const auto* model =
+        dynamic_cast<const power::AddPowerModel*>(reply.model.get());
+    if (model == nullptr) throw Error("build produced a non-serializable model");
     // Crash-safe: the model appears complete or not at all; a failure
     // mid-save never leaves a truncated file where a previous good model
     // used to be.
-    atomic_write_file(a.output, [&](std::ostream& os) { model.save(os); });
+    atomic_write_file(a.output, [&](std::ostream& os) { model->save(os); });
     std::cout << "saved   : " << a.output << "\n";
   }
   return outcome;
@@ -434,20 +485,20 @@ power::AddPowerModel load_model(const std::string& path) {
 int cmd_estimate(const Args& a) {
   if (a.positional.size() != 1) return usage();
   const auto model = load_model(a.positional[0]);
-  if (!stats::feasible({a.sp, a.st})) {
-    throw Error("infeasible statistics: st must be <= 2*min(sp, 1-sp)");
-  }
-  stats::MarkovSequenceGenerator gen({a.sp, a.st}, 0xcf9e);
-  const auto seq = gen.generate(model.num_inputs(), a.vectors);
 
-  // One batched pass over the trace (compiled flat-array evaluation),
-  // sharded over a pool when --threads asks for one. Results are
-  // bit-identical for every thread count.
+  // Through the service facade: one seeded Markov workload + one batched
+  // estimate_trace pass, sharded over a pool when --threads asks for one.
+  // Results are bit-identical for every thread count — and to a cfpmd
+  // eval query with the same parameters, since the daemon runs this exact
+  // entry point.
+  service::EvalRequest request;
+  request.statistics = {a.sp, a.st};
+  request.vectors = a.vectors;
   cfpm::ThreadPool pool(a.threads == 0 ? 0 : a.threads);
   cfpm::Timer timer;
-  const power::TraceEstimate est = model.estimate_trace(seq, &pool);
+  const service::EvalReply est = service::evaluate(model, request, &pool);
   const double eval_seconds = timer.seconds();
-  const double avg = est.average_ff();
+  const double avg = est.average_ff;
   const double peak = est.peak_ff;
   const power::SupplyConfig supply{a.vdd};
   std::cout << "workload: sp=" << a.sp << " st=" << a.st << " (" << a.vectors
@@ -470,6 +521,11 @@ int cmd_estimate(const Args& a) {
   std::cout << "peak    : " << peak << " fF ("
             << (model.is_upper_bound() ? "conservative bound" : "estimate")
             << ")\n";
+  // Shortest-round-trip doubles: lets scripts diff this line against a
+  // daemon eval reply bit-for-bit (the serve-smoke CI job does).
+  std::cout << "exact   : total=" << format_double(est.total_ff)
+            << " average=" << format_double(avg)
+            << " peak=" << format_double(peak) << "\n";
   return 0;
 }
 
@@ -498,24 +554,28 @@ int cmd_accuracy(const Args& a) {
   options.library = kLib;
   options.characterization_vectors = a.vectors;
   options.characterization_seed = 0xcf9e;
-  const auto con = power::make_model(power::ModelKind::kConstant, n, options);
-  const auto lin = power::make_model(power::ModelKind::kLinear, n, options);
-  const auto add = power::make_model(
+  // Through the service facade (rich in-process overload): same factory
+  // path as before, with the degradation report delivered in the reply
+  // instead of via dynamic_cast.
+  const auto con = service::build(n, power::ModelKind::kConstant, options);
+  const auto lin = service::build(n, power::ModelKind::kLinear, options);
+  const auto add = service::build(
+      n,
       a.bound ? power::ModelKind::kAddUpperBound : power::ModelKind::kAddAverage,
-      n, options);
+      options);
 
   eval::EvalOptions eval_options;
   eval_options.run.vectors_per_run = a.vectors;
   const auto grid = stats::evaluation_grid();
-  const power::PowerModel* models[] = {con.get(), lin.get(), add.get()};
+  const power::PowerModel* models[] = {con.model.get(), lin.model.get(),
+                                       add.model.get()};
   const auto reports = eval::evaluate(models, golden, grid, eval_options);
   eval::TextTable table({"model", "ARE(%)"});
   table.add_row({"Con (characterized)", eval::TextTable::num(100 * reports[0].are, 1)});
   table.add_row({"Lin (characterized)", eval::TextTable::num(100 * reports[1].are, 1)});
   table.add_row({"ADD (analytical)", eval::TextTable::num(100 * reports[2].are, 1)});
   table.print(std::cout);
-  const auto* add_model = dynamic_cast<const power::AddPowerModel*>(add.get());
-  return report_build_outcome(add_model->build_info());
+  return report_build_outcome(add.build_info);
 }
 
 int cmd_trace(const Args& a) {
@@ -687,6 +747,113 @@ int cmd_fuzz(const Args& a) {
   return kExitOk;
 }
 
+int cmd_serve(const Args& a) {
+  if (!a.positional.empty() || a.socket.empty()) return usage();
+  serve::ServerOptions options;
+  options.socket_path = a.socket;
+  options.persist_dir = a.persist_dir;
+  options.eval_threads = a.threads;
+  options.build_pool_threads = a.build_threads;
+  options.default_deadline_ms = a.deadline_ms.value_or(0);
+  options.log = &std::cerr;
+  serve::Server server(std::move(options));
+  return serve::run_with_signal_handling(server);
+}
+
+/// `query eval`/`query trace` address a model either by the 32-hex content
+/// id a build printed, or by circuit spec — in which case the id is
+/// computed locally from the netlist and the current option flags, exactly
+/// as the daemon computes it.
+service::ModelId query_model_id(const Args& a, const std::string& target) {
+  if (const auto id = service::ModelId::from_hex(target)) return *id;
+  return service::model_id(load_circuit(target), a.service_options());
+}
+
+void print_eval_reply(const Args& a, const service::EvalReply& r) {
+  const power::SupplyConfig supply{a.vdd};
+  std::cout << "workload: sp=" << a.sp << " st=" << a.st << " (" << a.vectors
+            << " vectors)\n";
+  std::cout << "average : " << r.average_ff << " fF/cycle = "
+            << supply.energy_fj(r.average_ff) << " fJ/cycle @ " << a.vdd
+            << " V\n";
+  std::cout << "peak    : " << r.peak_ff << " fF\n";
+  // Identical spelling to `cfpm estimate`'s exact line on purpose: the
+  // serve-smoke job diffs the two byte-for-byte.
+  std::cout << "exact   : total=" << format_double(r.total_ff)
+            << " average=" << format_double(r.average_ff)
+            << " peak=" << format_double(r.peak_ff) << "\n";
+  std::cout << "cache   : " << (r.cache_hit ? "hit" : "miss") << "\n";
+}
+
+int cmd_query(const Args& a) {
+  if (a.positional.empty() || a.socket.empty()) return usage();
+  const std::string& verb = a.positional[0];
+  serve::Client client(a.socket);
+
+  if (verb == "ping") {
+    if (a.positional.size() != 1) return usage();
+    std::cout << client.ping();
+    return kExitOk;
+  }
+  if (verb == "shutdown") {
+    if (a.positional.size() != 1) return usage();
+    client.shutdown_server();
+    std::cout << "server draining\n";
+    return kExitOk;
+  }
+  if (verb == "stats") {
+    if (a.positional.size() != 1) return usage();
+    const serve::wire::StatsReply s = client.stats();
+    std::cout << "models  : " << s.models << "\n"
+              << "hits    : " << s.hits << "\n"
+              << "misses  : " << s.misses << "\n"
+              << "builds  : " << s.builds << "\n";
+    for (const std::string& line : s.model_lines) {
+      std::cout << "  " << line << "\n";
+    }
+    return kExitOk;
+  }
+  if (verb == "build") {
+    if (a.positional.size() != 2) return usage();
+    const netlist::Netlist n = load_circuit(a.positional[1]);
+    const service::BuildReply reply =
+        client.build({service::kApiVersion, n, a.service_options()});
+    std::cout << "id      : " << reply.id.to_hex() << "\n"
+              << "model   : " << reply.model_nodes << " nodes\n"
+              << "cache   : " << (reply.cache_hit ? "hit" : "miss") << "\n";
+    return reply.status == service::StatusCode::kDegraded ? kExitDegraded
+                                                          : kExitOk;
+  }
+  if (verb == "eval") {
+    if (a.positional.size() != 2) return usage();
+    service::EvalRequest request;
+    request.statistics = {a.sp, a.st};
+    request.vectors = a.vectors;
+    print_eval_reply(a, client.evaluate(query_model_id(a, a.positional[1]),
+                                        request));
+    return kExitOk;
+  }
+  if (verb == "trace") {
+    // Explicit-trace query: the vectors are generated client-side (same
+    // seeded Markov recipe) and shipped over the wire, exercising the
+    // daemon's batched trace path. Needs the circuit spec for the input
+    // count; results match an eval query with the same parameters exactly.
+    if (a.positional.size() != 2) return usage();
+    const netlist::Netlist n = load_circuit(a.positional[1]);
+    if (!stats::feasible({a.sp, a.st})) {
+      throw Error("infeasible statistics: st must be <= 2*min(sp, 1-sp)");
+    }
+    stats::MarkovSequenceGenerator gen({a.sp, a.st}, 0xcf9e);
+    const auto seq = gen.generate(n.num_inputs(), a.vectors);
+    print_eval_reply(
+        a, client.evaluate_trace(
+               service::model_id(n, a.service_options()), seq));
+    return kExitOk;
+  }
+  std::cerr << "unknown query verb: " << verb << "\n";
+  return usage();
+}
+
 // Sentinel for "not a known command" (distinct from every exit code).
 constexpr int kCmdUnknown = -1;
 
@@ -701,6 +868,8 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "sensitivity") return cmd_sensitivity(args);
   if (cmd == "equiv") return cmd_equiv(args);
   if (cmd == "fuzz") return cmd_fuzz(args);
+  if (cmd == "serve") return cmd_serve(args);
+  if (cmd == "query") return cmd_query(args);
   return kCmdUnknown;
 }
 
@@ -743,17 +912,17 @@ int main(int argc, char** argv) {
   try {
     CFPM_TRACE_SPAN("cli");
     code = dispatch(cmd, *args);
-  } catch (const cfpm::Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    code = kExitError;
-  } catch (const std::bad_alloc&) {
-    // Distinct from generic failure so callers can react (retry with a
-    // smaller budget, reschedule on a bigger host, ...).
-    std::cerr << "error: out of memory\n";
-    code = kExitOom;
-  } catch (const std::exception& e) {
-    std::cerr << "internal error: " << e.what() << "\n";
-    code = kExitInternal;
+  } catch (...) {
+    // One classifier defines the whole exit-code taxonomy (service layer);
+    // daemon error payloads and local exceptions take the same path. An
+    // out-of-memory failure stays distinct so callers can react (retry
+    // with a smaller budget, reschedule on a bigger host, ...).
+    const service::ErrorPayload err =
+        service::classify(std::current_exception());
+    std::cerr << (err.code == service::StatusCode::kInternal ? "internal error: "
+                                                             : "error: ")
+              << err.message << "\n";
+    code = service::exit_code(err.code);
   }
   if (code == kCmdUnknown) {
     std::cerr << "unknown command: " << cmd << "\n";

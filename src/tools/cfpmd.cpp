@@ -1,0 +1,104 @@
+// cfpmd — standalone power-model server daemon.
+//
+//   cfpmd --socket /run/cfpm.sock [--persist DIR] [--threads N]
+//         [--build-threads N] [--deadline-ms N] [--quiet]
+//
+// Serves build/eval/trace/stats queries over a Unix-domain socket (see
+// src/serve/wire.hpp for the protocol and DESIGN.md §15 for the
+// architecture). The same server is reachable as `cfpm serve`; this thin
+// binary exists so deployments can ship the daemon without the full CLI.
+//
+// Exit codes extend the cfpm taxonomy: 0 clean shutdown (client-requested
+// drain), 1 runtime error, 2 usage, 4 out of memory, 5 internal error,
+// 6 clean drain initiated by SIGINT/SIGTERM.
+#include <exception>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "support/parse.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: cfpmd --socket PATH [--persist DIR] [--threads N]\n"
+               "             [--build-threads N] [--deadline-ms N] [--quiet]\n"
+               "\n"
+               "--socket PATH        Unix-domain socket to listen on (required)\n"
+               "--persist DIR        registry warm-start directory (load on\n"
+               "                     boot, save on clean shutdown)\n"
+               "--threads N          eval pool lanes (0 = hardware)\n"
+               "--build-threads N    build pool lanes (0 = hardware)\n"
+               "--deadline-ms N      default governor deadline for build\n"
+               "                     requests that carry none\n"
+               "--quiet              suppress progress logging\n"
+               "\n"
+               "exit codes: 0 clean shutdown, 1 error, 2 usage, 4 out of\n"
+               "memory, 5 internal error, 6 shutdown by SIGINT/SIGTERM.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cfpm;
+  serve::ServerOptions options;
+  options.log = &std::cerr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << "\n";
+        return std::nullopt;
+      }
+      return std::string(argv[++i]);
+    };
+    auto number = [&](std::size_t& out) {
+      const auto v = value();
+      if (!v) return false;
+      const auto parsed = parse_number<std::size_t>(*v);
+      if (!parsed) {
+        std::cerr << "invalid value for " << flag << ": '" << *v << "'\n";
+        return false;
+      }
+      out = *parsed;
+      return true;
+    };
+    bool ok = true;
+    if (flag == "--socket") {
+      const auto v = value();
+      ok = v.has_value();
+      if (ok) options.socket_path = *v;
+    } else if (flag == "--persist") {
+      const auto v = value();
+      ok = v.has_value();
+      if (ok) options.persist_dir = *v;
+    } else if (flag == "--threads") {
+      ok = number(options.eval_threads);
+    } else if (flag == "--build-threads") {
+      ok = number(options.build_pool_threads);
+    } else if (flag == "--deadline-ms") {
+      ok = number(options.default_deadline_ms);
+    } else if (flag == "--quiet") {
+      options.log = nullptr;
+    } else {
+      std::cerr << "unknown option: " << flag << "\n";
+      ok = false;
+    }
+    if (!ok) return usage();
+  }
+  if (options.socket_path.empty()) return usage();
+
+  try {
+    serve::Server server(std::move(options));
+    return serve::run_with_signal_handling(server);
+  } catch (...) {
+    const auto err = service::classify(std::current_exception());
+    std::cerr << (err.code == service::StatusCode::kInternal ? "internal error: "
+                                                             : "error: ")
+              << err.message << "\n";
+    return service::exit_code(err.code);
+  }
+}

@@ -39,7 +39,8 @@ std::string hex_seed(std::uint64_t seed) {
 constexpr const char* kFaultSites[] = {
     "dd.allocate_node", "threadpool.task",    "threadpool.spawn",
     "power.cone.build", "power.cone.merge",   "dd.serialize.write",
-    "dd.serialize.read",
+    "dd.serialize.read", "serve.accept",      "serve.build",
+    "serve.persist",
 };
 
 /// Deterministic per-iteration fault plan: 1-2 sites, a random action, a

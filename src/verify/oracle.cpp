@@ -1,12 +1,18 @@
 #include "verify/oracle.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstddef>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -17,6 +23,11 @@
 #include "dd/simd.hpp"
 #include "netlist/library.hpp"
 #include "power/add_model.hpp"
+#include "power/factory.hpp"
+#include "serve/client.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
 #include "sim/simulator.hpp"
 #include "stats/markov.hpp"
 #include "support/error.hpp"
@@ -83,6 +94,27 @@ power::AddModelOptions sampled_options(Xoshiro256& rng, std::size_t max_nodes,
   return opt;
 }
 
+/// Every oracle build goes through the cfpm::service facade — the entry
+/// point the CLI and the daemon share — so the differential checks exercise
+/// the production construction path, not a parallel one. The sampled mode
+/// selects the ModelKind (the factory forces add.mode back from it).
+std::shared_ptr<const power::AddPowerModel> build_add(
+    const Netlist& n, const power::AddModelOptions& opt) {
+  power::ModelOptions options;
+  options.add = opt;
+  options.library = lib();
+  const power::ModelKind kind = opt.mode == dd::ApproxMode::kUpperBound
+                                    ? power::ModelKind::kAddUpperBound
+                                    : power::ModelKind::kAddAverage;
+  const service::BuildReply reply = service::build(n, kind, options);
+  auto add =
+      std::dynamic_pointer_cast<const power::AddPowerModel>(reply.model);
+  if (add == nullptr) {
+    throw Error("service::build returned a non-ADD model for an ADD kind");
+  }
+  return add;
+}
+
 // ---------------------------------------------------------------------------
 // (a) Eq. 4 exactness: the exact ADD model against golden simulation.
 // ---------------------------------------------------------------------------
@@ -91,7 +123,7 @@ CheckResult check_model_vs_sim(const Netlist& n, const CheckContext& ctx) {
   Xoshiro256 rng = check_rng(ctx.seed, 0xa001u);
   const auto opt =
       sampled_options(rng, /*max_nodes=*/0, dd::ApproxMode::kAverage, ctx);
-  const auto model = power::AddPowerModel::build(n, lib(), opt);
+  const auto model = build_add(n, opt);
   const sim::GateLevelSimulator golden(n, lib());
 
   const std::size_t inputs = n.num_inputs();
@@ -111,7 +143,7 @@ CheckResult check_model_vs_sim(const Netlist& n, const CheckContext& ctx) {
     } else {
       fill_random_bits(rng, xf);
     }
-    const double m = model.estimate_ff(xi, xf);
+    const double m = model->estimate_ff(xi, xf);
     const double g = golden.switching_capacitance_ff(xi, xf);
     if (!close(m, g, 1e-9)) {
       return fail("Eq.4 exactness violated: model=" + format_double(m) +
@@ -122,8 +154,8 @@ CheckResult check_model_vs_sim(const Netlist& n, const CheckContext& ctx) {
 
   // The worst-case witness of an exact model must be attained by the
   // simulator — the ADD max and a real transition's capacitance agree.
-  const auto w = model.worst_case_transition();
-  const double wm = model.worst_case_ff();
+  const auto w = model->worst_case_transition();
+  const double wm = model->worst_case_ff();
   const double wg = golden.switching_capacitance_ff(w.xi, w.xf);
   if (!close(wm, wg, 1e-9)) {
     return fail("worst-case witness mismatch: model max=" + format_double(wm) +
@@ -143,9 +175,8 @@ CheckResult check_compiled_vs_interp(const Netlist& n,
   const std::size_t max_nodes = rng.next_bool(0.5) ? 0 : 16 + rng.next_below(256);
   const dd::ApproxMode mode = rng.next_bool(0.5) ? dd::ApproxMode::kAverage
                                                  : dd::ApproxMode::kUpperBound;
-  const auto model =
-      power::AddPowerModel::build(n, lib(), sampled_options(rng, max_nodes, mode, ctx));
-  const dd::Add& f = model.function();
+  const auto model = build_add(n, sampled_options(rng, max_nodes, mode, ctx));
+  const dd::Add& f = model->function();
   const dd::CompiledDd c = dd::CompiledDd::compile(f);
   // A second, structurally different diagram compiled from the same
   // manager: interleaving evaluations of the two through ONE scratch
@@ -254,9 +285,9 @@ CheckResult check_compiled_vs_interp(const Netlist& n,
 
 CheckResult check_collapse_avg(const Netlist& n, const CheckContext& ctx) {
   Xoshiro256 rng = check_rng(ctx.seed, 0xc003u);
-  const auto model = power::AddPowerModel::build(
-      n, lib(), sampled_options(rng, /*max_nodes=*/0, dd::ApproxMode::kAverage, ctx));
-  const dd::Add& f = model.function();
+  const auto model = build_add(
+      n, sampled_options(rng, /*max_nodes=*/0, dd::ApproxMode::kAverage, ctx));
+  const dd::Add& f = model->function();
   const double exact_avg = f.average();
 
   const std::size_t budgets[] = {1, 3 + rng.next_below(12),
@@ -284,9 +315,9 @@ CheckResult check_collapse_avg(const Netlist& n, const CheckContext& ctx) {
 
 CheckResult check_collapse_max(const Netlist& n, const CheckContext& ctx) {
   Xoshiro256 rng = check_rng(ctx.seed, 0xd004u);
-  const auto model = power::AddPowerModel::build(
-      n, lib(), sampled_options(rng, /*max_nodes=*/0, dd::ApproxMode::kAverage, ctx));
-  const dd::Add& f = model.function();
+  const auto model = build_add(
+      n, sampled_options(rng, /*max_nodes=*/0, dd::ApproxMode::kAverage, ctx));
+  const dd::Add& f = model->function();
   const std::size_t nvars = 2 * n.num_inputs();
 
   const std::size_t budgets[] = {1, 3 + rng.next_below(12),
@@ -337,9 +368,8 @@ CheckResult check_serialize_roundtrip(const Netlist& n,
   const std::size_t max_nodes = rng.next_bool(0.5) ? 0 : 12 + rng.next_below(128);
   const dd::ApproxMode mode = rng.next_bool(0.5) ? dd::ApproxMode::kAverage
                                                  : dd::ApproxMode::kUpperBound;
-  const auto model =
-      power::AddPowerModel::build(n, lib(), sampled_options(rng, max_nodes, mode, ctx));
-  const dd::Add& f = model.function();
+  const auto model = build_add(n, sampled_options(rng, max_nodes, mode, ctx));
+  const dd::Add& f = model->function();
   const std::size_t nvars = 2 * n.num_inputs();
 
   std::stringstream ss;
@@ -395,9 +425,9 @@ CheckResult check_sift_equivalence(const Netlist& n, const CheckContext& ctx) {
   const std::size_t max_nodes = rng.next_bool(0.5) ? 0 : 12 + rng.next_below(128);
   // reorder_passes intentionally sampled inside sampled_options: sifting on
   // top of an already-sifted build is a valid (and stressful) scenario.
-  const auto model = power::AddPowerModel::build(
-      n, lib(), sampled_options(rng, max_nodes, dd::ApproxMode::kAverage, ctx));
-  const dd::Add& f = model.function();
+  const auto model = build_add(
+      n, sampled_options(rng, max_nodes, dd::ApproxMode::kAverage, ctx));
+  const dd::Add& f = model->function();
   const std::size_t nvars = 2 * n.num_inputs();
 
   // The compiled snapshot taken before the reorder must stay valid: it
@@ -441,8 +471,8 @@ CheckResult check_sift_equivalence(const Netlist& n, const CheckContext& ctx) {
 CheckResult check_trace_threads(const Netlist& n, const CheckContext& ctx) {
   Xoshiro256 rng = check_rng(ctx.seed, 0xa707u);
   const std::size_t max_nodes = rng.next_bool(0.5) ? 0 : 16 + rng.next_below(256);
-  const auto model = power::AddPowerModel::build(
-      n, lib(), sampled_options(rng, max_nodes, dd::ApproxMode::kAverage, ctx));
+  const auto model = build_add(
+      n, sampled_options(rng, max_nodes, dd::ApproxMode::kAverage, ctx));
 
   const double sp = 0.15 + 0.7 * rng.next_double();
   const double st_max = 2.0 * std::min(sp, 1.0 - sp);
@@ -453,7 +483,7 @@ CheckResult check_trace_threads(const Netlist& n, const CheckContext& ctx) {
   const std::size_t length = 200 + rng.next_below(1100);
   const sim::InputSequence seq = gen.generate(n.num_inputs(), length);
 
-  const power::TraceEstimate base = model.estimate_trace(seq, nullptr);
+  const power::TraceEstimate base = model->estimate_trace(seq, nullptr);
 
   // Independent scalar oracle (single chunk, so accumulation order matches).
   if (seq.num_transitions() <= power::PowerModel::kTraceChunk) {
@@ -462,7 +492,7 @@ CheckResult check_trace_threads(const Netlist& n, const CheckContext& ctx) {
     for (std::size_t t = 0; t + 1 < seq.length(); ++t) {
       seq.vector_at(t, xi);
       seq.vector_at(t + 1, xf);
-      const double v = model.estimate_ff(xi, xf);
+      const double v = model->estimate_ff(xi, xf);
       total += v;
       peak = std::max(peak, v);
     }
@@ -477,7 +507,7 @@ CheckResult check_trace_threads(const Netlist& n, const CheckContext& ctx) {
   const std::size_t thread_counts[] = {1, 2, 3 + rng.next_below(6)};
   for (const std::size_t t : thread_counts) {
     ThreadPool pool(t);
-    const power::TraceEstimate est = model.estimate_trace(seq, &pool);
+    const power::TraceEstimate est = model->estimate_trace(seq, &pool);
     if (est.total_ff != base.total_ff || est.peak_ff != base.peak_ff ||
         est.transitions != base.transitions) {
       return fail("estimate_trace not bit-identical with " +
@@ -506,10 +536,9 @@ CheckResult check_simd_dispatch(const Netlist& n, const CheckContext& ctx) {
       rng.next_bool(0.5) ? 0 : 16 + rng.next_below(256);
   const dd::ApproxMode mode = rng.next_bool(0.5) ? dd::ApproxMode::kAverage
                                                  : dd::ApproxMode::kUpperBound;
-  const auto model = power::AddPowerModel::build(
-      n, lib(), sampled_options(rng, max_nodes, mode, ctx));
-  const dd::CompiledDd& c = model.compiled();
-  const dd::Add& f = model.function();
+  const auto model = build_add(n, sampled_options(rng, max_nodes, mode, ctx));
+  const dd::CompiledDd& c = model->compiled();
+  const dd::Add& f = model->function();
   const std::size_t nvars = 2 * n.num_inputs();
 
   constexpr std::size_t kGroups = dd::CompiledDd::kPackedGroups;
@@ -577,21 +606,21 @@ CheckResult check_parallel_build(const Netlist& n, const CheckContext& ctx) {
                                     : dd::ApproxMode::kUpperBound;
     auto opt = sampled_options(rng, max_nodes, mode, ctx);
     opt.build_threads = 2;
-    const auto a2 = power::AddPowerModel::build(n, lib(), opt);
+    const auto a2 = build_add(n, opt);
     opt.build_threads = 3 + rng.next_below(6);
-    const auto ak = power::AddPowerModel::build(n, lib(), opt);
-    if (a2.size() != ak.size()) {
+    const auto ak = build_add(n, opt);
+    if (a2->size() != ak->size()) {
       return fail("parallel build not thread-count-independent: " +
-                  std::to_string(a2.size()) + " nodes at 2 threads vs " +
-                  std::to_string(ak.size()) + " at " +
+                  std::to_string(a2->size()) + " nodes at 2 threads vs " +
+                  std::to_string(ak->size()) + " at " +
                   std::to_string(opt.build_threads));
     }
     std::vector<std::uint8_t> xi(n.num_inputs()), xf(n.num_inputs());
     for (std::size_t p = 0; p < ctx.patterns; ++p) {
       fill_random_bits(rng, xi);
       fill_random_bits(rng, xf);
-      const double v2 = a2.estimate_ff(xi, xf);
-      const double vk = ak.estimate_ff(xi, xf);
+      const double v2 = a2->estimate_ff(xi, xf);
+      const double vk = ak->estimate_ff(xi, xf);
       if (v2 != vk) {  // bit-identical, not merely close
         return fail("parallel build not thread-count-independent: " +
                     format_double(v2) + " at 2 threads vs " +
@@ -609,14 +638,14 @@ CheckResult check_parallel_build(const Netlist& n, const CheckContext& ctx) {
     auto opt = sampled_options(rng, /*max_nodes=*/0,
                                dd::ApproxMode::kAverage, ctx);
     opt.build_threads = 1;
-    const auto serial = power::AddPowerModel::build(n, lib(), opt);
+    const auto serial = build_add(n, opt);
     opt.build_threads = 2 + rng.next_below(6);
-    const auto parallel = power::AddPowerModel::build(n, lib(), opt);
+    const auto parallel = build_add(n, opt);
     std::vector<std::uint8_t> a(nvars);
     for (std::size_t p = 0; p < ctx.patterns; ++p) {
       fill_random_bits(rng, a);
-      const double s = serial.function().eval(a);
-      const double q = parallel.function().eval(a);
+      const double s = serial->function().eval(a);
+      const double q = parallel->function().eval(a);
       if (s != q) {
         return fail("exact parallel build diverges from serial: " +
                     format_double(q) + " vs " + format_double(s) + " with " +
@@ -624,11 +653,193 @@ CheckResult check_parallel_build(const Netlist& n, const CheckContext& ctx) {
                     " threads on assignment " + bits_string(a));
       }
     }
-    if (serial.function().average() != parallel.function().average()) {
+    if (serial->function().average() != parallel->function().average()) {
       return fail("exact parallel build changed the average: " +
-                  format_double(parallel.function().average()) + " vs " +
-                  format_double(serial.function().average()));
+                  format_double(parallel->function().average()) + " vs " +
+                  format_double(serial->function().average()));
     }
+  }
+  return pass();
+}
+
+// ---------------------------------------------------------------------------
+// (h) Daemon round-trip: cfpmd replies are bit-identical to the in-process
+//     service facade, and the registry persisted on shutdown serves the
+//     same bits after a warm restart.
+// ---------------------------------------------------------------------------
+
+/// In-process daemon for one check run: a unique socket and persist
+/// directory under the system temp dir, with the server thread joined and
+/// the files removed on every exit path.
+struct ScopedServer {
+  std::string socket_path;
+  std::string persist_dir;
+  std::unique_ptr<serve::Server> server;
+  std::thread thread;
+  int exit_code = -1;
+
+  explicit ScopedServer(std::uint64_t tag) {
+    const std::string base =
+        (std::filesystem::temp_directory_path() /
+         ("cfpm-oracle-" + std::to_string(::getpid()) + "-" +
+          std::to_string(tag)))
+            .string();
+    socket_path = base + ".sock";
+    persist_dir = base + ".reg";
+    serve::ServerOptions options;
+    options.socket_path = socket_path;
+    options.persist_dir = persist_dir;
+    options.eval_threads = 1;
+    // Serial builds on both sides keep construction bit-identical to the
+    // in-process reference regardless of host core count.
+    options.build_pool_threads = 1;
+    server = std::make_unique<serve::Server>(std::move(options));
+    thread = std::thread([this] { exit_code = server->run(); });
+  }
+
+  void join() {
+    if (thread.joinable()) thread.join();
+  }
+
+  ~ScopedServer() {
+    server->request_shutdown(false);
+    join();
+    std::error_code ec;
+    std::filesystem::remove(socket_path, ec);
+    std::filesystem::remove_all(persist_dir, ec);
+  }
+};
+
+/// The server thread binds asynchronously; retry the connect briefly.
+serve::Client connect_with_retry(const std::string& socket_path) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return serve::Client(socket_path);
+    } catch (const IoError&) {
+      if (attempt >= 400) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+}
+
+CheckResult check_serve_roundtrip(const Netlist& n, const CheckContext& ctx) {
+  Xoshiro256 rng = check_rng(ctx.seed, 0xda0b0au);
+
+  // Sampled request with the wire-shape option subset; degrade off so the
+  // daemon must serve exactly the model the options ask for, serial build
+  // on both sides for bit-identical construction.
+  service::BuildRequest request;
+  request.netlist = n;
+  service::BuildOptions& b = request.options;
+  b.kind = rng.next_bool(0.5) ? power::ModelKind::kAddAverage
+                              : power::ModelKind::kAddUpperBound;
+  b.max_nodes = rng.next_bool(0.5) ? 0 : 16 + rng.next_below(256);
+  b.order = rng.next_bool(0.5) ? power::VariableOrder::kInterleaved
+                               : power::VariableOrder::kBlocked;
+  b.reorder_passes = static_cast<unsigned>(rng.next_below(3));
+  b.approximate_during_construction = rng.next_bool(0.8);
+  b.degrade = false;
+  b.build_threads = 1;
+
+  service::EvalRequest eval;
+  const double sp = 0.15 + 0.7 * rng.next_double();
+  const double st_max = 2.0 * std::min(sp, 1.0 - sp);
+  eval.statistics = {sp, st_max * (0.1 + 0.85 * rng.next_double())};
+  eval.vectors = 100 + rng.next_below(400);
+  eval.seed = rng.next();
+
+  stats::MarkovSequenceGenerator gen(eval.statistics, rng.next());
+  const sim::InputSequence trace =
+      gen.generate(n.num_inputs(), 50 + rng.next_below(200));
+
+  // In-process reference through the same facade the daemon executes.
+  const service::BuildReply local_build = service::build(request);
+  const service::EvalReply local = service::evaluate(*local_build.model, eval);
+  const service::EvalReply local_trace =
+      service::evaluate_trace(*local_build.model, trace);
+
+  const std::uint64_t persist_failures_before =
+      metrics::snapshot().counter("serve.persist.error") +
+      metrics::snapshot().counter("serve.persist.rejected");
+
+  static std::atomic<std::uint64_t> next_tag{0};
+  ScopedServer daemon(next_tag.fetch_add(1));
+  serve::Client client = connect_with_retry(daemon.socket_path);
+
+  const service::BuildReply remote_build = client.build(request);
+  if (remote_build.id != local_build.id) {
+    return fail("daemon content id " + remote_build.id.to_hex() +
+                " differs from the in-process id " + local_build.id.to_hex());
+  }
+  if (remote_build.status != local_build.status ||
+      remote_build.model_nodes != local_build.model_nodes) {
+    return fail("daemon build summary differs: status " +
+                std::to_string(static_cast<unsigned>(remote_build.status)) +
+                "/" + std::to_string(remote_build.model_nodes) +
+                " nodes vs in-process " +
+                std::to_string(static_cast<unsigned>(local_build.status)) +
+                "/" + std::to_string(local_build.model_nodes));
+  }
+
+  const service::EvalReply remote = client.evaluate(remote_build.id, eval);
+  if (remote.total_ff != local.total_ff ||
+      remote.average_ff != local.average_ff ||
+      remote.peak_ff != local.peak_ff ||
+      remote.transitions != local.transitions) {
+    return fail("daemon (sp,st) eval not bit-identical: total " +
+                format_double(remote.total_ff) + " vs " +
+                format_double(local.total_ff) + ", peak " +
+                format_double(remote.peak_ff) + " vs " +
+                format_double(local.peak_ff));
+  }
+
+  const service::EvalReply remote_trace =
+      client.evaluate_trace(remote_build.id, trace);
+  if (remote_trace.total_ff != local_trace.total_ff ||
+      remote_trace.peak_ff != local_trace.peak_ff ||
+      remote_trace.transitions != local_trace.transitions) {
+    return fail("daemon trace eval not bit-identical: total " +
+                format_double(remote_trace.total_ff) + " vs " +
+                format_double(local_trace.total_ff) + ", peak " +
+                format_double(remote_trace.peak_ff) + " vs " +
+                format_double(local_trace.peak_ff));
+  }
+
+  // Clean client-requested drain persists the registry and exits 0.
+  client.shutdown_server();
+  daemon.join();
+  if (daemon.exit_code != serve::Server::kExitOk) {
+    return fail("daemon exited " + std::to_string(daemon.exit_code) +
+                " after a client shutdown request (want 0)");
+  }
+
+  // Warm restart: a fresh registry loaded from the persisted snapshot must
+  // serve the same bits. A clean non-degraded ADD build is always admitted
+  // and persisted; a failed persist is by design non-fatal server-side
+  // (counted, logged, cold restart) — tolerate it only when the metrics
+  // prove the failure was observed (the fault campaign arms serve.persist).
+  serve::Registry registry;
+  const std::size_t loaded = registry.load(daemon.persist_dir);
+  if (loaded == 0) {
+    const std::uint64_t persist_failures =
+        metrics::snapshot().counter("serve.persist.error") +
+        metrics::snapshot().counter("serve.persist.rejected") -
+        persist_failures_before;
+    if (!metrics::compiled_in() || persist_failures > 0) return pass();
+    return fail("persisted registry empty after a clean shutdown");
+  }
+  const auto reloaded = registry.lookup(local_build.id);
+  if (reloaded == nullptr) {
+    return fail("reloaded registry does not resolve id " +
+                local_build.id.to_hex());
+  }
+  const service::EvalReply warm = service::evaluate(*reloaded, eval);
+  if (warm.total_ff != local.total_ff || warm.peak_ff != local.peak_ff) {
+    return fail("warm-restarted model not bit-identical: total " +
+                format_double(warm.total_ff) + " vs " +
+                format_double(local.total_ff) + ", peak " +
+                format_double(warm.peak_ff) + " vs " +
+                format_double(local.peak_ff));
   }
   return pass();
 }
@@ -671,6 +882,11 @@ constexpr Check kChecks[] = {
      "cone-parallel construction is bit-identical across thread counts and "
      "equals the serial Fig. 6 loop exactly for exact builds",
      check_parallel_build},
+    {"serve-roundtrip",
+     "cfpmd build/eval/trace replies over the wire are bit-identical to the "
+     "in-process service facade, and the registry persisted on shutdown "
+     "serves the same bits after a warm restart",
+     check_serve_roundtrip},
 };
 
 struct CheckCounters {

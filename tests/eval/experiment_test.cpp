@@ -31,10 +31,20 @@ struct Fixture {
   }();
 };
 
+/// Single-model convenience over the one remaining (span) entry point.
+AccuracyReport evaluate_one(const power::PowerModel& model,
+                            const Reference& golden,
+                            std::span<const stats::InputStatistics> grid,
+                            const EvalOptions& options) {
+  const power::PowerModel* ptr = &model;
+  return evaluate(std::span(&ptr, 1), golden, grid, options)[0];
+}
+
 TEST(Experiment, ExactModelHasZeroError) {
   Fixture f;
   const std::vector<stats::InputStatistics> grid = {{0.5, 0.5}, {0.5, 0.1}};
-  const AccuracyReport report = evaluate(f.exact, f.golden, grid, f.options);
+  const AccuracyReport report =
+      evaluate_one(f.exact, f.golden, grid, f.options);
   EXPECT_EQ(report.points.size(), 2u);
   EXPECT_EQ(report.evaluated_points, 2u);
   EXPECT_NEAR(report.are, 0.0, 1e-12);
@@ -47,7 +57,7 @@ TEST(Experiment, ConstantModelErrorMatchesHandComputation) {
   Fixture f;
   const power::ConstantModel con(100.0, f.n.num_inputs());
   const std::vector<stats::InputStatistics> grid = {{0.5, 0.5}};
-  const AccuracyReport report = evaluate(con, f.golden, grid, f.options);
+  const AccuracyReport report = evaluate_one(con, f.golden, grid, f.options);
   const AccuracyPoint& p = report.points.at(0);
   EXPECT_DOUBLE_EQ(p.model, 100.0);
   EXPECT_NEAR(p.re, std::abs(100.0 - p.golden) / p.golden, 1e-12);
@@ -90,8 +100,8 @@ TEST(Experiment, BoundMetricKeepsSign) {
 TEST(Experiment, DeterministicForFixedSeed) {
   Fixture f;
   const std::vector<stats::InputStatistics> grid = {{0.5, 0.4}};
-  const AccuracyReport a = evaluate(f.exact, f.golden, grid, f.options);
-  const AccuracyReport b = evaluate(f.exact, f.golden, grid, f.options);
+  const AccuracyReport a = evaluate_one(f.exact, f.golden, grid, f.options);
+  const AccuracyReport b = evaluate_one(f.exact, f.golden, grid, f.options);
   EXPECT_DOUBLE_EQ(a.points[0].golden, b.points[0].golden);
 }
 
@@ -103,8 +113,8 @@ TEST(Experiment, ExplicitReferenceFnMatchesSimulatorReference) {
   const Reference by_fn(f.n.num_inputs(), [&](const sim::InputSequence& seq) {
     return f.golden.simulate(seq);
   });
-  const AccuracyReport a = evaluate(f.exact, f.golden, grid, f.options);
-  const AccuracyReport b = evaluate(f.exact, by_fn, grid, f.options);
+  const AccuracyReport a = evaluate_one(f.exact, f.golden, grid, f.options);
+  const AccuracyReport b = evaluate_one(f.exact, by_fn, grid, f.options);
   EXPECT_DOUBLE_EQ(a.points[0].golden, b.points[0].golden);
   EXPECT_DOUBLE_EQ(a.points[0].model, b.points[0].model);
 }

@@ -33,7 +33,9 @@ TEST(Observability, PipelineLeavesCountersInEverySubsystem) {
   eval::EvalOptions options;
   options.run.vectors_per_run = 200;
   const std::vector<stats::InputStatistics> grid = {{0.5, 0.5}, {0.5, 0.2}};
-  const auto report = eval::evaluate(model, golden, grid, options);
+  const power::PowerModel* model_ptr = &model;
+  const auto report =
+      eval::evaluate(std::span(&model_ptr, 1), golden, grid, options)[0];
   EXPECT_EQ(report.evaluated_points, grid.size());
 
   const metrics::Snapshot s = metrics::snapshot();
@@ -72,7 +74,8 @@ TEST(Observability, PhaseSpansCoverBuildAndEvaluation) {
   eval::EvalOptions options;
   options.run.vectors_per_run = 100;
   const std::vector<stats::InputStatistics> grid = {{0.5, 0.5}};
-  (void)eval::evaluate(model, golden, grid, options);
+  const power::PowerModel* model_ptr = &model;
+  (void)eval::evaluate(std::span(&model_ptr, 1), golden, grid, options);
 
   trace::set_enabled(false);
   std::ostringstream os;

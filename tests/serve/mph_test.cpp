@@ -1,0 +1,93 @@
+// Minimal-perfect-hash invariants: the registry index must map every
+// admitted key to a unique slot in [0, n) (perfect and minimal), rebuild
+// deterministically, and reject duplicate keys loudly.
+#include "serve/mph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace cfpm::serve {
+namespace {
+
+std::vector<std::uint64_t> random_keys(std::size_t n, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(n);
+  while (keys.size() < n) {
+    const std::uint64_t k = rng.next();
+    if (std::find(keys.begin(), keys.end(), k) == keys.end()) keys.push_back(k);
+  }
+  return keys;
+}
+
+void expect_perfect_and_minimal(const Mph& mph,
+                                std::span<const std::uint64_t> keys) {
+  ASSERT_EQ(mph.size(), keys.size());
+  std::vector<bool> seen(keys.size(), false);
+  for (const std::uint64_t k : keys) {
+    const std::size_t slot = mph.slot_of(k);
+    ASSERT_LT(slot, keys.size());
+    EXPECT_FALSE(seen[slot]) << "two keys share slot " << slot;
+    seen[slot] = true;
+  }
+}
+
+TEST(Mph, EmptyHashHasNoSlots) {
+  const Mph mph;
+  EXPECT_EQ(mph.size(), 0u);
+  EXPECT_EQ(mph.slot_of(42), 0u);  // documented arbitrary value, no crash
+}
+
+TEST(Mph, SingleKey) {
+  const std::uint64_t key = 0xdeadbeefcafef00dull;
+  const Mph mph = Mph::build(std::span(&key, 1));
+  EXPECT_EQ(mph.size(), 1u);
+  EXPECT_EQ(mph.slot_of(key), 0u);
+}
+
+TEST(Mph, PerfectAndMinimalAcrossSizes) {
+  for (const std::size_t n : {2u, 3u, 7u, 17u, 64u, 257u, 1000u}) {
+    const auto keys = random_keys(n, 0x1234 + n);
+    expect_perfect_and_minimal(Mph::build(keys), keys);
+  }
+}
+
+TEST(Mph, AdversarialKeyShapes) {
+  // Sequential and high-bit-only keys stress the bucket hash more than
+  // uniform random ones do.
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 200; ++i) keys.push_back(i);
+  for (std::uint64_t i = 0; i < 100; ++i) keys.push_back((i + 1) << 56);
+  expect_perfect_and_minimal(Mph::build(keys), keys);
+}
+
+TEST(Mph, DeterministicRebuild) {
+  const auto keys = random_keys(300, 0xabcdef);
+  const Mph a = Mph::build(keys);
+  const Mph b = Mph::build(keys);
+  for (const std::uint64_t k : keys) {
+    EXPECT_EQ(a.slot_of(k), b.slot_of(k));
+  }
+}
+
+TEST(Mph, DuplicateKeysRejected) {
+  const std::vector<std::uint64_t> keys = {1, 2, 3, 2};
+  EXPECT_THROW(Mph::build(keys), ContractError);
+}
+
+TEST(Mph, NonMemberKeysStayInRange) {
+  const auto keys = random_keys(64, 0x777);
+  const Mph mph = Mph::build(keys);
+  SplitMix64 rng(0x888);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(mph.slot_of(rng.next()), mph.size());
+  }
+}
+
+}  // namespace
+}  // namespace cfpm::serve

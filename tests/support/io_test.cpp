@@ -33,7 +33,11 @@ class AtomicWrite : public ::testing::Test {
  protected:
   void SetUp() override {
     failpoint::disarm_all();
-    path_ = ::testing::TempDir() + "/atomic_write_test.txt";
+    // Unique per test: ctest -j runs each TEST_F as its own process, and
+    // concurrent tests sharing one path delete it under each other.
+    path_ = ::testing::TempDir() + "/atomic_write_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".txt";
     std::remove(path_.c_str());
     std::remove((path_ + ".tmp").c_str());
   }
