@@ -1,0 +1,155 @@
+// Chip composition benchmark: streaming trace evaluation of composed
+// chips at 1/2/4/8 shards, emitted machine-readably to
+// BENCH_chip_compose.json.
+//
+// The chip evaluator shards fixed 1024-transition chunks across a thread
+// pool and reduces per-chunk partials in chunk order, so the totals are
+// bit-identical at every shard count — that is the FATAL gate here, the
+// same contract the chip-smoke CI job checks end to end through the CLI.
+// Speedup is reported per machine (hardware_concurrency says how many
+// cores the numbers were taken on; on a single-core host every row
+// degenerates to serial timing).
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "chip/chip.hpp"
+#include "chip/evaluator.hpp"
+#include "eval/table.hpp"
+#include "support/io.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace cfpm;
+
+struct Result {
+  std::size_t shards = 1;
+  double seconds = 0.0;  // best observed evaluation of the full trace
+  double total_ff = 0.0;
+  double peak_ff = 0.0;
+};
+
+struct ChipReport {
+  std::string spec;
+  std::size_t macros = 0;
+  std::size_t blocks = 0;
+  std::size_t depth = 0;
+  std::size_t bus_bits = 0;
+  std::size_t transitions = 0;
+  std::vector<Result> results;
+};
+
+ChipReport run_chip(const std::string& spec_text, std::size_t vectors) {
+  const chip::ChipSpec spec = chip::ChipSpec::parse(spec_text);
+  const chip::Chip c = chip::build_chip(spec);
+
+  stats::MarkovSequenceGenerator gen({0.5, 0.5}, 0xcf9e);
+  const sim::InputSequence trace = gen.generate(c.bus_width(), vectors);
+
+  ChipReport rep;
+  rep.spec = spec.to_string();
+  rep.macros = c.num_macros();
+  rep.blocks = spec.blocks;
+  rep.depth = c.depth();
+  rep.bus_bits = c.bus_width();
+  rep.transitions = trace.num_transitions();
+
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(shards);
+    Result r;
+    r.shards = shards;
+    double best = 1e300;
+    double elapsed = 0.0;
+    std::size_t passes = 0;
+    while ((elapsed < 1.0 && passes < 50) || passes < 5) {
+      Timer timer;
+      const chip::ChipTraceResult est =
+          chip::evaluate_trace(c.avg_design(), trace, &pool);
+      const double t = timer.seconds();
+      best = std::min(best, t);
+      elapsed += t;
+      ++passes;
+      r.total_ff = est.total_ff;
+      r.peak_ff = est.peak_ff;
+    }
+    r.seconds = best;
+    rep.results.push_back(r);
+  }
+
+  // Correctness gate: shard count must not change a single bit of the
+  // result (fixed chunk boundaries + ordered reduction).
+  for (std::size_t i = 1; i < rep.results.size(); ++i) {
+    if (rep.results[i].total_ff != rep.results[0].total_ff ||
+        rep.results[i].peak_ff != rep.results[0].peak_ff) {
+      std::cerr << "FATAL: shard count changed the result on " << rep.spec
+                << "\n";
+      std::exit(1);
+    }
+  }
+  return rep;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t vectors = bench::env_vectors(20000);
+  const std::vector<std::string> specs = {"2x3x12", "4x6x16", "8x6x16"};
+
+  std::vector<ChipReport> reports;
+  for (const std::string& spec : specs) {
+    reports.push_back(run_chip(spec, vectors));
+  }
+
+  for (const ChipReport& rep : reports) {
+    const double serial = rep.results[0].seconds;
+    std::cout << "\nchip compose: " << rep.spec << " (" << rep.macros
+              << " macros, " << rep.bus_bits << "-bit bus, "
+              << rep.transitions << " transitions)\n";
+    eval::TextTable table({"shards", "ms/trace", "speedup", "total fF"});
+    for (const Result& r : rep.results) {
+      table.add_row({std::to_string(r.shards),
+                     eval::TextTable::num(1e3 * r.seconds, 3),
+                     eval::TextTable::num(serial / r.seconds, 2),
+                     eval::TextTable::num(r.total_ff, 0)});
+    }
+    table.print(std::cout);
+  }
+
+  // Atomic write: a crashed or interrupted run never leaves a truncated
+  // JSON where the dashboard expects a complete one.
+  atomic_write_file("BENCH_chip_compose.json", [&](std::ostream& out) {
+    char buf[64];
+    out << "{\n";
+    out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+        << ",\n";
+    out << "  \"chips\": [\n";
+    for (std::size_t c = 0; c < reports.size(); ++c) {
+      const ChipReport& rep = reports[c];
+      const double serial = rep.results[0].seconds;
+      out << "    {\"spec\": \"" << rep.spec << "\", \"macros\": " << rep.macros
+          << ", \"blocks\": " << rep.blocks << ", \"depth\": " << rep.depth
+          << ", \"bus_bits\": " << rep.bus_bits
+          << ", \"transitions\": " << rep.transitions << ", \"results\": [\n";
+      for (std::size_t i = 0; i < rep.results.size(); ++i) {
+        const Result& r = rep.results[i];
+        out << "      {\"shards\": " << r.shards
+            << ", \"seconds_per_trace\": " << r.seconds;
+        std::snprintf(buf, sizeof(buf), "%.4g", serial / r.seconds);
+        out << ", \"speedup_vs_serial\": " << buf;
+        std::snprintf(buf, sizeof(buf), "%.6f", r.total_ff);
+        out << ", \"total_ff\": " << buf << "}"
+            << (i + 1 < rep.results.size() ? "," : "") << "\n";
+      }
+      out << "    ]}" << (c + 1 < reports.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  });
+  std::cout << "\nwrote BENCH_chip_compose.json\n";
+  bench::write_metrics_snapshot("BENCH_chip_compose_metrics.json");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Streaming sharded trace evaluation for composed designs.
+//
+// The transition stream is split into fixed-width chunks whose boundaries
+// do not depend on the shard count; each chunk accumulates into its own
+// slot (per-instance partial totals + chunk peak) with per-shard scratch,
+// and slots are reduced in chunk order afterwards. Totals are therefore
+// bit-identical for any pool size (the PR 1/6 determinism discipline).
+//
+// The chip total is defined as the left-fold of the per-leaf totals in
+// leaf (DFS) order — the same association Chip::subtree_total uses — so
+// composed node totals equal the evaluator's totals bitwise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "power/rtl.hpp"
+#include "sim/sequence.hpp"
+#include "support/thread_pool.hpp"
+
+namespace cfpm::chip {
+
+/// Transitions per chunk; fixed so shard boundaries never depend on the
+/// pool size.
+inline constexpr std::size_t kTraceChunk = 1024;
+
+struct ChipTraceResult {
+  /// Left-fold over leaves (in instance order) of per_instance_ff.
+  double total_ff = 0.0;
+  /// Largest per-transition composed estimate seen on the trace.
+  double peak_ff = 0.0;
+  std::size_t transitions = 0;
+  std::vector<double> per_instance_ff;
+
+  double average_ff() const noexcept {
+    return transitions == 0 ? 0.0
+                            : total_ff / static_cast<double>(transitions);
+  }
+};
+
+/// Evaluates `design` over every transition of `trace` (whose width must be
+/// >= design.bus_width()), sharded over `pool` (nullptr = serial). The
+/// result is bit-identical for any pool size.
+ChipTraceResult evaluate_trace(const power::RtlDesign& design,
+                               const sim::InputSequence& trace,
+                               ThreadPool* pool = nullptr);
+
+}  // namespace cfpm::chip

@@ -1,0 +1,61 @@
+#include "chip/trace_text.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace cfpm::chip {
+
+sim::InputSequence read_trace_text(const std::string& path,
+                                   std::size_t min_width) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open trace file: " + path);
+  std::vector<std::vector<std::uint8_t>> vectors;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line.front() == '#') continue;
+    std::vector<std::uint8_t> row;
+    row.reserve(line.size());
+    for (const char c : line) {
+      if (c != '0' && c != '1') {
+        throw ParseError(path + ":" + std::to_string(line_no) +
+                         ": bad trace character '" + std::string(1, c) +
+                         "' (expected 0 or 1)");
+      }
+      row.push_back(c == '1' ? 1 : 0);
+    }
+    if (!vectors.empty() && row.size() != vectors.front().size()) {
+      throw ParseError(path + ":" + std::to_string(line_no) +
+                       ": ragged trace row (got " +
+                       std::to_string(row.size()) + " bits, expected " +
+                       std::to_string(vectors.front().size()) + ")");
+    }
+    vectors.push_back(std::move(row));
+  }
+  if (in.bad()) throw IoError("error reading trace file: " + path);
+  if (vectors.empty()) throw ParseError(path + ": empty trace");
+  if (vectors.front().size() < min_width) {
+    throw ParseError(path + ": trace is " +
+                     std::to_string(vectors.front().size()) +
+                     " bits wide, need at least " + std::to_string(min_width));
+  }
+  return sim::InputSequence::from_vectors(vectors);
+}
+
+void write_trace_text(std::ostream& os, const sim::InputSequence& seq) {
+  std::string row(seq.num_inputs(), '0');
+  for (std::size_t t = 0; t < seq.length(); ++t) {
+    for (std::size_t i = 0; i < seq.num_inputs(); ++i) {
+      row[i] = seq.bit(i, t) ? '1' : '0';
+    }
+    os << row << '\n';
+  }
+}
+
+}  // namespace cfpm::chip

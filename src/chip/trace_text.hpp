@@ -1,0 +1,24 @@
+// Plain-text bus traces for `cfpm chip --trace`.
+//
+// Format: one vector per line, one '0'/'1' character per bus bit, MSB-free
+// (column k is bus bit k). Blank lines and lines starting with '#' are
+// ignored. All rows must have the same width.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/sequence.hpp"
+
+namespace cfpm::chip {
+
+/// Reads a text trace from `path`. Throws cfpm::IoError when the file
+/// cannot be read and cfpm::ParseError on bad characters, ragged rows, an
+/// empty trace, or a width smaller than `min_width`.
+sim::InputSequence read_trace_text(const std::string& path,
+                                   std::size_t min_width);
+
+/// Writes `seq` in the same format (round-trips through read_trace_text).
+void write_trace_text(std::ostream& os, const sim::InputSequence& seq);
+
+}  // namespace cfpm::chip

@@ -14,6 +14,7 @@ void RtlDesign::add_instance(std::string name,
   for (std::size_t bit : input_map) {
     bus_width_ = std::max(bus_width_, bit + 1);
   }
+  max_inputs_ = std::max(max_inputs_, input_map.size());
   instances_.push_back(Instance{std::move(name), std::move(model),
                                 std::move(input_map)});
 }
@@ -23,30 +24,85 @@ const std::string& RtlDesign::instance_name(std::size_t i) const {
   return instances_[i].name;
 }
 
-std::vector<double> RtlDesign::estimate_breakdown_ff(
-    std::span<const std::uint8_t> bus_xi,
-    std::span<const std::uint8_t> bus_xf) const {
-  CFPM_REQUIRE(bus_xi.size() >= bus_width_ && bus_xf.size() >= bus_width_);
-  std::vector<double> breakdown;
-  breakdown.reserve(instances_.size());
-  std::vector<std::uint8_t> xi, xf;
-  for (const Instance& inst : instances_) {
-    xi.resize(inst.input_map.size());
-    xf.resize(inst.input_map.size());
-    for (std::size_t k = 0; k < inst.input_map.size(); ++k) {
-      xi[k] = bus_xi[inst.input_map[k]];
-      xf[k] = bus_xf[inst.input_map[k]];
-    }
-    breakdown.push_back(inst.model->estimate_ff(xi, xf));
+const PowerModel& RtlDesign::instance_model(std::size_t i) const {
+  CFPM_REQUIRE(i < instances_.size());
+  return *instances_[i].model;
+}
+
+const std::vector<std::size_t>& RtlDesign::instance_input_map(
+    std::size_t i) const {
+  CFPM_REQUIRE(i < instances_.size());
+  return instances_[i].input_map;
+}
+
+double RtlDesign::instance_estimate_ff(const Instance& inst,
+                                       std::span<const std::uint8_t> bus_xi,
+                                       std::span<const std::uint8_t> bus_xf,
+                                       EvalScratch& scratch) const {
+  const std::size_t n = inst.input_map.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    scratch.xi_[k] = bus_xi[inst.input_map[k]];
+    scratch.xf_[k] = bus_xf[inst.input_map[k]];
   }
-  return breakdown;
+  return inst.model->estimate_ff({scratch.xi_.data(), n},
+                                 {scratch.xf_.data(), n});
+}
+
+double RtlDesign::estimate_ff(std::span<const std::uint8_t> bus_xi,
+                              std::span<const std::uint8_t> bus_xf,
+                              EvalScratch& scratch) const {
+  CFPM_REQUIRE(bus_xi.size() >= bus_width_ && bus_xf.size() >= bus_width_);
+  // Grows once to the widest instance, then every call is allocation-free.
+  if (scratch.xi_.size() < max_inputs_) {
+    scratch.xi_.resize(max_inputs_);
+    scratch.xf_.resize(max_inputs_);
+  }
+  double total = 0.0;
+  for (const Instance& inst : instances_) {
+    total += instance_estimate_ff(inst, bus_xi, bus_xf, scratch);
+  }
+  return total;
+}
+
+double RtlDesign::accumulate_ff(std::span<const std::uint8_t> bus_xi,
+                                std::span<const std::uint8_t> bus_xf,
+                                std::span<double> accum,
+                                EvalScratch& scratch) const {
+  CFPM_REQUIRE(bus_xi.size() >= bus_width_ && bus_xf.size() >= bus_width_);
+  CFPM_REQUIRE(accum.size() >= instances_.size());
+  if (scratch.xi_.size() < max_inputs_) {
+    scratch.xi_.resize(max_inputs_);
+    scratch.xf_.resize(max_inputs_);
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    const double c = instance_estimate_ff(instances_[i], bus_xi, bus_xf,
+                                          scratch);
+    accum[i] += c;
+    total += c;
+  }
+  return total;
 }
 
 double RtlDesign::estimate_ff(std::span<const std::uint8_t> bus_xi,
                               std::span<const std::uint8_t> bus_xf) const {
-  double total = 0.0;
-  for (double c : estimate_breakdown_ff(bus_xi, bus_xf)) total += c;
-  return total;
+  EvalScratch scratch;
+  return estimate_ff(bus_xi, bus_xf, scratch);
+}
+
+std::vector<double> RtlDesign::estimate_breakdown_ff(
+    std::span<const std::uint8_t> bus_xi,
+    std::span<const std::uint8_t> bus_xf) const {
+  CFPM_REQUIRE(bus_xi.size() >= bus_width_ && bus_xf.size() >= bus_width_);
+  EvalScratch scratch;
+  scratch.xi_.resize(max_inputs_);
+  scratch.xf_.resize(max_inputs_);
+  std::vector<double> breakdown;
+  breakdown.reserve(instances_.size());
+  for (const Instance& inst : instances_) {
+    breakdown.push_back(instance_estimate_ff(inst, bus_xi, bus_xf, scratch));
+  }
+  return breakdown;
 }
 
 bool RtlDesign::is_upper_bound() const {

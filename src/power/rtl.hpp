@@ -5,6 +5,10 @@
 // property from the paper (Section 1.2) is that *pattern-dependent* upper
 // bounds of the components sum to a much tighter conservative system bound
 // than the sum of the components' global worst cases.
+//
+// Streaming callers (millions of transitions) use the EvalScratch overloads:
+// the scratch owns the per-instance gather buffers, so the hot loop performs
+// no allocation at all. The scratch-free overloads remain for one-shot use.
 #pragma once
 
 #include <memory>
@@ -18,6 +22,16 @@ namespace cfpm::power {
 
 class RtlDesign {
  public:
+  /// Reusable per-caller gather buffers for the streaming estimate paths.
+  /// One scratch per thread: RtlDesign never mutates it concurrently, so a
+  /// sharded evaluator gives each shard its own.
+  class EvalScratch {
+   private:
+    friend class RtlDesign;
+    std::vector<std::uint8_t> xi_;
+    std::vector<std::uint8_t> xf_;
+  };
+
   /// Binds `model`'s k-th input to global bus bit input_map[k]. The design
   /// shares ownership of the model, so one library model can back many
   /// instances (the library-macro reuse scenario of the paper).
@@ -26,13 +40,30 @@ class RtlDesign {
 
   std::size_t num_instances() const noexcept { return instances_.size(); }
   std::size_t bus_width() const noexcept { return bus_width_; }
+  /// Width of the widest instance (what an EvalScratch grows to).
+  std::size_t max_instance_inputs() const noexcept { return max_inputs_; }
   const std::string& instance_name(std::size_t i) const;
+  const PowerModel& instance_model(std::size_t i) const;
+  const std::vector<std::size_t>& instance_input_map(std::size_t i) const;
 
   /// Total estimated switching capacitance for one bus transition.
   double estimate_ff(std::span<const std::uint8_t> bus_xi,
                      std::span<const std::uint8_t> bus_xf) const;
 
-  /// Per-instance breakdown for one bus transition.
+  /// Allocation-free total for one bus transition (streaming hot path).
+  double estimate_ff(std::span<const std::uint8_t> bus_xi,
+                     std::span<const std::uint8_t> bus_xf,
+                     EvalScratch& scratch) const;
+
+  /// Adds each instance's estimate for one bus transition into accum[i]
+  /// (accum.size() >= num_instances()) and returns this transition's total,
+  /// summed in instance order. Allocation-free; the chip evaluator's
+  /// per-shard accumulation path.
+  double accumulate_ff(std::span<const std::uint8_t> bus_xi,
+                       std::span<const std::uint8_t> bus_xf,
+                       std::span<double> accum, EvalScratch& scratch) const;
+
+  /// Per-instance breakdown for one bus transition (reporting API).
   std::vector<double> estimate_breakdown_ff(
       std::span<const std::uint8_t> bus_xi,
       std::span<const std::uint8_t> bus_xf) const;
@@ -51,8 +82,15 @@ class RtlDesign {
     std::shared_ptr<const PowerModel> model;
     std::vector<std::size_t> input_map;
   };
+
+  double instance_estimate_ff(const Instance& inst,
+                              std::span<const std::uint8_t> bus_xi,
+                              std::span<const std::uint8_t> bus_xf,
+                              EvalScratch& scratch) const;
+
   std::vector<Instance> instances_;
   std::size_t bus_width_ = 0;
+  std::size_t max_inputs_ = 0;
 };
 
 }  // namespace cfpm::power

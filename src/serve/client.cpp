@@ -77,6 +77,13 @@ service::EvalReply Client::evaluate_trace(const service::ModelId& id,
   return wire::decode_eval_reply(reply.payload);
 }
 
+service::ChipReply Client::chip(const service::ChipRequest& request) {
+  const wire::Frame reply =
+      call(wire::MsgType::kChipRequest, wire::encode_chip_request(request),
+           wire::MsgType::kChipReply);
+  return wire::decode_chip_reply(reply.payload);
+}
+
 wire::StatsReply Client::stats() {
   const wire::Frame reply =
       call(wire::MsgType::kStatsRequest, "", wire::MsgType::kStatsReply);

@@ -37,6 +37,11 @@ class Client {
   service::EvalReply evaluate_trace(const service::ModelId& id,
                                     const sim::InputSequence& trace);
 
+  /// Remote chip build-and-evaluate: the daemon constructs the spec's
+  /// macro library through its registry (reply.cache_hits counts variants
+  /// served without construction) and evaluates both compositions.
+  service::ChipReply chip(const service::ChipRequest& request);
+
   wire::StatsReply stats();
 
   /// Liveness probe; returns the pong payload text.

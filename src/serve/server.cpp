@@ -248,6 +248,15 @@ bool Server::handle_frame(int fd, const wire::Frame& frame) {
                         wire::encode_eval_reply(reply));
       return true;
     }
+    case wire::MsgType::kChipRequest: {
+      static const metrics::Histogram h_chip("serve.chip.latency_us");
+      Timer timer;
+      const service::ChipReply reply = handle_chip(frame);
+      h_chip.observe(micros(timer.seconds()));
+      wire::write_frame(fd, wire::MsgType::kChipReply,
+                        wire::encode_chip_reply(reply));
+      return true;
+    }
     case wire::MsgType::kStatsRequest: {
       wire::write_frame(fd, wire::MsgType::kStatsReply,
                         wire::encode_stats_reply(handle_stats()));
@@ -278,6 +287,10 @@ service::BuildReply Server::handle_build(wire::Frame frame) {
   if (!request.options.deadline_ms && options_.default_deadline_ms > 0) {
     request.options.deadline_ms = options_.default_deadline_ms;
   }
+  return build_model(std::move(request));
+}
+
+service::BuildReply Server::build_model(service::BuildRequest request) {
   const service::ModelId id = service::model_id(request.netlist,
                                                 request.options);
 
@@ -446,6 +459,35 @@ service::EvalReply Server::handle_trace(const wire::Frame& frame) {
       service::evaluate_trace(*model, query.trace, &eval_pool_);
   reply.cache_hit = cache_hit;
   return reply;
+}
+
+service::ChipReply Server::handle_chip(const wire::Frame& frame) {
+  CFPM_TRACE_SPAN("serve.chip_request");
+  service::ChipRequest request = wire::decode_chip_request(frame.payload);
+  if (!request.deadline_ms && options_.default_deadline_ms > 0) {
+    request.deadline_ms = options_.default_deadline_ms;
+  }
+  // Each macro variant becomes one ordinary build request through
+  // build_model: first-chip misses are built (and admitted) once even under
+  // concurrent chip requests, and a repeated spec costs zero construction.
+  const chip::ModelSource source = [this, &request](const netlist::Netlist& n,
+                                                    power::ModelKind kind) {
+    service::BuildRequest br;
+    br.netlist = n;
+    br.options.kind = kind;
+    br.options.max_nodes = request.max_nodes;
+    br.options.degrade = request.degrade;
+    br.options.build_threads = request.build_threads;
+    br.options.deadline_ms = request.deadline_ms;
+    service::BuildReply reply = build_model(std::move(br));
+    chip::SourcedModel out;
+    out.model = reply.model;
+    out.build_info = reply.build_info;
+    out.nodes = reply.model_nodes;
+    out.cache_hit = reply.cache_hit;
+    return out;
+  };
+  return service::evaluate_chip(request, source, &eval_pool_);
 }
 
 wire::StatsReply Server::handle_stats() const {

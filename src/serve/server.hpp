@@ -18,6 +18,11 @@
 //             `cfpm estimate`.
 //   trace  -> explicit vector sequence evaluated the same way; request
 //             batching rides the estimate_trace fixed-chunk contract.
+//   chip   -> builds a composed chip (src/chip) whose macro library is
+//             routed through the registry — each distinct macro model is
+//             one deduplicated build request, so a repeated spec is all
+//             cache hits — then evaluates both compositions on the shared
+//             eval pool.
 //   stats / ping / shutdown — introspection and lifecycle.
 //
 // Threading: one thread per connection (requests on a connection are
@@ -122,8 +127,14 @@ class Server {
   /// the server to shut down (reply already written).
   bool handle_frame(int fd, const wire::Frame& frame);
   service::BuildReply handle_build(wire::Frame frame);
+  /// The registry-backed build path behind handle_build: probe, dedup via
+  /// BuildJob, async construction, admission of clean results. handle_chip
+  /// calls it once per macro variant, so chip requests populate (and are
+  /// served from) the same cache as plain build requests.
+  service::BuildReply build_model(service::BuildRequest request);
   service::EvalReply handle_eval(const wire::Frame& frame);
   service::EvalReply handle_trace(const wire::Frame& frame);
+  service::ChipReply handle_chip(const wire::Frame& frame);
   wire::StatsReply handle_stats() const;
   /// Looks `id` up, throwing a typed Error miss message shared by eval and
   /// trace paths.

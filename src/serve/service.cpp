@@ -3,7 +3,9 @@
 #include <charconv>
 #include <chrono>
 #include <sstream>
+#include <utility>
 
+#include "chip/evaluator.hpp"
 #include "netlist/bench_io.hpp"
 #include "support/error.hpp"
 #include "support/governor.hpp"
@@ -237,6 +239,127 @@ EvalReply evaluate_trace(const power::PowerModel& model,
   reply.peak_ff = est.peak_ff;
   reply.transitions = est.transitions;
   return reply;
+}
+
+// ---------------------------------------------------------------------------
+// Chip
+// ---------------------------------------------------------------------------
+
+cfpm::chip::ChipBuildOptions to_chip_build_options(const ChipRequest& r) {
+  cfpm::chip::ChipBuildOptions co;
+  co.max_nodes = r.max_nodes;
+  co.deadline_ms = r.deadline_ms;
+  co.degrade = r.degrade;
+  co.build_threads = r.build_threads;
+  return co;
+}
+
+namespace {
+
+void check_chip_version(std::uint32_t version) {
+  if (version != kApiVersion) {
+    throw UsageError("unsupported api version " + std::to_string(version) +
+                     " (expected " + std::to_string(kApiVersion) + ")");
+  }
+}
+
+/// A malformed spec string is a request-shape violation: rewrap the chip
+/// layer's cfpm::Error as the facade's typed kUsage error (exit code 2).
+cfpm::chip::ChipSpec parse_chip_spec(const std::string& text) {
+  try {
+    return cfpm::chip::ChipSpec::parse(text);
+  } catch (const Error& e) {
+    throw UsageError(e.what());
+  }
+}
+
+/// Evaluates both compositions of a built chip over `trace` and assembles
+/// the reply — shared by the generated-workload and explicit-trace paths,
+/// which is what keeps their breakdowns structurally identical.
+ChipReply finish_chip_reply(const cfpm::chip::Chip& c,
+                            const sim::InputSequence& trace, ThreadPool* pool) {
+  CFPM_TRACE_SPAN("service.chip");
+  static const metrics::Counter c_chip("service.chip.count");
+  c_chip.add();
+  const cfpm::chip::ChipTraceResult avg =
+      cfpm::chip::evaluate_trace(c.avg_design(), trace, pool);
+  const cfpm::chip::ChipTraceResult bound =
+      cfpm::chip::evaluate_trace(c.bound_design(), trace, pool);
+
+  ChipReply reply;
+  reply.status = c.degraded() ? StatusCode::kDegraded : StatusCode::kOk;
+  reply.spec = c.spec().to_string();
+  reply.macros = c.num_macros();
+  reply.components = c.num_components();
+  reply.bus_bits = c.bus_width();
+  reply.transitions = avg.transitions;
+  reply.total_ff = avg.total_ff;
+  reply.average_ff = avg.average_ff();
+  reply.peak_ff = avg.peak_ff;
+  reply.bound_total_ff = bound.total_ff;
+  reply.bound_peak_ff = bound.peak_ff;
+  reply.worst_case_sum_ff = c.sum_of_worst_cases_ff();
+  for (const cfpm::chip::MacroBuildReport& m : c.library()) {
+    ChipMacroSummary s;
+    s.name = m.name;
+    s.instances = m.instances;
+    s.inputs = m.num_inputs;
+    s.avg_nodes = m.avg_nodes;
+    s.bound_nodes = m.bound_nodes;
+    s.avg_outcome = m.avg_info.outcome;
+    s.bound_outcome = m.bound_info.outcome;
+    s.cache_hit = m.avg_cache_hit || m.bound_cache_hit;
+    reply.cache_hits += (m.avg_cache_hit ? 1u : 0u) + (m.bound_cache_hit ? 1u : 0u);
+    reply.library.push_back(std::move(s));
+  }
+  for (const cfpm::chip::Chip::Node& node : c.nodes()) {
+    if (node.parent == cfpm::chip::Chip::kNoParent) continue;
+    const double subtotal = c.subtree_total(node, avg.per_instance_ff);
+    if (node.is_leaf()) {
+      reply.instances.push_back({node.name, subtotal});
+    } else {
+      reply.blocks.push_back({node.name, subtotal});
+    }
+  }
+  return reply;
+}
+
+}  // namespace
+
+ChipReply evaluate_chip(const ChipRequest& request,
+                        const cfpm::chip::ModelSource& source,
+                        ThreadPool* pool) {
+  check_chip_version(request.api_version);
+  if (!stats::feasible(request.statistics)) {
+    // Same exception type and message as evaluate(): scripts key on it.
+    throw Error("infeasible statistics: st must be <= 2*min(sp, 1-sp)");
+  }
+  const cfpm::chip::ChipSpec spec = parse_chip_spec(request.spec);
+  const cfpm::chip::Chip c = cfpm::chip::build_chip(spec, source);
+  stats::MarkovSequenceGenerator gen(request.statistics, request.seed);
+  const sim::InputSequence trace = gen.generate(c.bus_width(), request.vectors);
+  return finish_chip_reply(c, trace, pool);
+}
+
+ChipReply evaluate_chip(const ChipRequest& request, ThreadPool* pool) {
+  return evaluate_chip(
+      request, cfpm::chip::make_model_source(to_chip_build_options(request)),
+      pool);
+}
+
+ChipReply evaluate_chip_trace(const ChipRequest& request,
+                              const sim::InputSequence& trace,
+                              ThreadPool* pool) {
+  check_chip_version(request.api_version);
+  const cfpm::chip::ChipSpec spec = parse_chip_spec(request.spec);
+  if (trace.num_inputs() < spec.bus_width()) {
+    throw UsageError("trace is " + std::to_string(trace.num_inputs()) +
+                     " bits wide; chip " + spec.to_string() + " needs " +
+                     std::to_string(spec.bus_width()));
+  }
+  const cfpm::chip::Chip c = cfpm::chip::build_chip(
+      spec, cfpm::chip::make_model_source(to_chip_build_options(request)));
+  return finish_chip_reply(c, trace, pool);
 }
 
 }  // namespace cfpm::service

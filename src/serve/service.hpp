@@ -29,6 +29,7 @@
 #include <string>
 #include <string_view>
 
+#include "chip/chip.hpp"
 #include "netlist/library.hpp"
 #include "netlist/netlist.hpp"
 #include "power/add_model.hpp"
@@ -188,6 +189,60 @@ struct EvalReply {
   StatusCode status = StatusCode::kOk;
 };
 
+/// Build-and-evaluate a composed chip (src/chip) in one request: the
+/// daemon's registry serves the macro library, so a repeated spec is all
+/// cache hits. Workload is the same seeded Markov recipe as EvalRequest,
+/// generated at the chip's full bus width.
+struct ChipRequest {
+  std::uint32_t api_version = kApiVersion;
+  std::string spec = "2x3x12";  ///< "CxBxM" chip topology
+  std::size_t max_nodes = 4000;  ///< per-macro node budget (0 = exact)
+  bool degrade = true;           ///< §9 ladder per macro
+  std::size_t build_threads = 1;
+  std::optional<std::size_t> deadline_ms;  ///< per-macro build deadline
+  stats::InputStatistics statistics{0.5, 0.5};
+  std::size_t vectors = 10000;
+  std::uint64_t seed = 0xcf9e;
+};
+
+/// One distinct library macro in a chip reply (shared by its instances).
+struct ChipMacroSummary {
+  std::string name;
+  std::size_t instances = 0;
+  std::size_t inputs = 0;
+  std::size_t avg_nodes = 0;
+  std::size_t bound_nodes = 0;
+  power::BuildOutcome avg_outcome = power::BuildOutcome::kClean;
+  power::BuildOutcome bound_outcome = power::BuildOutcome::kClean;
+  bool cache_hit = false;  ///< either variant came from the registry
+};
+
+/// A named component total (per-block and per-instance breakdown rows).
+struct ChipComponentTotal {
+  std::string name;
+  double total_ff = 0.0;
+};
+
+struct ChipReply {
+  StatusCode status = StatusCode::kOk;  ///< kOk, or kDegraded if any macro
+                                        ///< took a §9 ladder rung
+  std::string spec;
+  std::size_t macros = 0;      ///< leaf instances
+  std::size_t components = 0;  ///< composite nodes (chip + blocks)
+  std::size_t bus_bits = 0;
+  std::size_t transitions = 0;
+  double total_ff = 0.0;    ///< average-model chip total
+  double average_ff = 0.0;  ///< total_ff / transitions
+  double peak_ff = 0.0;     ///< average-model worst observed cycle
+  double bound_total_ff = 0.0;  ///< conservative composition total
+  double bound_peak_ff = 0.0;   ///< composed conservative per-cycle bound
+  double worst_case_sum_ff = 0.0;  ///< sum of leaves' global worst cases
+  std::size_t cache_hits = 0;  ///< macro model builds served from a cache
+  std::vector<ChipMacroSummary> library;
+  std::vector<ChipComponentTotal> blocks;     ///< per-block avg totals
+  std::vector<ChipComponentTotal> instances;  ///< per-leaf avg totals
+};
+
 // ---------------------------------------------------------------------------
 // Entry points
 // ---------------------------------------------------------------------------
@@ -224,5 +279,29 @@ EvalReply evaluate(const power::PowerModel& model, const EvalRequest& request,
 EvalReply evaluate_trace(const power::PowerModel& model,
                          const sim::InputSequence& seq,
                          ThreadPool* pool = nullptr);
+
+/// The request's serializable build knobs as chip-build options.
+cfpm::chip::ChipBuildOptions to_chip_build_options(const ChipRequest& request);
+
+/// Builds the chip for `request` through `source` (the daemon substitutes
+/// its registry-backed source; make_model_source for in-process callers),
+/// generates the seeded Markov workload at the chip bus width, and
+/// evaluates both compositions. Sharding over `pool` never changes the
+/// bits (chip::evaluate_trace contract). Throws typed errors; status is
+/// kDegraded when any macro took a §9 ladder rung.
+ChipReply evaluate_chip(const ChipRequest& request,
+                        const cfpm::chip::ModelSource& source,
+                        ThreadPool* pool = nullptr);
+
+/// In-process form: same path behind the default make_model_source, so the
+/// one-shot CLI and the daemon produce bit-identical replies.
+ChipReply evaluate_chip(const ChipRequest& request, ThreadPool* pool = nullptr);
+
+/// Explicit-trace form (`cfpm chip --trace`): builds the chip from
+/// `request` (its statistics/vectors/seed are ignored) and evaluates both
+/// compositions over `trace`, which must span the chip bus.
+ChipReply evaluate_chip_trace(const ChipRequest& request,
+                              const sim::InputSequence& trace,
+                              ThreadPool* pool = nullptr);
 
 }  // namespace cfpm::service

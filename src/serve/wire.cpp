@@ -139,7 +139,7 @@ MsgType decode_header(std::string_view header, std::uint32_t& payload_length,
   }
   const std::uint16_t type = get_u16(header, 6);
   if (type < static_cast<std::uint16_t>(MsgType::kBuildRequest) ||
-      type > static_cast<std::uint16_t>(MsgType::kError)) {
+      type > static_cast<std::uint16_t>(MsgType::kChipReply)) {
     throw ParseError("wire: unknown message type " + std::to_string(type));
   }
   payload_length = get_u32(header, 8);
@@ -473,6 +473,182 @@ service::ErrorPayload decode_error(std::string_view payload) {
   const std::size_t size = r.number<std::size_t>("message");
   error.message = std::string(r.bytes(size));
   return error;
+}
+
+// ---------------------------------------------------------------------------
+// Chip messages
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Splits a field value into exactly `n` space-separated tokens. Chip
+/// component names are generated ("b2.m1.add5") and never contain spaces,
+/// so whitespace tokenization is unambiguous.
+std::vector<std::string_view> tokens(std::string_view v, std::size_t n,
+                                     std::string_view key) {
+  std::vector<std::string_view> out;
+  std::size_t pos = 0;
+  while (pos <= v.size() && out.size() < n) {
+    const std::size_t sp = out.size() + 1 == n ? std::string_view::npos
+                                               : v.find(' ', pos);
+    if (sp == std::string_view::npos) {
+      out.push_back(v.substr(pos));
+      pos = v.size() + 1;
+    } else {
+      out.push_back(v.substr(pos, sp - pos));
+      pos = sp + 1;
+    }
+  }
+  if (out.size() != n || out.back().empty() ||
+      out.back().find(' ') != std::string_view::npos) {
+    throw ParseError("wire: expected " + std::to_string(n) + " tokens in '" +
+                     std::string(key) + "' line");
+  }
+  return out;
+}
+
+template <typename T>
+T token_number(std::string_view v, std::string_view key) {
+  const auto parsed = parse_number<T>(v);
+  if (!parsed) {
+    throw ParseError("wire: bad number in '" + std::string(key) + "' line: '" +
+                     std::string(v) + "'");
+  }
+  return *parsed;
+}
+
+power::BuildOutcome token_outcome(std::string_view v, std::string_view key) {
+  const auto raw = token_number<unsigned>(v, key);
+  if (raw > static_cast<unsigned>(power::BuildOutcome::kFallback)) {
+    throw ParseError("wire: unknown outcome " + std::to_string(raw));
+  }
+  return static_cast<power::BuildOutcome>(raw);
+}
+
+}  // namespace
+
+std::string encode_chip_request(const service::ChipRequest& req) {
+  std::ostringstream os;
+  os << "version " << req.api_version << "\n"
+     << "spec " << req.spec << "\n"
+     << "max-nodes " << req.max_nodes << "\n"
+     << "degrade " << (req.degrade ? 1 : 0) << "\n"
+     << "build-threads " << req.build_threads << "\n"
+     << "deadline-ms " << (req.deadline_ms ? std::to_string(*req.deadline_ms)
+                                           : std::string("none"))
+     << "\n"
+     << "sp " << format_double(req.statistics.sp) << "\n"
+     << "st " << format_double(req.statistics.st) << "\n"
+     << "vectors " << req.vectors << "\n"
+     << "seed " << req.seed << "\n";
+  return os.str();
+}
+
+service::ChipRequest decode_chip_request(std::string_view payload) {
+  Reader r(payload);
+  service::ChipRequest req;
+  req.api_version = r.number<std::uint32_t>("version");
+  req.spec = std::string(r.field("spec"));
+  req.max_nodes = r.number<std::size_t>("max-nodes");
+  req.degrade = parse_flag(r.field("degrade"), "degrade");
+  req.build_threads = r.number<std::size_t>("build-threads");
+  const std::string_view deadline = r.field("deadline-ms");
+  if (deadline != "none") {
+    const auto ms = parse_number<std::size_t>(deadline);
+    if (!ms) {
+      throw ParseError("wire: bad deadline-ms: '" + std::string(deadline) +
+                       "'");
+    }
+    req.deadline_ms = *ms;
+  }
+  req.statistics.sp = r.number<double>("sp");
+  req.statistics.st = r.number<double>("st");
+  req.vectors = r.number<std::size_t>("vectors");
+  req.seed = r.number<std::uint64_t>("seed");
+  return req;
+}
+
+std::string encode_chip_reply(const service::ChipReply& reply) {
+  std::ostringstream os;
+  os << "status " << static_cast<unsigned>(reply.status) << "\n"
+     << "spec " << reply.spec << "\n"
+     << "macros " << reply.macros << "\n"
+     << "components " << reply.components << "\n"
+     << "bus-bits " << reply.bus_bits << "\n"
+     << "transitions " << reply.transitions << "\n"
+     << "total " << format_double(reply.total_ff) << "\n"
+     << "average " << format_double(reply.average_ff) << "\n"
+     << "peak " << format_double(reply.peak_ff) << "\n"
+     << "bound-total " << format_double(reply.bound_total_ff) << "\n"
+     << "bound-peak " << format_double(reply.bound_peak_ff) << "\n"
+     << "worst-sum " << format_double(reply.worst_case_sum_ff) << "\n"
+     << "cache-hits " << reply.cache_hits << "\n"
+     << "library " << reply.library.size() << "\n";
+  for (const service::ChipMacroSummary& m : reply.library) {
+    os << "macro " << m.name << " " << m.instances << " " << m.inputs << " "
+       << m.avg_nodes << " " << m.bound_nodes << " "
+       << static_cast<unsigned>(m.avg_outcome) << " "
+       << static_cast<unsigned>(m.bound_outcome) << " "
+       << (m.cache_hit ? 1 : 0) << "\n";
+  }
+  os << "blocks " << reply.blocks.size() << "\n";
+  for (const service::ChipComponentTotal& b : reply.blocks) {
+    os << "block " << b.name << " " << format_double(b.total_ff) << "\n";
+  }
+  os << "instances " << reply.instances.size() << "\n";
+  for (const service::ChipComponentTotal& i : reply.instances) {
+    os << "instance " << i.name << " " << format_double(i.total_ff) << "\n";
+  }
+  return os.str();
+}
+
+service::ChipReply decode_chip_reply(std::string_view payload) {
+  Reader r(payload);
+  service::ChipReply reply;
+  const auto status = r.number<unsigned>("status");
+  if (status > static_cast<unsigned>(service::StatusCode::kInternal)) {
+    throw ParseError("wire: unknown status " + std::to_string(status));
+  }
+  reply.status = static_cast<service::StatusCode>(status);
+  reply.spec = std::string(r.field("spec"));
+  reply.macros = r.number<std::size_t>("macros");
+  reply.components = r.number<std::size_t>("components");
+  reply.bus_bits = r.number<std::size_t>("bus-bits");
+  reply.transitions = r.number<std::size_t>("transitions");
+  reply.total_ff = r.number<double>("total");
+  reply.average_ff = r.number<double>("average");
+  reply.peak_ff = r.number<double>("peak");
+  reply.bound_total_ff = r.number<double>("bound-total");
+  reply.bound_peak_ff = r.number<double>("bound-peak");
+  reply.worst_case_sum_ff = r.number<double>("worst-sum");
+  reply.cache_hits = r.number<std::size_t>("cache-hits");
+  const std::size_t library = r.number<std::size_t>("library");
+  for (std::size_t i = 0; i < library; ++i) {
+    const auto t = tokens(r.field("macro"), 8, "macro");
+    service::ChipMacroSummary m;
+    m.name = std::string(t[0]);
+    m.instances = token_number<std::size_t>(t[1], "macro");
+    m.inputs = token_number<std::size_t>(t[2], "macro");
+    m.avg_nodes = token_number<std::size_t>(t[3], "macro");
+    m.bound_nodes = token_number<std::size_t>(t[4], "macro");
+    m.avg_outcome = token_outcome(t[5], "macro");
+    m.bound_outcome = token_outcome(t[6], "macro");
+    m.cache_hit = parse_flag(t[7], "macro");
+    reply.library.push_back(std::move(m));
+  }
+  const std::size_t blocks = r.number<std::size_t>("blocks");
+  for (std::size_t i = 0; i < blocks; ++i) {
+    const auto t = tokens(r.field("block"), 2, "block");
+    reply.blocks.push_back(
+        {std::string(t[0]), token_number<double>(t[1], "block")});
+  }
+  const std::size_t instances = r.number<std::size_t>("instances");
+  for (std::size_t i = 0; i < instances; ++i) {
+    const auto t = tokens(r.field("instance"), 2, "instance");
+    reply.instances.push_back(
+        {std::string(t[0]), token_number<double>(t[1], "instance")});
+  }
+  return reply;
 }
 
 }  // namespace cfpm::serve::wire

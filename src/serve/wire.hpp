@@ -52,6 +52,8 @@ enum class MsgType : std::uint16_t {
   kShutdownRequest = 11,
   kShutdownReply = 12,
   kError = 13,
+  kChipRequest = 14,
+  kChipReply = 15,
 };
 
 struct Frame {
@@ -128,5 +130,11 @@ StatsReply decode_stats_reply(std::string_view payload);
 
 std::string encode_error(const service::ErrorPayload& error);
 service::ErrorPayload decode_error(std::string_view payload);
+
+std::string encode_chip_request(const service::ChipRequest& req);
+service::ChipRequest decode_chip_request(std::string_view payload);
+
+std::string encode_chip_reply(const service::ChipReply& reply);
+service::ChipReply decode_chip_reply(std::string_view payload);
 
 }  // namespace cfpm::serve::wire

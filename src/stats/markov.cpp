@@ -1,5 +1,8 @@
 #include "stats/markov.hpp"
 
+#include <algorithm>
+#include <tuple>
+
 #include "support/assert.hpp"
 
 namespace cfpm::stats {
@@ -10,19 +13,23 @@ bool feasible(const InputStatistics& s) noexcept {
   return s.st <= 2.0 * s.sp + 1e-12 && s.st <= 2.0 * (1.0 - s.sp) + 1e-12;
 }
 
+std::pair<double, double> flip_probabilities(const InputStatistics& s) noexcept {
+  // A pinned chain (st = 0, or sp at a boundary where feasibility forces
+  // st = 0) never flips in either direction. The boundary cases used to
+  // report 1.0 for the direction the chain cannot take — harmless to the
+  // generators (the pinned state never consults it) but wrong for anyone
+  // inspecting the chain, so both probabilities are 0 there.
+  if (s.st <= 0.0 || s.sp <= 0.0 || s.sp >= 1.0) return {0.0, 0.0};
+  const double p01 = s.st / (2.0 * (1.0 - s.sp));
+  const double p10 = s.st / (2.0 * s.sp);
+  return {std::min(p01, 1.0), std::min(p10, 1.0)};
+}
+
 MarkovSequenceGenerator::MarkovSequenceGenerator(InputStatistics stats,
                                                  std::uint64_t seed)
     : stats_(stats), rng_(seed) {
   CFPM_REQUIRE(feasible(stats));
-  p01_ = (stats.sp >= 1.0) ? 1.0
-         : (stats.st == 0.0) ? 0.0
-                             : stats.st / (2.0 * (1.0 - stats.sp));
-  p10_ = (stats.sp <= 0.0) ? 1.0
-         : (stats.st == 0.0) ? 0.0
-                             : stats.st / (2.0 * stats.sp);
-  CFPM_ASSERT(p01_ <= 1.0 + 1e-12 && p10_ <= 1.0 + 1e-12);
-  p01_ = std::min(p01_, 1.0);
-  p10_ = std::min(p10_, 1.0);
+  std::tie(p01_, p10_) = flip_probabilities(stats);
 }
 
 sim::InputSequence MarkovSequenceGenerator::generate(std::size_t num_inputs,
@@ -55,19 +62,10 @@ sim::InputSequence BurstSequenceGenerator::generate(std::size_t num_inputs,
   CFPM_REQUIRE(length >= 1);
   sim::InputSequence seq(num_inputs, length);
 
-  // Per-phase per-bit transition probabilities (same construction as
+  // Per-phase per-bit transition probabilities (shared with
   // MarkovSequenceGenerator).
-  auto flip_probs = [](const InputStatistics& s) {
-    const double p01 = (s.sp >= 1.0)  ? 1.0
-                       : (s.st == 0.0) ? 0.0
-                                       : s.st / (2.0 * (1.0 - s.sp));
-    const double p10 = (s.sp <= 0.0)  ? 1.0
-                       : (s.st == 0.0) ? 0.0
-                                       : s.st / (2.0 * s.sp);
-    return std::pair<double, double>{std::min(p01, 1.0), std::min(p10, 1.0)};
-  };
-  const auto idle = flip_probs(spec_.idle);
-  const auto active = flip_probs(spec_.active);
+  const auto idle = flip_probabilities(spec_.idle);
+  const auto active = flip_probabilities(spec_.active);
 
   std::vector<std::uint8_t> bits(num_inputs);
   for (std::size_t i = 0; i < num_inputs; ++i) {

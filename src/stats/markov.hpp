@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/sequence.hpp"
@@ -24,6 +25,12 @@ struct InputStatistics {
 
 /// True when a stationary Markov chain with the given (sp, st) exists.
 bool feasible(const InputStatistics& s) noexcept;
+
+/// Per-bit flip probabilities {P(0->1), P(1->0)} of the stationary chain
+/// realizing (sp, st), clamped to [0, 1]. At the boundaries (sp = 0, sp = 1,
+/// or st = 0) the chain is frozen: both probabilities are 0, including the
+/// direction the chain can never take from its pinned state.
+std::pair<double, double> flip_probabilities(const InputStatistics& s) noexcept;
 
 class MarkovSequenceGenerator {
  public:

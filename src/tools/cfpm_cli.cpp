@@ -36,6 +36,8 @@
 #include "power/baselines.hpp"
 #include "power/factory.hpp"
 #include "power/rtl_io.hpp"
+#include "chip/chip.hpp"
+#include "chip/trace_text.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
@@ -86,6 +88,9 @@ int usage() {
       "  cfpm accuracy <circuit> [-m MAX] [--vectors N] [--deadline-ms N]\n"
       "  cfpm trace <circuit> -o out.vcd [--sp P] [--st P] [--vectors N]\n"
       "  cfpm rtl <design.rtl> [--sp P] [--st P] [--vectors N] [--vdd V]\n"
+      "  cfpm chip --spec CxBxM [--trace FILE] [--shards N] [--sp P] [--st P]\n"
+      "            [--vectors N] [-m MAX] [--deadline-ms N] [--no-degrade]\n"
+      "            [--build-threads N] [--vdd V]\n"
       "  cfpm sensitivity <model.cfpm>\n"
       "  cfpm equiv <golden> <candidate>\n"
       "  cfpm fuzz [--runs N] [--seed S] [--max-gates N] [--patterns N]\n"
@@ -98,6 +103,7 @@ int usage() {
       "             build <circuit> [-m MAX] [--bound] [--deadline-ms N]\n"
       "             eval <circuit|model-id> [--sp P] [--st P] [--vectors N]\n"
       "             trace <circuit> [--sp P] [--st P] [--vectors N]\n"
+      "             chip [--spec CxBxM] [--sp P] [--st P] [--vectors N]\n"
       "             stats | ping | shutdown\n"
       "\n"
       "<circuit>: path to a .bench or .blif file, or gen:<name> with <name>\n"
@@ -106,6 +112,11 @@ int usage() {
       "\n"
       "--threads N shards trace evaluation over a pool of N threads\n"
       "(0 = all hardware threads); results are bit-identical for any N.\n"
+      "chip builds a composed chip: --spec CxBxM instantiates C blocks of B\n"
+      "macros from a generated library over M bus bits per block; sibling\n"
+      "macros share bus bits. --shards N shards the streaming evaluator\n"
+      "(0 = all hardware threads; bit-identical for any N); --trace FILE\n"
+      "evaluates a text bit-matrix trace instead of the seeded workload.\n"
       "--build-threads N builds per-output fanin cones on N worker threads\n"
       "and merges them deterministically (0 = all hardware threads); the\n"
       "model is bit-identical for any N >= 2, 1 = the serial Fig. 6 loop.\n"
@@ -173,6 +184,12 @@ struct Args {
   std::size_t threads = 1;        // 0 = hardware concurrency
   std::size_t build_threads = 1;  // 0 = hardware concurrency
   bool compiled = false;
+  bool max_nodes_explicit = false;  // -m was given (chip defaults differ)
+
+  // chip subcommand
+  std::string chip_spec = "2x3x12";  // CxBxM topology
+  std::size_t shards = 1;            // eval pool lanes; 0 = hardware
+  std::string chip_trace;            // explicit trace file (text bit matrix)
   std::optional<std::size_t> deadline_ms;  // wall-clock build budget
   bool degrade = true;
   std::size_t build_retries = 2;  // per-cone retries before serial rebuild
@@ -227,6 +244,22 @@ struct Args {
     o.build_retries = build_retries;
     o.deadline_ms = deadline_ms;
     return o;
+  }
+
+  /// The chip request both `cfpm chip` and `cfpm query chip` send, so the
+  /// one-shot and daemon paths are bit-identical. Without an explicit -m
+  /// the per-macro budget stays at the ChipRequest default (exact for the
+  /// generated library) rather than the build commands' 1000.
+  service::ChipRequest chip_request() const {
+    service::ChipRequest r;
+    r.spec = chip_spec;
+    if (max_nodes_explicit) r.max_nodes = max_nodes;
+    r.degrade = degrade;
+    r.build_threads = build_threads;
+    r.deadline_ms = deadline_ms;
+    r.statistics = {sp, st};
+    r.vectors = vectors;
+    return r;
   }
 };
 
@@ -299,6 +332,13 @@ std::optional<Args> parse(int argc, char** argv) {
     bool ok = true;
     if (flag == "-m" || flag == "--max-nodes") {
       ok = number(a.max_nodes);
+      a.max_nodes_explicit = ok;
+    } else if (flag == "--spec") {
+      ok = text(a.chip_spec);
+    } else if (flag == "--shards") {
+      ok = number(a.shards);
+    } else if (flag == "--trace") {
+      ok = text(a.chip_trace);
     } else if (flag == "--bound") {
       ok = boolean(a.bound, true);
     } else if (flag == "-o" || flag == "--output") {
@@ -686,6 +726,115 @@ int cmd_rtl(const Args& a) {
   return 0;
 }
 
+const char* outcome_name(power::BuildOutcome outcome) {
+  switch (outcome) {
+    case power::BuildOutcome::kClean:
+      return "clean";
+    case power::BuildOutcome::kDegraded:
+      return "degraded";
+    case power::BuildOutcome::kFallback:
+      return "fallback";
+  }
+  return "?";
+}
+
+/// Prints a chip reply: library table, per-block and per-instance
+/// breakdowns, composed bound vs sum-of-worst-cases tightness, and a
+/// machine-diffable `exact` line (shortest-round-trip doubles — the
+/// chip-smoke CI job diffs whole outputs across --shards, and the exact
+/// line across the one-shot/daemon boundary). Deliberately prints no
+/// wall-clock numbers so outputs are byte-stable. Returns the exit code.
+int print_chip_reply(const Args& a, const service::ChipReply& r,
+                     const std::string& workload_line, bool show_cache) {
+  const power::SupplyConfig supply{a.vdd};
+  std::cout << "chip    : " << r.spec << " (" << r.macros << " macros in "
+            << r.blocks.size() << " blocks, " << r.bus_bits << "-bit bus, "
+            << r.components << " composite nodes)\n";
+  eval::TextTable lib({"macro", "inst", "inputs", "avg-nodes", "bound-nodes",
+                       "build"});
+  for (const service::ChipMacroSummary& m : r.library) {
+    std::string build = outcome_name(m.avg_outcome);
+    if (m.bound_outcome != m.avg_outcome) {
+      build += std::string("/") + outcome_name(m.bound_outcome);
+    }
+    if (m.cache_hit) build += " (cached)";
+    lib.add_row({m.name, std::to_string(m.instances), std::to_string(m.inputs),
+                 std::to_string(m.avg_nodes), std::to_string(m.bound_nodes),
+                 build});
+  }
+  lib.print(std::cout);
+  std::cout << workload_line;
+  const double cycles =
+      r.transitions > 0 ? static_cast<double>(r.transitions) : 1.0;
+  std::cout << "average : " << r.average_ff << " fF/cycle = "
+            << supply.energy_fj(r.average_ff) << " fJ/cycle @ " << a.vdd
+            << " V\n";
+  std::cout << "peak    : " << r.peak_ff << " fF (observed)\n";
+  std::cout << "bound   : " << r.bound_peak_ff
+            << " fF (composed per-cycle bound)\n";
+  std::cout << "worst   : " << r.worst_case_sum_ff
+            << " fF (sum of leaf worst cases)\n";
+  if (r.worst_case_sum_ff > 0.0) {
+    std::cout << "tightness: composed bound is "
+              << format_double(r.bound_peak_ff / r.worst_case_sum_ff)
+              << " of the worst-case sum\n";
+  }
+  eval::TextTable blocks({"block", "fF/cycle", "share(%)"});
+  for (const service::ChipComponentTotal& b : r.blocks) {
+    blocks.add_row({b.name, eval::TextTable::num(b.total_ff / cycles, 2),
+                    eval::TextTable::num(
+                        r.total_ff > 0.0 ? 100.0 * b.total_ff / r.total_ff
+                                         : 0.0,
+                        1)});
+  }
+  blocks.print(std::cout);
+  eval::TextTable inst({"instance", "fF/cycle", "share(%)"});
+  for (const service::ChipComponentTotal& i : r.instances) {
+    inst.add_row({i.name, eval::TextTable::num(i.total_ff / cycles, 2),
+                  eval::TextTable::num(
+                      r.total_ff > 0.0 ? 100.0 * i.total_ff / r.total_ff : 0.0,
+                      1)});
+  }
+  inst.print(std::cout);
+  std::cout << "exact   : total=" << format_double(r.total_ff)
+            << " average=" << format_double(r.average_ff)
+            << " peak=" << format_double(r.peak_ff)
+            << " bound-peak=" << format_double(r.bound_peak_ff)
+            << " worst-sum=" << format_double(r.worst_case_sum_ff) << "\n";
+  if (show_cache) {
+    std::cout << "cache   : " << r.cache_hits << " of "
+              << 2 * r.library.size() << " macro models from registry\n";
+  }
+  if (r.status == service::StatusCode::kDegraded) {
+    std::cout << "DEGRADED: at least one macro built via the degradation "
+                 "ladder (see build column)\n";
+    return kExitDegraded;
+  }
+  return kExitOk;
+}
+
+int cmd_chip(const Args& a) {
+  if (!a.positional.empty()) return usage();
+  const service::ChipRequest request = a.chip_request();
+  cfpm::ThreadPool pool(a.shards == 0 ? 0 : a.shards);
+  if (!a.chip_trace.empty()) {
+    // Explicit trace: width is validated against the spec by the facade.
+    const sim::InputSequence trace =
+        cfpm::chip::read_trace_text(a.chip_trace, /*min_width=*/1);
+    const service::ChipReply reply =
+        service::evaluate_chip_trace(request, trace, &pool);
+    std::ostringstream workload;
+    workload << "trace   : " << a.chip_trace << " (" << trace.length()
+             << " vectors)\n";
+    return print_chip_reply(a, reply, workload.str(), /*show_cache=*/false);
+  }
+  const service::ChipReply reply = service::evaluate_chip(request, &pool);
+  std::ostringstream workload;
+  workload << "workload: sp=" << a.sp << " st=" << a.st << " (" << a.vectors
+           << " vectors)\n";
+  return print_chip_reply(a, reply, workload.str(), /*show_cache=*/false);
+}
+
 int cmd_fuzz(const Args& a) {
   if (!a.positional.empty()) return usage();
 
@@ -833,6 +982,18 @@ int cmd_query(const Args& a) {
                                         request));
     return kExitOk;
   }
+  if (verb == "chip") {
+    // Remote chip query: the daemon builds the macro library through its
+    // registry (second identical query: all cache hits, zero construction)
+    // and evaluates on its eval pool. The exact line matches `cfpm chip`
+    // with the same parameters byte-for-byte.
+    if (a.positional.size() != 1) return usage();
+    std::ostringstream workload;
+    workload << "workload: sp=" << a.sp << " st=" << a.st << " (" << a.vectors
+             << " vectors)\n";
+    return print_chip_reply(a, client.chip(a.chip_request()), workload.str(),
+                            /*show_cache=*/true);
+  }
   if (verb == "trace") {
     // Explicit-trace query: the vectors are generated client-side (same
     // seeded Markov recipe) and shipped over the wire, exercising the
@@ -867,6 +1028,7 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "rtl") return cmd_rtl(args);
   if (cmd == "sensitivity") return cmd_sensitivity(args);
   if (cmd == "equiv") return cmd_equiv(args);
+  if (cmd == "chip") return cmd_chip(args);
   if (cmd == "fuzz") return cmd_fuzz(args);
   if (cmd == "serve") return cmd_serve(args);
   if (cmd == "query") return cmd_query(args);

@@ -1,0 +1,80 @@
+// Plain-text bus trace IO (`cfpm chip --trace`): round-trip fidelity,
+// comment/blank-line handling, and every rejection path.
+#include "chip/trace_text.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "stats/markov.hpp"
+#include "support/error.hpp"
+
+namespace cfpm::chip {
+namespace {
+
+/// Writes `text` to a fresh temp file and deletes it on scope exit.
+struct TempTrace {
+  std::string path;
+  explicit TempTrace(const std::string& text, const char* tag) {
+    path = ::testing::TempDir() + "/chip_trace_" + tag + ".txt";
+    std::ofstream out(path);
+    out << text;
+  }
+  ~TempTrace() { std::remove(path.c_str()); }
+};
+
+TEST(TraceText, WriteReadRoundTrip) {
+  stats::MarkovSequenceGenerator gen({0.4, 0.3}, 0xabc);
+  const sim::InputSequence original = gen.generate(13, 200);
+
+  std::ostringstream text;
+  write_trace_text(text, original);
+  TempTrace file(text.str(), "roundtrip");
+
+  const sim::InputSequence parsed = read_trace_text(file.path, 13);
+  ASSERT_EQ(parsed.num_inputs(), original.num_inputs());
+  ASSERT_EQ(parsed.length(), original.length());
+  for (std::size_t t = 0; t < original.length(); ++t) {
+    for (std::size_t i = 0; i < original.num_inputs(); ++i) {
+      ASSERT_EQ(parsed.bit(i, t), original.bit(i, t)) << "t=" << t;
+    }
+  }
+}
+
+TEST(TraceText, SkipsCommentsBlankLinesAndCarriageReturns) {
+  TempTrace file("# header comment\n\n0101\r\n1010\n\n# trailing\n", "skips");
+  const sim::InputSequence seq = read_trace_text(file.path, 4);
+  ASSERT_EQ(seq.num_inputs(), 4u);
+  ASSERT_EQ(seq.length(), 2u);
+  EXPECT_FALSE(seq.bit(0, 0));
+  EXPECT_TRUE(seq.bit(1, 0));
+  EXPECT_TRUE(seq.bit(0, 1));
+  EXPECT_FALSE(seq.bit(1, 1));
+}
+
+TEST(TraceText, RejectsBadInput) {
+  EXPECT_THROW(read_trace_text(::testing::TempDir() + "/no_such_trace.txt", 1),
+               IoError);
+  {
+    TempTrace file("0102\n", "badchar");
+    EXPECT_THROW(read_trace_text(file.path, 1), ParseError);
+  }
+  {
+    TempTrace file("0101\n011\n", "ragged");
+    EXPECT_THROW(read_trace_text(file.path, 1), ParseError);
+  }
+  {
+    TempTrace file("# only comments\n\n", "empty");
+    EXPECT_THROW(read_trace_text(file.path, 1), ParseError);
+  }
+  {
+    TempTrace file("0101\n", "narrow");
+    EXPECT_THROW(read_trace_text(file.path, 5), ParseError);
+  }
+}
+
+}  // namespace
+}  // namespace cfpm::chip

@@ -284,5 +284,62 @@ TEST(ServeConcurrency, ParallelClientsShareOneDeduplicatedBuild) {
   }
 }
 
+TEST(ServeChip, ChipQueryServesMacroLibraryFromRegistry) {
+  ScopedServer daemon("chip");
+  Client client = connect_with_retry(daemon.socket_path);
+  service::ChipRequest request;
+  request.spec = "2x2x8";  // 2 distinct macros -> 4 models (avg + bound)
+  request.vectors = 200;
+
+  const service::ChipReply first = client.chip(request);
+  EXPECT_EQ(first.status, service::StatusCode::kOk);
+  EXPECT_EQ(first.macros, 4u);
+  EXPECT_EQ(first.cache_hits, 0u);
+  ASSERT_EQ(first.library.size(), 2u);
+  EXPECT_EQ(client.stats().models, 4u)
+      << "every macro variant should be admitted to the registry";
+
+  // The same spec again: the whole library comes from the cache and not a
+  // single model is rebuilt.
+  const wire::StatsReply before = client.stats();
+  const service::ChipReply second = client.chip(request);
+  EXPECT_EQ(second.cache_hits, 2 * second.library.size());
+  for (const service::ChipMacroSummary& m : second.library) {
+    EXPECT_TRUE(m.cache_hit) << m.name;
+  }
+  EXPECT_EQ(client.stats().builds - before.builds, 0u);
+  EXPECT_EQ(client.stats().models, 4u);
+
+  // Served-from-cache and built-fresh replies are bit-identical, and both
+  // match the in-process facade (same structs, same code path).
+  const service::ChipReply local = service::evaluate_chip(request);
+  for (const service::ChipReply* r : {&first, &second}) {
+    EXPECT_EQ(r->total_ff, local.total_ff);
+    EXPECT_EQ(r->peak_ff, local.peak_ff);
+    EXPECT_EQ(r->bound_total_ff, local.bound_total_ff);
+    EXPECT_EQ(r->bound_peak_ff, local.bound_peak_ff);
+    EXPECT_EQ(r->worst_case_sum_ff, local.worst_case_sum_ff);
+    EXPECT_EQ(r->transitions, local.transitions);
+    ASSERT_EQ(r->instances.size(), local.instances.size());
+    for (std::size_t i = 0; i < local.instances.size(); ++i) {
+      EXPECT_EQ(r->instances[i].total_ff, local.instances[i].total_ff);
+    }
+  }
+}
+
+TEST(ServeChip, BadChipSpecFailsTypedOverTheWire) {
+  ScopedServer daemon("chip-bad");
+  Client client = connect_with_retry(daemon.socket_path);
+  service::ChipRequest request;
+  request.spec = "not-a-spec";
+  try {
+    (void)client.chip(request);
+    FAIL() << "daemon accepted a malformed chip spec";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad chip spec"), std::string::npos);
+  }
+  EXPECT_EQ(client.stats().models, 0u);
+}
+
 }  // namespace
 }  // namespace cfpm::serve

@@ -178,12 +178,113 @@ TEST(Wire, StatsAndErrorRoundTrip) {
   EXPECT_EQ(e.message, error.message);
 }
 
+TEST(Wire, ChipRequestRoundTripsEveryField) {
+  service::ChipRequest request;
+  request.spec = "4x6x16";
+  request.max_nodes = 123;
+  request.degrade = false;
+  request.build_threads = 3;
+  request.deadline_ms = 777;
+  request.statistics = {0.1, 0.07};  // not exactly representable
+  request.vectors = 4242;
+  request.seed = 0xdeadbeefcafeull;
+
+  const service::ChipRequest back =
+      decode_chip_request(encode_chip_request(request));
+  EXPECT_EQ(back.api_version, request.api_version);
+  EXPECT_EQ(back.spec, request.spec);
+  EXPECT_EQ(back.max_nodes, request.max_nodes);
+  EXPECT_EQ(back.degrade, request.degrade);
+  EXPECT_EQ(back.build_threads, request.build_threads);
+  EXPECT_EQ(back.deadline_ms, request.deadline_ms);
+  EXPECT_EQ(back.statistics.sp, request.statistics.sp);
+  EXPECT_EQ(back.statistics.st, request.statistics.st);
+  EXPECT_EQ(back.vectors, request.vectors);
+  EXPECT_EQ(back.seed, request.seed);
+
+  // The optional deadline also round-trips in its empty state.
+  request.deadline_ms.reset();
+  EXPECT_EQ(decode_chip_request(encode_chip_request(request)).deadline_ms,
+            std::nullopt);
+}
+
+TEST(Wire, ChipReplyRoundTripsBreakdownExactly) {
+  service::ChipReply reply;
+  reply.status = service::StatusCode::kDegraded;
+  reply.spec = "2x3x12";
+  reply.macros = 6;
+  reply.components = 3;
+  reply.bus_bits = 24;
+  reply.transitions = 1999;
+  reply.total_ff = 12345.678901234567;
+  reply.average_ff = 0.30000000000000004;
+  reply.peak_ff = 368.0;
+  reply.bound_total_ff = 54321.000000000001;
+  reply.bound_peak_ff = 1e-17;
+  reply.worst_case_sum_ff = 588.25;
+  reply.cache_hits = 4;
+  reply.library = {{"add4", 2, 9, 1939, 1939, power::BuildOutcome::kClean,
+                    power::BuildOutcome::kDegraded, true},
+                   {"cmp4", 4, 8, 2390, 2390, power::BuildOutcome::kFallback,
+                    power::BuildOutcome::kClean, false}};
+  reply.blocks = {{"b0", 1.5}, {"b1", 2.25}};
+  reply.instances = {{"b0.m0.add4", 0.5}, {"b0.m1.cmp4", 1.0}};
+
+  const service::ChipReply r = decode_chip_reply(encode_chip_reply(reply));
+  EXPECT_EQ(r.status, reply.status);
+  EXPECT_EQ(r.spec, reply.spec);
+  EXPECT_EQ(r.macros, reply.macros);
+  EXPECT_EQ(r.components, reply.components);
+  EXPECT_EQ(r.bus_bits, reply.bus_bits);
+  EXPECT_EQ(r.transitions, reply.transitions);
+  EXPECT_EQ(r.total_ff, reply.total_ff);
+  EXPECT_EQ(r.average_ff, reply.average_ff);
+  EXPECT_EQ(r.peak_ff, reply.peak_ff);
+  EXPECT_EQ(r.bound_total_ff, reply.bound_total_ff);
+  EXPECT_EQ(r.bound_peak_ff, reply.bound_peak_ff);
+  EXPECT_EQ(r.worst_case_sum_ff, reply.worst_case_sum_ff);
+  EXPECT_EQ(r.cache_hits, reply.cache_hits);
+  ASSERT_EQ(r.library.size(), reply.library.size());
+  for (std::size_t i = 0; i < reply.library.size(); ++i) {
+    EXPECT_EQ(r.library[i].name, reply.library[i].name);
+    EXPECT_EQ(r.library[i].instances, reply.library[i].instances);
+    EXPECT_EQ(r.library[i].inputs, reply.library[i].inputs);
+    EXPECT_EQ(r.library[i].avg_nodes, reply.library[i].avg_nodes);
+    EXPECT_EQ(r.library[i].bound_nodes, reply.library[i].bound_nodes);
+    EXPECT_EQ(r.library[i].avg_outcome, reply.library[i].avg_outcome);
+    EXPECT_EQ(r.library[i].bound_outcome, reply.library[i].bound_outcome);
+    EXPECT_EQ(r.library[i].cache_hit, reply.library[i].cache_hit);
+  }
+  ASSERT_EQ(r.blocks.size(), reply.blocks.size());
+  for (std::size_t i = 0; i < reply.blocks.size(); ++i) {
+    EXPECT_EQ(r.blocks[i].name, reply.blocks[i].name);
+    EXPECT_EQ(r.blocks[i].total_ff, reply.blocks[i].total_ff);
+  }
+  ASSERT_EQ(r.instances.size(), reply.instances.size());
+  for (std::size_t i = 0; i < reply.instances.size(); ++i) {
+    EXPECT_EQ(r.instances[i].name, reply.instances[i].name);
+    EXPECT_EQ(r.instances[i].total_ff, reply.instances[i].total_ff);
+  }
+}
+
 TEST(Wire, MalformedPayloadsThrowParseError) {
   EXPECT_THROW(decode_build_request("nonsense"), ParseError);
   EXPECT_THROW(decode_eval_query(""), ParseError);
   EXPECT_THROW(decode_eval_reply("status x\n"), ParseError);
   EXPECT_THROW(decode_trace_query("version 1\nid zz\n"), ParseError);
   EXPECT_THROW(decode_error("code 1\n"), ParseError);
+  EXPECT_THROW(decode_chip_request("nonsense"), ParseError);
+  EXPECT_THROW(decode_chip_request("version 1\nspec \n"), ParseError);
+  EXPECT_THROW(decode_chip_reply(""), ParseError);
+  // Out-of-range enum values are rejected, not cast blindly.
+  service::ChipReply reply;
+  reply.library = {{"add4", 1, 9, 10, 10, power::BuildOutcome::kClean,
+                    power::BuildOutcome::kClean, false}};
+  std::string encoded = encode_chip_reply(reply);
+  const std::size_t pos = encoded.find("macro add4");
+  ASSERT_NE(pos, std::string::npos);
+  encoded.replace(encoded.find(" 0 0 ", pos), 5, " 9 0 ");
+  EXPECT_THROW(decode_chip_reply(encoded), ParseError);
 }
 
 TEST(Wire, FdTransportRoundTripAndCleanEof) {

@@ -90,6 +90,35 @@ TEST(Markov, AllZerosWhenSpZero) {
   EXPECT_DOUBLE_EQ(seq.signal_probability(), 0.0);
 }
 
+TEST(Markov, PinnedBoundariesNeverToggle) {
+  // Regression: the boundary branches used to report flip probability 1.0
+  // for the direction a pinned chain can never take (sp=1 => p01, sp=0 =>
+  // p10). Pinned chains must be frozen in both directions.
+  EXPECT_EQ(flip_probabilities({1.0, 0.0}),
+            (std::pair<double, double>{0.0, 0.0}));
+  EXPECT_EQ(flip_probabilities({0.0, 0.0}),
+            (std::pair<double, double>{0.0, 0.0}));
+  EXPECT_EQ(flip_probabilities({0.3, 0.0}),
+            (std::pair<double, double>{0.0, 0.0}));
+  for (const double sp : {0.0, 1.0}) {
+    for (const std::uint64_t seed : {1u, 99u}) {
+      MarkovSequenceGenerator g({sp, 0.0}, seed);
+      const auto seq = g.generate(8, 1000);
+      EXPECT_DOUBLE_EQ(seq.transition_probability(), 0.0);
+      EXPECT_DOUBLE_EQ(seq.signal_probability(), sp);
+    }
+  }
+}
+
+TEST(Markov, FlipProbabilitiesMatchInteriorFormula) {
+  const auto [p01, p10] = flip_probabilities({0.25, 0.3});
+  EXPECT_DOUBLE_EQ(p01, 0.3 / (2.0 * 0.75));
+  EXPECT_DOUBLE_EQ(p10, 0.3 / (2.0 * 0.25));
+  // Alternating chain: both directions saturate at 1.
+  EXPECT_EQ(flip_probabilities({0.5, 1.0}),
+            (std::pair<double, double>{1.0, 1.0}));
+}
+
 TEST(Burst, PhaseModulatedActivity) {
   stats::BurstSpec spec;
   spec.idle = {0.5, 0.02};
